@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks of HISA primitives (backs Table 1).
+
+use chet_ckks::big::BigCkks;
+use chet_ckks::rns::RnsCkks;
+use chet_hisa::{EncryptionParams, Hisa, RotationKeyPolicy, SecurityLevel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_rns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rns_ckks");
+    group.sample_size(10);
+    for (n, r) in [(4096usize, 2usize), (8192, 4)] {
+        let params = EncryptionParams::rns_ckks(n, 40, r).with_security(SecurityLevel::Insecure);
+        let policy = RotationKeyPolicy::Exact([1usize].into_iter().collect());
+        let mut h = RnsCkks::new(&params, &policy, 7);
+        let pt = h.encode(&[1.0, 2.0, 3.0], 2f64.powi(30));
+        let a = h.encrypt(&pt);
+        let b = h.encrypt(&pt);
+        group.bench_function(BenchmarkId::new("add", format!("N{n}_r{r}")), |bch| {
+            bch.iter(|| h.add(&a, &b))
+        });
+        group.bench_function(BenchmarkId::new("mul_plain", format!("N{n}_r{r}")), |bch| {
+            bch.iter(|| h.mul_plain(&a, &pt))
+        });
+        group.bench_function(BenchmarkId::new("mul", format!("N{n}_r{r}")), |bch| {
+            bch.iter(|| h.mul(&a, &b))
+        });
+        group.bench_function(BenchmarkId::new("rotate", format!("N{n}_r{r}")), |bch| {
+            bch.iter(|| h.rot_left(&a, 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_big(c: &mut Criterion) {
+    let mut group = c.benchmark_group("big_ckks");
+    group.sample_size(10);
+    for (n, log_q) in [(2048usize, 120u32), (4096, 180)] {
+        let params = EncryptionParams::ckks(n, log_q).with_security(SecurityLevel::Insecure);
+        let policy = RotationKeyPolicy::Exact([1usize].into_iter().collect());
+        let mut h = BigCkks::new(&params, &policy, 7);
+        let pt = h.encode(&[1.0, 2.0, 3.0], 2f64.powi(30));
+        let a = h.encrypt(&pt);
+        let b = h.encrypt(&pt);
+        group.bench_function(BenchmarkId::new("mul_scalar", format!("N{n}_q{log_q}")), |bch| {
+            bch.iter(|| h.mul_scalar(&a, 1.5, 2f64.powi(20)))
+        });
+        group.bench_function(BenchmarkId::new("mul_plain", format!("N{n}_q{log_q}")), |bch| {
+            bch.iter(|| h.mul_plain(&a, &pt))
+        });
+        group.bench_function(BenchmarkId::new("mul", format!("N{n}_q{log_q}")), |bch| {
+            bch.iter(|| h.mul(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rns, bench_big);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the number-theoretic substrate (NTT, CRT,
+//! encoding) — the constants behind the cost model.
+
+use chet_ckks::encoding::CkksEncoder;
+use chet_math::crt::CrtBasis;
+use chet_math::ntt::NttTable;
+use chet_math::prime::ntt_primes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt");
+    for n in [4096usize, 16384] {
+        let q = ntt_primes(50, n, 1)[0];
+        let table = NttTable::new(q, n).unwrap();
+        let data: Vec<u64> = (0..n as u64).map(|i| i * 7 % q).collect();
+        group.bench_function(BenchmarkId::new("forward", n), |b| {
+            b.iter(|| {
+                let mut d = data.clone();
+                table.forward(&mut d);
+                d
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_crt(c: &mut Criterion) {
+    let basis = CrtBasis::new(ntt_primes(59, 1024, 16));
+    let residues: Vec<u64> = basis.primes().iter().map(|&p| p / 3).collect();
+    c.bench_function("crt_reconstruct_16primes", |b| {
+        b.iter(|| basis.reconstruct_centered(&residues))
+    });
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let enc = CkksEncoder::new(8192);
+    let values: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.37).sin()).collect();
+    c.bench_function("encode_8192", |b| b.iter(|| enc.encode(&values, 2f64.powi(30))));
+}
+
+criterion_group!(benches, bench_ntt, bench_crt, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table 5 — average inference latency per data-layout policy under
+//! CHET-SEAL (RNS-CKKS).
+//!
+//! Expected shape (paper): the best layout is network-dependent; CHW wins
+//! on channel-heavy networks under RNS-CKKS because `mulPlain` costs the
+//! same as `mulScalar` there, while HW can win on the smallest network.
+//! The `*` marks the policy the compiler's cost model selects.
+
+use chet_bench::{run_layout_table, BackendChoice, HarnessArgs};
+use chet_hisa::params::SchemeKind;
+use chet_hisa::SecurityLevel;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let backend = if args.sim { BackendChoice::Sim } else { BackendChoice::Rns };
+    run_layout_table(
+        "Table 5: latency per layout, CHET-SEAL (RNS-CKKS)",
+        SchemeKind::RnsCkks,
+        SecurityLevel::Bits128,
+        backend,
+        &args,
+    );
+}

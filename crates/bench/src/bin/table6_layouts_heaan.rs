@@ -1,0 +1,23 @@
+//! Table 6 — average inference latency per data-layout policy under
+//! CHET-HEAAN (bigint CKKS).
+//!
+//! Expected shape (paper): under CKKS `mulScalar` is much cheaper than
+//! `mulPlain`, so HW-flavored layouts are competitive for convolutions,
+//! unlike Table 5 — the best layout differs per scheme for the same
+//! network. Security is relaxed as in the paper's HEAAN experiments.
+
+use chet_bench::{run_layout_table, BackendChoice, HarnessArgs};
+use chet_hisa::params::SchemeKind;
+use chet_hisa::SecurityLevel;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let backend = if args.sim { BackendChoice::Sim } else { BackendChoice::Big };
+    run_layout_table(
+        "Table 6: latency per layout, CHET-HEAAN (CKKS)",
+        SchemeKind::Ckks,
+        SecurityLevel::Bits128,
+        backend,
+        &args,
+    );
+}

@@ -1,0 +1,7 @@
+//! HEAAN v1.0-style CKKS backend with power-of-two modulus.
+
+pub mod poly;
+pub mod scheme;
+
+pub use poly::{BigMultiplier, BigPoly};
+pub use scheme::{BigCiphertext, BigCkks, BigPlaintext};

@@ -1,0 +1,416 @@
+//! Ring elements with big-integer coefficients modulo `Q = 2^L`.
+//!
+//! Coefficients live in `[0, 2^L)`. Polynomial products are computed by
+//! reducing centered coefficients into a CRT basis of NTT primes, convolving
+//! per prime, and Garner-reconstructing the signed result — the same
+//! strategy HEAAN uses internally.
+
+use chet_math::bigint::UBig;
+use chet_math::crt::CrtBasis;
+use chet_math::ntt::NttTable;
+use chet_math::prime::ntt_primes;
+
+/// A polynomial over `Z_{2^L}[X]/(X^N + 1)`.
+#[derive(Debug, Clone)]
+pub struct BigPoly {
+    /// log2 of the coefficient modulus.
+    pub log_q: u32,
+    /// Optional bound (in bits) on the centered coefficient magnitudes,
+    /// tighter than `log_q`. Lets [`BigMultiplier::mul`] use fewer CRT
+    /// primes for small operands (ternary secrets, errors, plaintexts).
+    pub bound_bits: Option<u32>,
+    /// Coefficients in `[0, 2^log_q)`.
+    pub coeffs: Vec<UBig>,
+}
+
+impl BigPoly {
+    /// The zero polynomial at modulus `2^log_q`.
+    pub fn zero(n: usize, log_q: u32) -> Self {
+        BigPoly { log_q, bound_bits: None, coeffs: vec![UBig::zero(); n] }
+    }
+
+    /// Lifts signed word-sized coefficients into the ring.
+    pub fn from_signed(coeffs: &[i64], log_q: u32) -> Self {
+        let q = UBig::pow2(log_q);
+        BigPoly {
+            log_q,
+            bound_bits: Some(64),
+            coeffs: coeffs
+                .iter()
+                .map(|&c| {
+                    if c >= 0 {
+                        UBig::from(c as u64)
+                    } else {
+                        q.sub(&UBig::from(c.unsigned_abs()))
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Ring degree.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    fn q(&self) -> UBig {
+        UBig::pow2(self.log_q)
+    }
+
+    /// `self + other` (moduli must match).
+    pub fn add(&self, other: &BigPoly) -> BigPoly {
+        assert_eq!(self.log_q, other.log_q, "modulus mismatch");
+        BigPoly {
+            log_q: self.log_q,
+            bound_bits: None,
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a.add(b).mask_bits(self.log_q))
+                .collect(),
+        }
+    }
+
+    /// `self - other` (moduli must match).
+    pub fn sub(&self, other: &BigPoly) -> BigPoly {
+        assert_eq!(self.log_q, other.log_q, "modulus mismatch");
+        let q = self.q();
+        BigPoly {
+            log_q: self.log_q,
+            bound_bits: None,
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a.add(&q.sub(b)).mask_bits(self.log_q))
+                .collect(),
+        }
+    }
+
+    /// `-self`.
+    pub fn neg(&self) -> BigPoly {
+        let q = self.q();
+        BigPoly {
+            log_q: self.log_q,
+            bound_bits: self.bound_bits,
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|a| if a.is_zero() { UBig::zero() } else { q.sub(a) })
+                .collect(),
+        }
+    }
+
+    /// Multiplies by a signed machine-word scalar.
+    pub fn mul_scalar(&self, k: i64) -> BigPoly {
+        let base = self
+            .coeffs
+            .iter()
+            .map(|a| a.mul_u64(k.unsigned_abs()).mask_bits(self.log_q))
+            .collect();
+        let out = BigPoly { log_q: self.log_q, bound_bits: None, coeffs: base };
+        if k < 0 {
+            out.neg()
+        } else {
+            out
+        }
+    }
+
+    /// Adds a signed scalar to coefficient 0 (i.e. adds the constant
+    /// polynomial `k`).
+    pub fn add_constant(&mut self, k: i64) {
+        let q = self.q();
+        let kk = if k >= 0 {
+            UBig::from(k as u64)
+        } else {
+            q.sub(&UBig::from(k.unsigned_abs()))
+        };
+        self.coeffs[0] = self.coeffs[0].add(&kk).mask_bits(self.log_q);
+    }
+
+    /// Reduces to a smaller power-of-two modulus (modulus switching down).
+    pub fn mod_down_to(&self, log_q: u32) -> BigPoly {
+        assert!(log_q <= self.log_q, "cannot mod up");
+        BigPoly {
+            log_q,
+            bound_bits: self.bound_bits.map(|b| b.min(log_q)),
+            coeffs: self.coeffs.iter().map(|c| c.mask_bits(log_q)).collect(),
+        }
+    }
+
+    /// Divides every (centered) coefficient by `2^k` with rounding — the
+    /// CKKS rescale. The modulus shrinks by `k` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `k + 1` modulus bits remain.
+    pub fn rescale_by_pow2(&self, k: u32) -> BigPoly {
+        assert!(self.log_q > k, "modulus exhausted by rescale");
+        let q = self.q();
+        let half = q.shr_bits(1);
+        let new_log_q = self.log_q - k;
+        BigPoly {
+            log_q: new_log_q,
+            bound_bits: None,
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|c| {
+                    if c > &half {
+                        // negative: round magnitude, then negate mod 2^new.
+                        let mag = q.sub(c).shr_bits_round(k);
+                        let m = mag.mask_bits(new_log_q);
+                        if m.is_zero() {
+                            UBig::zero()
+                        } else {
+                            UBig::pow2(new_log_q).sub(&m)
+                        }
+                    } else {
+                        c.shr_bits_round(k).mask_bits(new_log_q)
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Applies the Galois automorphism `X → X^g`.
+    pub fn automorphism(&self, g: usize) -> BigPoly {
+        let n = self.degree();
+        let m = 2 * n;
+        let q = self.q();
+        let mut out = BigPoly::zero(n, self.log_q);
+        out.bound_bits = self.bound_bits;
+        for (k, c) in self.coeffs.iter().enumerate() {
+            let idx = k * g % m;
+            if idx < n {
+                out.coeffs[idx] = c.clone();
+            } else {
+                out.coeffs[idx - n] =
+                    if c.is_zero() { UBig::zero() } else { q.sub(c) };
+            }
+        }
+        out
+    }
+
+    /// Centered signed value of coefficient `i` as `f64`.
+    pub fn coeff_centered_f64(&self, i: usize) -> f64 {
+        let q = self.q();
+        let half = q.shr_bits(1);
+        let c = &self.coeffs[i];
+        if c > &half {
+            -(q.sub(c).to_f64())
+        } else {
+            c.to_f64()
+        }
+    }
+}
+
+/// CRT/NTT machinery for multiplying [`BigPoly`]s.
+#[derive(Debug)]
+pub struct BigMultiplier {
+    degree: usize,
+    basis: CrtBasis,
+    ntt: Vec<NttTable>,
+}
+
+impl BigMultiplier {
+    /// Builds a multiplier able to multiply operands whose modulus bit sizes
+    /// sum to at most `max_sum_bits`.
+    pub fn new(degree: usize, max_sum_bits: u32) -> Self {
+        // Product coefficient bound: N · (Qa/2) · (Qb/2); sign needs 1 bit.
+        let need = max_sum_bits + degree.trailing_zeros() + 2;
+        let prime_bits = 59u32;
+        let count = (need + prime_bits - 2) / (prime_bits - 1) + 1;
+        let primes = ntt_primes(prime_bits, degree, count as usize);
+        let ntt = primes
+            .iter()
+            .map(|&p| NttTable::new(p, degree).expect("generated primes are NTT friendly"))
+            .collect();
+        BigMultiplier { degree, basis: CrtBasis::new(primes), ntt }
+    }
+
+    /// Number of primes needed so their product exceeds `2^bits`.
+    fn primes_for(&self, bits: u32) -> usize {
+        let mut acc = 0f64;
+        for (i, &p) in self.basis.primes().iter().enumerate() {
+            acc += (p as f64).log2();
+            if acc > bits as f64 + 1.0 {
+                return i + 1;
+            }
+        }
+        panic!("multiplier basis too small for {bits} bits");
+    }
+
+    /// Negacyclic product `a · b` reduced to modulus `2^out_log_q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis cannot represent the product (operands larger
+    /// than the `max_sum_bits` the multiplier was built for).
+    pub fn mul(&self, a: &BigPoly, b: &BigPoly, out_log_q: u32) -> BigPoly {
+        let n = self.degree;
+        assert_eq!(a.degree(), n);
+        assert_eq!(b.degree(), n);
+        let a_bits = a.bound_bits.map_or(a.log_q, |b| b.min(a.log_q));
+        let b_bits = b.bound_bits.map_or(b.log_q, |bb| bb.min(b.log_q));
+        let need_bits = a_bits + b_bits + n.trailing_zeros() + 2;
+        let k = self.primes_for(need_bits);
+        let sub = CrtBasis::new(self.basis.primes()[..k].to_vec());
+
+        let qa = UBig::pow2(a.log_q);
+        let ha = qa.shr_bits(1);
+        let qb = UBig::pow2(b.log_q);
+        let hb = qb.shr_bits(1);
+
+        // Residues of centered coefficients, NTT'd per prime.
+        let mut fa: Vec<Vec<u64>> = Vec::with_capacity(k);
+        for i in 0..k {
+            let p = sub.primes()[i];
+            let mut ra = vec![0u64; n];
+            let mut rb = vec![0u64; n];
+            for j in 0..n {
+                let ca = &a.coeffs[j];
+                ra[j] = if ca > &ha {
+                    let r = qa.sub(ca).rem_u64(p);
+                    if r == 0 {
+                        0
+                    } else {
+                        p - r
+                    }
+                } else {
+                    ca.rem_u64(p)
+                };
+                let cb = &b.coeffs[j];
+                rb[j] = if cb > &hb {
+                    let r = qb.sub(cb).rem_u64(p);
+                    if r == 0 {
+                        0
+                    } else {
+                        p - r
+                    }
+                } else {
+                    cb.rem_u64(p)
+                };
+            }
+            self.ntt[i].forward(&mut ra);
+            self.ntt[i].forward(&mut rb);
+            for (x, &y) in ra.iter_mut().zip(&rb) {
+                *x = chet_math::modint::mul_mod(*x, y, p);
+            }
+            self.ntt[i].inverse(&mut ra);
+            fa.push(ra);
+        }
+
+        // Garner-reconstruct each coefficient, reduce mod 2^out_log_q.
+        let q_out = UBig::pow2(out_log_q);
+        let mut out = BigPoly::zero(n, out_log_q);
+        let mut residues = vec![0u64; k];
+        for j in 0..n {
+            for i in 0..k {
+                residues[i] = fa[i][j];
+            }
+            let (neg, mag) = sub.reconstruct_centered(&residues);
+            let m = mag.mask_bits(out_log_q);
+            out.coeffs[j] = if neg && !m.is_zero() { q_out.sub(&m) } else { m };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_signed_and_centered_roundtrip() {
+        let p = BigPoly::from_signed(&[5, -7, 0, 1], 100);
+        assert_eq!(p.coeff_centered_f64(0), 5.0);
+        assert_eq!(p.coeff_centered_f64(1), -7.0);
+        assert_eq!(p.coeff_centered_f64(2), 0.0);
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let a = BigPoly::from_signed(&[1, -2, 3, -4], 64);
+        let b = BigPoly::from_signed(&[10, 20, -30, 40], 64);
+        let s = a.add(&b);
+        assert_eq!(s.coeff_centered_f64(1), 18.0);
+        let d = s.sub(&b);
+        assert_eq!(d.coeff_centered_f64(3), -4.0);
+        let n = a.neg();
+        assert_eq!(n.coeff_centered_f64(0), -1.0);
+    }
+
+    #[test]
+    fn rescale_rounds_centered() {
+        let a = BigPoly::from_signed(&[1000, -1000, 1023, 3], 64);
+        let r = a.rescale_by_pow2(10);
+        assert_eq!(r.log_q, 54);
+        assert_eq!(r.coeff_centered_f64(0), 1.0); // 1000/1024 ≈ 0.98 → 1
+        assert_eq!(r.coeff_centered_f64(1), -1.0);
+        assert_eq!(r.coeff_centered_f64(2), 1.0);
+        assert_eq!(r.coeff_centered_f64(3), 0.0);
+    }
+
+    #[test]
+    fn ntt_crt_mul_matches_naive() {
+        let n = 64usize;
+        let log_q = 80u32;
+        let ac: Vec<i64> = (0..n as i64).map(|i| (i * 31 % 17) - 8).collect();
+        let bc: Vec<i64> = (0..n as i64).map(|i| (i * 7 % 13) - 6).collect();
+        let a = BigPoly::from_signed(&ac, log_q);
+        let b = BigPoly::from_signed(&bc, log_q);
+        let m = BigMultiplier::new(n, 2 * log_q);
+        let prod = m.mul(&a, &b, log_q);
+        // Naive negacyclic reference in i128.
+        let mut expect = vec![0i128; n];
+        for i in 0..n {
+            for j in 0..n {
+                let p = ac[i] as i128 * bc[j] as i128;
+                if i + j < n {
+                    expect[i + j] += p;
+                } else {
+                    expect[i + j - n] -= p;
+                }
+            }
+        }
+        for i in 0..n {
+            assert_eq!(prod.coeff_centered_f64(i) as i128, expect[i], "coeff {i}");
+        }
+    }
+
+    #[test]
+    fn mul_with_large_coefficients() {
+        // Coefficients near 2^70: exercises the bigint path.
+        let n = 32usize;
+        let log_q = 80u32;
+        let mut a = BigPoly::zero(n, log_q);
+        a.coeffs[0] = UBig::pow2(70);
+        a.coeffs[1] = UBig::pow2(80).sub(&UBig::pow2(69)); // -2^69
+        let mut bc = vec![0i64; n];
+        bc[0] = 3;
+        let b = BigPoly::from_signed(&bc, log_q);
+        let m = BigMultiplier::new(n, 2 * log_q);
+        let prod = m.mul(&a, &b, log_q);
+        assert_eq!(prod.coeff_centered_f64(0), 3.0 * 2f64.powi(70));
+        assert_eq!(prod.coeff_centered_f64(1), -3.0 * 2f64.powi(69));
+    }
+
+    #[test]
+    fn automorphism_wraps_sign() {
+        let n = 8usize;
+        let mut a = BigPoly::zero(n, 32);
+        a.coeffs[3] = UBig::from(2u64);
+        // g = 3: X^3 -> X^9 = X^{9-8} * (X^8 = -1) -> -X^1
+        let out = a.automorphism(3);
+        assert_eq!(out.coeff_centered_f64(1), -2.0);
+    }
+
+    #[test]
+    fn mod_down_keeps_residue() {
+        let a = BigPoly::from_signed(&[(1 << 20) + 5], 64);
+        let d = a.mod_down_to(10);
+        assert_eq!(d.coeff_centered_f64(0), 5.0);
+    }
+}

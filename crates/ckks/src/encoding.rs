@@ -1,0 +1,268 @@
+//! CKKS canonical-embedding encoding (slots ↔ ring coefficients).
+//!
+//! A real vector `v` of length `n = N/2` is encoded as the real polynomial
+//! `m(X) ∈ R[X]/(X^N + 1)` whose evaluations at the primitive `2N`-th roots
+//! of unity `ζ^{5^j}` equal `v_j` (and `conj(v_j)` at the conjugate roots).
+//! Slot-wise addition/multiplication of vectors then corresponds to ring
+//! addition/multiplication of polynomials, and the Galois automorphism
+//! `X → X^{5^r}` rotates the slot vector left by `r` — the property the
+//! rotation keys exploit.
+
+use chet_math::fft::{fft_in_place, Complex64};
+
+/// Encoder/decoder between slot vectors and ring coefficients for a fixed
+/// ring degree `N`.
+#[derive(Debug, Clone)]
+pub struct CkksEncoder {
+    n: usize,
+    slots: usize,
+    /// `rot_group[j] = 5^j mod 2N` — the root exponent backing slot `j`.
+    rot_group: Vec<usize>,
+}
+
+impl CkksEncoder {
+    /// Creates an encoder for ring degree `n` (a power of two ≥ 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two ≥ 4.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 4, "ring degree must be a power of two >= 4");
+        let slots = n / 2;
+        let m = 2 * n;
+        let mut rot_group = Vec::with_capacity(slots);
+        let mut g = 1usize;
+        for _ in 0..slots {
+            rot_group.push(g);
+            g = g * 5 % m;
+        }
+        CkksEncoder { n, slots, rot_group }
+    }
+
+    /// Ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// Slot count `N/2`.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Encodes `values` (length ≤ slots; padded with zeros) at the given
+    /// fixed-point scale, returning integer ring coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more values than slots are supplied, or if a resulting
+    /// coefficient overflows `i64` (scale too large for the data).
+    pub fn encode(&self, values: &[f64], scale: f64) -> Vec<i64> {
+        assert!(values.len() <= self.slots, "too many values for the slot count");
+        let n = self.n;
+        let m = 2 * n;
+        // Fill the full evaluation spectrum: F[t_j] = v_j at exponent 5^j,
+        // F[t'_j] = conj(v_j) at exponent −5^j.
+        let mut spec = vec![Complex64::default(); n];
+        for j in 0..self.slots {
+            let v = values.get(j).copied().unwrap_or(0.0);
+            let e = self.rot_group[j];
+            let t = (e - 1) / 2;
+            let t_conj = (m - e - 1) / 2;
+            spec[t] = Complex64::new(v, 0.0);
+            spec[t_conj] = Complex64::new(v, 0.0); // conj of a real is itself
+        }
+        // Evaluations were defined as F[t] = m(ζ^{2t+1}) = Σ_k b_k ω^{tk}
+        // with b_k = a_k ζ^k and ω = ζ² — i.e. F = unnormalized positive-
+        // exponent FFT of b. Invert: b = FFT_neg(F) / n, a_k = Re(b_k ζ^{-k}).
+        fft_in_place(&mut spec, false);
+        let mut coeffs = Vec::with_capacity(n);
+        for (k, &b) in spec.iter().enumerate() {
+            let ang = -std::f64::consts::PI * k as f64 / n as f64;
+            let a = (b * Complex64::from_angle(ang)).re / n as f64;
+            let scaled = (a * scale).round();
+            assert!(
+                scaled.abs() < 9.0e18,
+                "encoded coefficient overflows i64; reduce the scale"
+            );
+            coeffs.push(scaled as i64);
+        }
+        coeffs
+    }
+
+    /// Decodes real ring coefficients (already divided by the scale is NOT
+    /// assumed — pass the scale) back into the slot vector.
+    pub fn decode(&self, coeffs: &[f64], scale: f64) -> Vec<f64> {
+        assert_eq!(coeffs.len(), self.n, "coefficient count must equal the ring degree");
+        let n = self.n;
+        // b_k = a_k ζ^k, F = positive-exponent FFT of b, v_j = F[t_j].
+        let mut data: Vec<Complex64> = coeffs
+            .iter()
+            .enumerate()
+            .map(|(k, &a)| {
+                let ang = std::f64::consts::PI * k as f64 / n as f64;
+                Complex64::from_angle(ang).scale(a)
+            })
+            .collect();
+        fft_in_place(&mut data, true);
+        (0..self.slots)
+            .map(|j| {
+                let t = (self.rot_group[j] - 1) / 2;
+                data[t].re / scale
+            })
+            .collect()
+    }
+
+    /// The Galois element implementing a left rotation by `r` slots:
+    /// `g = 5^r mod 2N`.
+    pub fn galois_element(&self, r: usize) -> usize {
+        let m = 2 * self.n;
+        let mut g = 1usize;
+        let mut base = 5usize % m;
+        let mut e = r % self.slots;
+        while e > 0 {
+            if e & 1 == 1 {
+                g = g * base % m;
+            }
+            base = base * base % m;
+            e >>= 1;
+        }
+        g
+    }
+}
+
+/// Applies the Galois automorphism `X → X^g` to a coefficient vector over
+/// any ring representation supporting negation, writing into a fresh vector.
+///
+/// `negate` must map a coefficient to its additive inverse in the backing
+/// ring (e.g. `q − x` for RNS residues, sign flip for floats).
+pub fn apply_automorphism<T: Clone + Default>(
+    coeffs: &[T],
+    g: usize,
+    mut negate: impl FnMut(&T) -> T,
+) -> Vec<T> {
+    let n = coeffs.len();
+    let m = 2 * n;
+    let mut out = vec![T::default(); n];
+    for (k, c) in coeffs.iter().enumerate() {
+        let idx = k * g % m;
+        if idx < n {
+            out[idx] = c.clone();
+        } else {
+            out[idx - n] = negate(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(n: usize, values: &[f64], scale: f64, tol: f64) {
+        let enc = CkksEncoder::new(n);
+        let coeffs = enc.encode(values, scale);
+        let f: Vec<f64> = coeffs.iter().map(|&c| c as f64).collect();
+        let decoded = enc.decode(&f, scale);
+        for (j, &v) in values.iter().enumerate() {
+            assert!(
+                (decoded[j] - v).abs() < tol,
+                "slot {j}: expected {v}, got {}",
+                decoded[j]
+            );
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let values: Vec<f64> = (0..8).map(|i| (i as f64 - 3.5) * 0.25).collect();
+        roundtrip(16, &values, (1u64 << 30) as f64, 1e-6);
+    }
+
+    #[test]
+    fn roundtrip_larger_ring() {
+        let values: Vec<f64> = (0..512).map(|i| ((i * 37) % 101) as f64 / 101.0 - 0.5).collect();
+        roundtrip(1024, &values, (1u64 << 30) as f64, 1e-5);
+    }
+
+    #[test]
+    fn constant_vector_encodes_as_constant_poly() {
+        let enc = CkksEncoder::new(16);
+        let coeffs = enc.encode(&[2.5; 8], 1024.0);
+        assert_eq!(coeffs[0], 2560);
+        for &c in &coeffs[1..] {
+            assert!(c.abs() <= 1, "non-constant coefficient {c}");
+        }
+    }
+
+    #[test]
+    fn slotwise_product_matches_ring_product() {
+        let n = 16;
+        let enc = CkksEncoder::new(n);
+        let a = [1.0, -2.0, 0.5, 3.0, 0.0, 1.5, -1.0, 2.0];
+        let b = [2.0, 0.5, -1.0, 1.0, 4.0, -0.5, 3.0, 0.25];
+        let scale = (1u64 << 25) as f64;
+        let ca = enc.encode(&a, scale);
+        let cb = enc.encode(&b, scale);
+        // Negacyclic float convolution.
+        let mut prod = vec![0f64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let p = ca[i] as f64 * cb[j] as f64;
+                if i + j < n {
+                    prod[i + j] += p;
+                } else {
+                    prod[i + j - n] -= p;
+                }
+            }
+        }
+        let decoded = enc.decode(&prod, scale * scale);
+        for j in 0..8 {
+            assert!(
+                (decoded[j] - a[j] * b[j]).abs() < 1e-4,
+                "slot {j}: {} vs {}",
+                decoded[j],
+                a[j] * b[j]
+            );
+        }
+    }
+
+    #[test]
+    fn automorphism_rotates_slots_left() {
+        let n = 32;
+        let enc = CkksEncoder::new(n);
+        let values: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let scale = (1u64 << 30) as f64;
+        let coeffs = enc.encode(&values, scale);
+        for r in [1usize, 3, 7, 15] {
+            let g = enc.galois_element(r);
+            let rotated = apply_automorphism(&coeffs, g, |&c| -c);
+            let f: Vec<f64> = rotated.iter().map(|&c| c as f64).collect();
+            let decoded = enc.decode(&f, scale);
+            for j in 0..16 {
+                let expect = values[(j + r) % 16];
+                assert!(
+                    (decoded[j] - expect).abs() < 1e-5,
+                    "rot {r}, slot {j}: expected {expect}, got {}",
+                    decoded[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn galois_elements_are_odd_and_distinct() {
+        let enc = CkksEncoder::new(64);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..32 {
+            let g = enc.galois_element(r);
+            assert_eq!(g % 2, 1);
+            assert!(seen.insert(g), "duplicate galois element for rotation {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too many values")]
+    fn too_many_values_panics() {
+        CkksEncoder::new(8).encode(&[0.0; 5], 1.0);
+    }
+}

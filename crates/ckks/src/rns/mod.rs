@@ -1,0 +1,12 @@
+//! SEAL v3.1-style RNS-CKKS backend.
+
+pub mod context;
+pub mod evaluator;
+pub mod poly;
+pub mod scheme;
+pub mod wire;
+
+pub use context::RnsContext;
+pub use poly::RnsPoly;
+pub use evaluator::RnsEvaluator;
+pub use scheme::{RnsCiphertext, RnsCkks, RnsPlaintext};

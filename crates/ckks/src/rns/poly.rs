@@ -1,0 +1,322 @@
+//! RNS ring elements: polynomials in `Z_Q[X]/(X^N + 1)` stored as one
+//! residue vector per active modulus.
+
+use super::context::RnsContext;
+use crate::encoding::apply_automorphism;
+use chet_math::modint::{add_mod, mul_mod, neg_mod, sub_mod};
+
+/// A polynomial over a prefix of the modulus chain, optionally extended by
+/// the special prime (only during key switching).
+///
+/// `data[i]` holds residues modulo `ctx.modulus(i)` for `i < level`; when
+/// `special` is set, the last entry holds residues modulo the special prime.
+#[derive(Debug, Clone)]
+pub struct RnsPoly {
+    /// Number of active chain primes.
+    pub level: usize,
+    /// Whether the special prime component is present (as the last entry).
+    pub special: bool,
+    /// Whether residues are in NTT (evaluation) form.
+    pub ntt_form: bool,
+    /// Residue vectors, one per active modulus.
+    pub data: Vec<Vec<u64>>,
+}
+
+impl RnsPoly {
+    /// Modulus index in the context for component `k` of this poly.
+    fn mod_index(&self, ctx: &RnsContext, k: usize) -> usize {
+        if self.special && k == self.data.len() - 1 {
+            ctx.special_index()
+        } else {
+            k
+        }
+    }
+
+    /// The zero polynomial at `level` (plus special prime if requested).
+    pub fn zero(ctx: &RnsContext, level: usize, special: bool, ntt_form: bool) -> Self {
+        let comps = level + special as usize;
+        RnsPoly {
+            level,
+            special,
+            ntt_form,
+            data: vec![vec![0u64; ctx.degree()]; comps],
+        }
+    }
+
+    /// Lifts signed coefficients into residues at `level` (plus special if
+    /// requested), in coefficient form.
+    pub fn from_signed(ctx: &RnsContext, coeffs: &[i64], level: usize, special: bool) -> Self {
+        assert_eq!(coeffs.len(), ctx.degree());
+        let mut poly = RnsPoly::zero(ctx, level, special, false);
+        for k in 0..poly.data.len() {
+            let q = ctx.modulus(poly.mod_index(ctx, k));
+            let comp = &mut poly.data[k];
+            for (c, &v) in comp.iter_mut().zip(coeffs) {
+                let r = v % q as i64;
+                *c = if r < 0 { (r + q as i64) as u64 } else { r as u64 };
+            }
+        }
+        poly
+    }
+
+    /// Converts all components to NTT form.
+    pub fn ntt_forward(&mut self, ctx: &RnsContext) {
+        assert!(!self.ntt_form, "already in NTT form");
+        for k in 0..self.data.len() {
+            let idx = self.mod_index(ctx, k);
+            ctx.ntt(idx).forward(&mut self.data[k]);
+        }
+        self.ntt_form = true;
+    }
+
+    /// Converts all components back to coefficient form.
+    pub fn ntt_inverse(&mut self, ctx: &RnsContext) {
+        assert!(self.ntt_form, "not in NTT form");
+        for k in 0..self.data.len() {
+            let idx = self.mod_index(ctx, k);
+            ctx.ntt(idx).inverse(&mut self.data[k]);
+        }
+        self.ntt_form = false;
+    }
+
+    fn check_compatible(&self, other: &RnsPoly) {
+        assert_eq!(self.level, other.level, "RNS level mismatch");
+        assert_eq!(self.special, other.special, "special-prime presence mismatch");
+        assert_eq!(self.ntt_form, other.ntt_form, "NTT form mismatch");
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, ctx: &RnsContext, other: &RnsPoly) {
+        self.check_compatible(other);
+        for k in 0..self.data.len() {
+            let q = ctx.modulus(self.mod_index(ctx, k));
+            for (a, &b) in self.data[k].iter_mut().zip(&other.data[k]) {
+                *a = add_mod(*a, b, q);
+            }
+        }
+    }
+
+    /// `self -= other`.
+    pub fn sub_assign(&mut self, ctx: &RnsContext, other: &RnsPoly) {
+        self.check_compatible(other);
+        for k in 0..self.data.len() {
+            let q = ctx.modulus(self.mod_index(ctx, k));
+            for (a, &b) in self.data[k].iter_mut().zip(&other.data[k]) {
+                *a = sub_mod(*a, b, q);
+            }
+        }
+    }
+
+    /// `self = -self`.
+    pub fn neg_assign(&mut self, ctx: &RnsContext) {
+        for k in 0..self.data.len() {
+            let q = ctx.modulus(self.mod_index(ctx, k));
+            for a in self.data[k].iter_mut() {
+                *a = neg_mod(*a, q);
+            }
+        }
+    }
+
+    /// Pointwise product (both operands must be in NTT form).
+    pub fn mul(&self, ctx: &RnsContext, other: &RnsPoly) -> RnsPoly {
+        self.check_compatible(other);
+        assert!(self.ntt_form, "ring products require NTT form");
+        let mut out = self.clone();
+        for k in 0..out.data.len() {
+            let q = ctx.modulus(out.mod_index(ctx, k));
+            for (a, &b) in out.data[k].iter_mut().zip(&other.data[k]) {
+                *a = mul_mod(*a, b, q);
+            }
+        }
+        out
+    }
+
+    /// `self *= other` pointwise (NTT form).
+    pub fn mul_assign(&mut self, ctx: &RnsContext, other: &RnsPoly) {
+        self.check_compatible(other);
+        assert!(self.ntt_form, "ring products require NTT form");
+        for k in 0..self.data.len() {
+            let q = ctx.modulus(self.mod_index(ctx, k));
+            for (a, &b) in self.data[k].iter_mut().zip(&other.data[k]) {
+                *a = mul_mod(*a, b, q);
+            }
+        }
+    }
+
+    /// Multiplies every residue by a signed scalar.
+    pub fn mul_scalar_assign(&mut self, ctx: &RnsContext, k_int: i128) {
+        for k in 0..self.data.len() {
+            let q = ctx.modulus(self.mod_index(ctx, k));
+            let kq = ((k_int % q as i128 + q as i128) % q as i128) as u64;
+            for a in self.data[k].iter_mut() {
+                *a = mul_mod(*a, kq, q);
+            }
+        }
+    }
+
+    /// Adds a signed scalar to every residue (used to add a constant
+    /// polynomial to an NTT-form component set).
+    pub fn add_scalar_all_slots_assign(&mut self, ctx: &RnsContext, k_int: i128) {
+        for k in 0..self.data.len() {
+            let q = ctx.modulus(self.mod_index(ctx, k));
+            let kq = ((k_int % q as i128 + q as i128) % q as i128) as u64;
+            for a in self.data[k].iter_mut() {
+                *a = add_mod(*a, kq, q);
+            }
+        }
+    }
+
+    /// Applies the Galois automorphism `X → X^g` (coefficient form only).
+    pub fn automorphism(&self, ctx: &RnsContext, g: usize) -> RnsPoly {
+        assert!(!self.ntt_form, "apply automorphisms in coefficient form");
+        let mut out = self.clone();
+        for k in 0..self.data.len() {
+            let q = ctx.modulus(self.mod_index(ctx, k));
+            out.data[k] = apply_automorphism(&self.data[k], g, |&c| neg_mod(c, q));
+        }
+        out
+    }
+
+    /// Drops chain primes down to `new_level` (modulus switching without
+    /// rescaling). Requires the special component to be absent.
+    pub fn drop_to_level(&mut self, new_level: usize) {
+        assert!(!self.special, "cannot drop levels while special prime is attached");
+        assert!(new_level >= 1 && new_level <= self.level, "invalid target level");
+        self.data.truncate(new_level);
+        self.level = new_level;
+    }
+}
+
+/// Centered base conversion of one residue: interprets `v mod q_src` as a
+/// signed value in `(−q_src/2, q_src/2]` and reduces it modulo `q_dst`.
+#[inline]
+pub fn centered_switch(v: u64, q_src: u64, q_dst: u64) -> u64 {
+    if v > q_src / 2 {
+        // negative: −(q_src − v)
+        let mag = (q_src - v) % q_dst;
+        if mag == 0 {
+            0
+        } else {
+            q_dst - mag
+        }
+    } else {
+        v % q_dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chet_hisa::params::EncryptionParams;
+
+    fn ctx() -> RnsContext {
+        RnsContext::new(&EncryptionParams::rns_ckks(1024, 40, 3))
+    }
+
+    #[test]
+    fn from_signed_roundtrip_through_ntt() {
+        let c = ctx();
+        let coeffs: Vec<i64> = (0..1024).map(|i| (i as i64 % 17) - 8).collect();
+        let mut p = RnsPoly::from_signed(&c, &coeffs, 3, true);
+        let before = p.clone();
+        p.ntt_forward(&c);
+        p.ntt_inverse(&c);
+        for k in 0..p.data.len() {
+            assert_eq!(p.data[k], before.data[k]);
+        }
+    }
+
+    #[test]
+    fn add_then_sub_is_identity() {
+        let c = ctx();
+        let a_coeffs: Vec<i64> = (0..1024).map(|i| i as i64 % 100).collect();
+        let b_coeffs: Vec<i64> = (0..1024).map(|i| -(i as i64 % 50)).collect();
+        let a = RnsPoly::from_signed(&c, &a_coeffs, 2, false);
+        let b = RnsPoly::from_signed(&c, &b_coeffs, 2, false);
+        let mut s = a.clone();
+        s.add_assign(&c, &b);
+        s.sub_assign(&c, &b);
+        assert_eq!(s.data, a.data);
+    }
+
+    #[test]
+    fn ntt_mul_matches_schoolbook_on_small_poly() {
+        let c = ctx();
+        // a = 3 + 2X, b = 1 − X  ⇒ ab = 3 − X − 2X²
+        let mut ac = vec![0i64; 1024];
+        ac[0] = 3;
+        ac[1] = 2;
+        let mut bc = vec![0i64; 1024];
+        bc[0] = 1;
+        bc[1] = -1;
+        let mut a = RnsPoly::from_signed(&c, &ac, 1, false);
+        let mut b = RnsPoly::from_signed(&c, &bc, 1, false);
+        a.ntt_forward(&c);
+        b.ntt_forward(&c);
+        let mut prod = a.mul(&c, &b);
+        prod.ntt_inverse(&c);
+        let q = c.modulus(0);
+        assert_eq!(prod.data[0][0], 3);
+        assert_eq!(prod.data[0][1], q - 1);
+        assert_eq!(prod.data[0][2], q - 2);
+        assert!(prod.data[0][3..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn automorphism_permutes_with_signs() {
+        let c = ctx();
+        // m = X: sigma_g(X) = X^g; for g=5, X^5.
+        let mut mc = vec![0i64; 1024];
+        mc[1] = 1;
+        let m = RnsPoly::from_signed(&c, &mc, 1, false);
+        let out = m.automorphism(&c, 5);
+        assert_eq!(out.data[0][5], 1);
+        assert_eq!(out.data[0][1], 0);
+        // High-degree wraparound picks up a sign: X^1023 -> X^{5115 mod 2048 = 1019}...
+        let mut hc = vec![0i64; 1024];
+        hc[1023] = 1;
+        let h = RnsPoly::from_signed(&c, &hc, 1, false);
+        let out = h.automorphism(&c, 5);
+        // 1023*5 = 5115; 5115 mod 2048 = 1019 < 1024, even number of wraps -> positive
+        assert_eq!(out.data[0][1019], 1);
+    }
+
+    #[test]
+    fn scalar_mul_handles_negatives() {
+        let c = ctx();
+        let mut mc = vec![0i64; 1024];
+        mc[0] = 7;
+        let mut m = RnsPoly::from_signed(&c, &mc, 2, false);
+        m.mul_scalar_assign(&c, -3);
+        let q = c.modulus(0);
+        assert_eq!(m.data[0][0], q - 21);
+    }
+
+    #[test]
+    fn centered_switch_small_values() {
+        let q_src = 1000003u64;
+        let q_dst = 97u64;
+        assert_eq!(centered_switch(5, q_src, q_dst), 5);
+        assert_eq!(centered_switch(q_src - 5, q_src, q_dst), 97 - 5);
+        assert_eq!(centered_switch(0, q_src, q_dst), 0);
+    }
+
+    #[test]
+    fn drop_level_truncates() {
+        let c = ctx();
+        let mut p = RnsPoly::zero(&c, 3, false, true);
+        p.drop_to_level(1);
+        assert_eq!(p.level, 1);
+        assert_eq!(p.data.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "level mismatch")]
+    fn mixed_level_ops_panic() {
+        let c = ctx();
+        let a = RnsPoly::zero(&c, 2, false, true);
+        let b = RnsPoly::zero(&c, 3, false, true);
+        let mut a2 = a;
+        a2.add_assign(&c, &b);
+    }
+}

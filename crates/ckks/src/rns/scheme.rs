@@ -1,0 +1,782 @@
+//! The RNS-CKKS scheme (SEAL v3.1 style) implementing the HISA.
+//!
+//! * Coefficient modulus: a chain of word-sized NTT primes; rescaling
+//!   divides by chain primes from the back.
+//! * Key switching: hybrid with one special prime `p` — evaluation keys are
+//!   generated modulo `Q·p` with a per-chain-prime gadget, and switching
+//!   ends with a rounding division by `p`, keeping noise growth additive.
+//! * Rotations: Galois automorphisms `X → X^{5^r}` plus key switching; the
+//!   available rotation keys follow the configured [`RotationKeyPolicy`].
+
+use super::context::RnsContext;
+use super::poly::{centered_switch, RnsPoly};
+use chet_hisa::keys::{normalize_rotation, plan_rotation, RotationKeyPolicy};
+use chet_hisa::params::EncryptionParams;
+use chet_hisa::Hisa;
+use chet_math::crt::CrtBasis;
+use chet_math::modint::{mul_mod, sub_mod};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// An RNS-CKKS ciphertext: two NTT-form ring elements plus scale.
+#[derive(Debug, Clone)]
+pub struct RnsCiphertext {
+    c0: RnsPoly,
+    c1: RnsPoly,
+    scale: f64,
+}
+
+impl RnsCiphertext {
+    /// Current level (number of active chain primes).
+    pub fn level(&self) -> usize {
+        self.c0.level
+    }
+
+    /// Decomposes into components for the wire codec.
+    pub(crate) fn parts(&self) -> (&RnsPoly, &RnsPoly, f64) {
+        (&self.c0, &self.c1, self.scale)
+    }
+
+    /// Rebuilds from wire components.
+    pub(crate) fn from_parts(c0: RnsPoly, c1: RnsPoly, scale: f64) -> Self {
+        RnsCiphertext { c0, c1, scale }
+    }
+
+    /// Current fixed-point scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+/// An encoded plaintext at the full chain level.
+///
+/// Alongside the RNS residues it keeps the exact integer coefficients (as
+/// `f64`), so decoding is independent of the modulus size.
+#[derive(Debug, Clone)]
+pub struct RnsPlaintext {
+    poly: RnsPoly,
+    scale: f64,
+    coeffs: Vec<f64>,
+}
+
+/// A key-switching key: one row per chain prime, each a pair of full-basis
+/// (chain + special) NTT polynomials.
+#[derive(Debug, Clone)]
+struct KsKey {
+    rows: Vec<(RnsPoly, RnsPoly)>,
+}
+
+/// The RNS-CKKS scheme instance: parameters, secret/public/evaluation keys
+/// and the RLWE sampling state.
+///
+/// For the client/server split of the paper's Figure 3, this object plays
+/// both roles; the compiler emits which rotation keys it must generate.
+pub struct RnsCkks {
+    ctx: Arc<RnsContext>,
+    /// Ternary secret key, signed coefficients.
+    sk_coeffs: Vec<i64>,
+    /// Secret key in NTT form over the full basis (chain + special).
+    sk: RnsPoly,
+    /// Public encryption key (full chain level, no special prime).
+    pk: (RnsPoly, RnsPoly),
+    relin: KsKey,
+    galois: HashMap<usize, KsKey>,
+    key_steps: BTreeSet<usize>,
+    error_stddev: f64,
+    rng: StdRng,
+    crt_cache: HashMap<usize, CrtBasis>,
+}
+
+impl std::fmt::Debug for RnsCkks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RnsCkks")
+            .field("degree", &self.ctx.degree())
+            .field("max_level", &self.ctx.max_level())
+            .field("rotation_keys", &self.key_steps.len())
+            .finish()
+    }
+}
+
+impl RnsCkks {
+    /// Generates a full key set for the given parameters and rotation-key
+    /// policy, seeded for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are not an RNS prime chain.
+    pub fn new(params: &EncryptionParams, policy: &RotationKeyPolicy, seed: u64) -> Self {
+        let ctx = Arc::new(RnsContext::new(params));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = ctx.degree();
+        let r = ctx.max_level();
+        let stddev = params.error_stddev;
+
+        let sk_coeffs = crate::sampling::ternary(&mut rng, n);
+        let mut sk = RnsPoly::from_signed(&ctx, &sk_coeffs, r, true);
+        sk.ntt_forward(&ctx);
+
+        // Public key: (−(a·s + e), a) over the chain primes.
+        let (pk0, pk1) = {
+            let a = Self::sample_uniform_ntt(&ctx, &mut rng, r, false);
+            let e = Self::sample_error_ntt(&ctx, &mut rng, stddev, r, false);
+            let mut sk_chain = sk.clone();
+            sk_chain.special = false;
+            sk_chain.data.truncate(r);
+            let mut b = a.mul(&ctx, &sk_chain);
+            b.add_assign(&ctx, &e);
+            b.neg_assign(&ctx);
+            (b, a)
+        };
+
+        let mut scheme = RnsCkks {
+            ctx,
+            sk_coeffs,
+            sk,
+            pk: (pk0, pk1),
+            relin: KsKey { rows: Vec::new() },
+            galois: HashMap::new(),
+            key_steps: BTreeSet::new(),
+            error_stddev: stddev,
+            rng,
+            crt_cache: HashMap::new(),
+        };
+
+        // Relinearization key: switch from s² to s.
+        let s_sq = scheme.sk.mul(&scheme.ctx.clone(), &scheme.sk);
+        scheme.relin = scheme.gen_ks_key(&s_sq);
+
+        // Rotation keys for the policy's steps.
+        let steps = policy.steps(scheme.ctx.slots());
+        for &step in &steps {
+            let g = scheme.ctx.encoder().galois_element(step);
+            let mut s_rot =
+                RnsPoly::from_signed(&scheme.ctx.clone(), &scheme.sk_coeffs, r, true);
+            let s_rot_coeff = s_rot.automorphism(&scheme.ctx.clone(), g);
+            s_rot = s_rot_coeff;
+            s_rot.ntt_forward(&scheme.ctx.clone());
+            let key = scheme.gen_ks_key(&s_rot);
+            scheme.galois.insert(step, key);
+        }
+        scheme.key_steps = steps;
+        scheme
+    }
+
+    /// Scheme context (degree, moduli, encoder).
+    pub fn context(&self) -> &RnsContext {
+        &self.ctx
+    }
+
+    /// Clones the scheme with the secret key replaced by an unrelated
+    /// fresh secret (used by [`super::evaluator::RnsEvaluator`]): the
+    /// public/evaluation keys still reference the original secret, so the
+    /// clone can encrypt and evaluate but cannot recover plaintexts.
+    pub(crate) fn clone_public_material(&self) -> RnsCkks {
+        let mut rng = StdRng::seed_from_u64(0xE7A1);
+        let fresh_coeffs = crate::sampling::ternary(&mut rng, self.ctx.degree());
+        let mut fresh_sk =
+            RnsPoly::from_signed(&self.ctx, &fresh_coeffs, self.ctx.max_level(), true);
+        fresh_sk.ntt_forward(&self.ctx);
+        RnsCkks {
+            ctx: self.ctx.clone(),
+            sk_coeffs: fresh_coeffs,
+            sk: fresh_sk,
+            pk: self.pk.clone(),
+            relin: self.relin.clone(),
+            galois: self.galois.clone(),
+            key_steps: self.key_steps.clone(),
+            error_stddev: self.error_stddev,
+            rng,
+            crt_cache: HashMap::new(),
+        }
+    }
+
+    /// The rotation steps for which keys exist.
+    pub fn rotation_key_steps(&self) -> &BTreeSet<usize> {
+        &self.key_steps
+    }
+
+    fn sample_uniform_ntt(
+        ctx: &RnsContext,
+        rng: &mut StdRng,
+        level: usize,
+        special: bool,
+    ) -> RnsPoly {
+        let mut p = RnsPoly::zero(ctx, level, special, true);
+        let comps = p.data.len();
+        for k in 0..comps {
+            let idx = if special && k == comps - 1 { ctx.special_index() } else { k };
+            p.data[k] = crate::sampling::uniform_mod(rng, ctx.degree(), ctx.modulus(idx));
+        }
+        p
+    }
+
+    fn sample_error_ntt(
+        ctx: &RnsContext,
+        rng: &mut StdRng,
+        stddev: f64,
+        level: usize,
+        special: bool,
+    ) -> RnsPoly {
+        let e = crate::sampling::gaussian(rng, ctx.degree(), stddev);
+        let mut p = RnsPoly::from_signed(ctx, &e, level, special);
+        p.ntt_forward(ctx);
+        p
+    }
+
+    /// Generates a key-switching key from secret `s_from` (full-basis NTT)
+    /// to the scheme secret `s`.
+    fn gen_ks_key(&mut self, s_from: &RnsPoly) -> KsKey {
+        let ctx = self.ctx.clone();
+        let r = ctx.max_level();
+        let mut rows = Vec::with_capacity(r);
+        for i in 0..r {
+            let a = Self::sample_uniform_ntt(&ctx, &mut self.rng, r, true);
+            let e = Self::sample_error_ntt(&ctx, &mut self.rng, self.error_stddev, r, true);
+            let mut b = a.mul(&ctx, &self.sk);
+            b.add_assign(&ctx, &e);
+            b.neg_assign(&ctx);
+            // Gadget: add (p mod q_i)·s_from on component i only.
+            let q_i = ctx.modulus(i);
+            let p_mod = ctx.special() % q_i;
+            for (dst, &src) in b.data[i].iter_mut().zip(&s_from.data[i]) {
+                *dst = (*dst + mul_mod(p_mod, src, q_i)) % q_i;
+            }
+            rows.push((b, a));
+        }
+        KsKey { rows }
+    }
+
+    /// Key-switches a coefficient-form polynomial `t` (valid under some
+    /// secret `s_from`) into a pair `(acc0, acc1)` valid under `s`, at `t`'s
+    /// level, NTT form.
+    fn switch_key(&self, t: &RnsPoly, key: &KsKey) -> (RnsPoly, RnsPoly) {
+        let ctx = &self.ctx;
+        assert!(!t.ntt_form && !t.special);
+        let level = t.level;
+        let n = ctx.degree();
+        let mut acc0 = RnsPoly::zero(ctx, level, true, true);
+        let mut acc1 = RnsPoly::zero(ctx, level, true, true);
+        let comps = level + 1; // chain prefix + special
+        for i in 0..level {
+            let d = &t.data[i];
+            let (row_b, row_a) = &key.rows[i];
+            for k in 0..comps {
+                let mod_idx = if k == comps - 1 { ctx.special_index() } else { k };
+                let q = ctx.modulus(mod_idx);
+                // Base-convert the unsigned decomposition digit, then NTT.
+                let mut tmp: Vec<u64> =
+                    d.iter().map(|&v| if v >= q { v % q } else { v }).collect();
+                ctx.ntt(mod_idx).forward(&mut tmp);
+                // Key rows live at the full basis: chain j ↔ data[j],
+                // special ↔ data[r].
+                let key_k = if k == comps - 1 { ctx.max_level() } else { k };
+                let b_comp = &row_b.data[key_k];
+                let a_comp = &row_a.data[key_k];
+                let acc0_k = &mut acc0.data[k];
+                let acc1_k = &mut acc1.data[k];
+                for idx in 0..n {
+                    acc0_k[idx] =
+                        (acc0_k[idx] + mul_mod(tmp[idx], b_comp[idx], q)) % q;
+                    acc1_k[idx] =
+                        (acc1_k[idx] + mul_mod(tmp[idx], a_comp[idx], q)) % q;
+                }
+            }
+        }
+        (self.mod_down_special(acc0), self.mod_down_special(acc1))
+    }
+
+    /// Divides a (chain + special)-basis polynomial by the special prime
+    /// with rounding, returning a chain-only polynomial (NTT form).
+    fn mod_down_special(&self, mut poly: RnsPoly) -> RnsPoly {
+        let ctx = &self.ctx;
+        assert!(poly.special && poly.ntt_form);
+        let level = poly.level;
+        let p = ctx.special();
+        // Bring the special component to coefficient form.
+        let mut sp = poly.data.pop().expect("special component present");
+        ctx.ntt(ctx.special_index()).inverse(&mut sp);
+        poly.special = false;
+        for j in 0..level {
+            let q = ctx.modulus(j);
+            let mut t: Vec<u64> = sp.iter().map(|&v| centered_switch(v, p, q)).collect();
+            ctx.ntt(j).forward(&mut t);
+            let inv_p = ctx.inv_mod_of(ctx.special_index(), j);
+            for (a, &b) in poly.data[j].iter_mut().zip(&t) {
+                *a = mul_mod(sub_mod(*a, b, q), inv_p, q);
+            }
+        }
+        poly
+    }
+
+    /// Drops both ciphertext components to `level` (modulus switch).
+    fn align_level(&self, ct: &RnsCiphertext, level: usize) -> RnsCiphertext {
+        if ct.level() == level {
+            return ct.clone();
+        }
+        let mut out = ct.clone();
+        out.c0.drop_to_level(level);
+        out.c1.drop_to_level(level);
+        out
+    }
+
+    fn assert_scales_match(a: f64, b: f64) {
+        assert!(
+            (a / b - 1.0).abs() < 1e-6,
+            "operand scales must match (got {a} vs {b}); rescale first"
+        );
+    }
+
+    /// Rescales by exactly one chain prime (the last active one).
+    fn rescale_one(&self, ct: &mut RnsCiphertext) {
+        let ctx = &self.ctx;
+        let level = ct.level();
+        assert!(level > 1, "cannot rescale below level 1");
+        let l = level - 1;
+        let q_l = ctx.modulus(l);
+        for c in [&mut ct.c0, &mut ct.c1] {
+            let mut last = c.data.pop().expect("component");
+            ctx.ntt(l).inverse(&mut last);
+            c.level = l;
+            for j in 0..l {
+                let q = ctx.modulus(j);
+                let mut t: Vec<u64> =
+                    last.iter().map(|&v| centered_switch(v, q_l, q)).collect();
+                ctx.ntt(j).forward(&mut t);
+                let inv = ctx.inv_mod_of(l, j);
+                for (a, &b) in c.data[j].iter_mut().zip(&t) {
+                    *a = mul_mod(sub_mod(*a, b, q), inv, q);
+                }
+            }
+        }
+        ct.scale /= q_l as f64;
+    }
+
+    fn crt_basis(&mut self, level: usize) -> &CrtBasis {
+        let ctx = self.ctx.clone();
+        self.crt_cache.entry(level).or_insert_with(|| {
+            CrtBasis::new((0..level).map(|i| ctx.modulus(i)).collect())
+        })
+    }
+
+    /// Applies one elementary rotation (a step with a dedicated key).
+    fn rotate_step(&mut self, ct: &RnsCiphertext, step: usize) -> RnsCiphertext {
+        let ctx = self.ctx.clone();
+        let g = ctx.encoder().galois_element(step);
+        let key = self
+            .galois
+            .get(&step)
+            .unwrap_or_else(|| panic!("missing rotation key for step {step}"))
+            .clone();
+        let mut c0 = ct.c0.clone();
+        let mut c1 = ct.c1.clone();
+        c0.ntt_inverse(&ctx);
+        c1.ntt_inverse(&ctx);
+        let mut c0g = c0.automorphism(&ctx, g);
+        let c1g = c1.automorphism(&ctx, g);
+        c0g.ntt_forward(&ctx);
+        let (ks0, ks1) = self.switch_key(&c1g, &key);
+        let mut out0 = c0g;
+        out0.add_assign(&ctx, &ks0);
+        RnsCiphertext { c0: out0, c1: ks1, scale: ct.scale }
+    }
+}
+
+impl Hisa for RnsCkks {
+    type Ct = RnsCiphertext;
+    type Pt = RnsPlaintext;
+
+    fn slots(&self) -> usize {
+        self.ctx.slots()
+    }
+
+    fn encode(&mut self, values: &[f64], scale: f64) -> RnsPlaintext {
+        let int_coeffs = self.ctx.encoder().encode(values, scale);
+        let mut poly = RnsPoly::from_signed(&self.ctx, &int_coeffs, self.ctx.max_level(), false);
+        poly.ntt_forward(&self.ctx);
+        let coeffs = int_coeffs.iter().map(|&c| c as f64).collect();
+        RnsPlaintext { poly, scale, coeffs }
+    }
+
+    fn decode(&mut self, p: &RnsPlaintext) -> Vec<f64> {
+        self.ctx.encoder().decode(&p.coeffs, p.scale)
+    }
+
+    fn encrypt(&mut self, p: &RnsPlaintext) -> RnsCiphertext {
+        let ctx = self.ctx.clone();
+        let r = ctx.max_level();
+        let u_coeffs = crate::sampling::ternary(&mut self.rng, ctx.degree());
+        let mut u = RnsPoly::from_signed(&ctx, &u_coeffs, r, false);
+        u.ntt_forward(&ctx);
+        let e0 = Self::sample_error_ntt(&ctx, &mut self.rng, self.error_stddev, r, false);
+        let e1 = Self::sample_error_ntt(&ctx, &mut self.rng, self.error_stddev, r, false);
+        let mut c0 = self.pk.0.mul(&ctx, &u);
+        c0.add_assign(&ctx, &e0);
+        c0.add_assign(&ctx, &p.poly);
+        let mut c1 = self.pk.1.mul(&ctx, &u);
+        c1.add_assign(&ctx, &e1);
+        RnsCiphertext { c0, c1, scale: p.scale }
+    }
+
+    fn decrypt(&mut self, c: &RnsCiphertext) -> RnsPlaintext {
+        let ctx = self.ctx.clone();
+        let level = c.level();
+        let mut sk_l = self.sk.clone();
+        sk_l.special = false;
+        sk_l.data.truncate(ctx.max_level());
+        sk_l.drop_to_level(level);
+        let mut m = c.c1.mul(&ctx, &sk_l);
+        m.add_assign(&ctx, &c.c0);
+        m.ntt_inverse(&ctx);
+        // CRT-reconstruct centered coefficients to floats.
+        let n = ctx.degree();
+        let coeffs: Vec<f64> = if level == 1 {
+            let q0 = ctx.modulus(0);
+            m.data[0]
+                .iter()
+                .map(|&v| if v > q0 / 2 { -((q0 - v) as f64) } else { v as f64 })
+                .collect()
+        } else {
+            let basis = self.crt_basis(level).clone();
+            (0..n)
+                .map(|k| {
+                    let residues: Vec<u64> = (0..level).map(|i| m.data[i][k]).collect();
+                    let (neg, mag) = basis.reconstruct_centered(&residues);
+                    let f = mag.to_f64();
+                    if neg {
+                        -f
+                    } else {
+                        f
+                    }
+                })
+                .collect()
+        };
+        // Keep the exact reconstructed coefficients; rebuild residues so the
+        // plaintext can also be reused in homomorphic ops.
+        let int_coeffs: Vec<i64> = coeffs
+            .iter()
+            .map(|&c| c.clamp(-9.0e18, 9.0e18) as i64)
+            .collect();
+        let mut poly = RnsPoly::from_signed(&ctx, &int_coeffs, ctx.max_level(), false);
+        poly.ntt_forward(&ctx);
+        RnsPlaintext { poly, scale: c.scale, coeffs }
+    }
+
+    fn rot_left(&mut self, c: &RnsCiphertext, x: usize) -> RnsCiphertext {
+        let slots = self.slots();
+        let step = normalize_rotation(x as i64, slots);
+        if step == 0 {
+            return c.clone();
+        }
+        let plan = plan_rotation(step, &self.key_steps, slots)
+            .unwrap_or_else(|| panic!("no rotation-key plan for step {step}"));
+        let mut out = c.clone();
+        for s in plan {
+            out = self.rotate_step(&out, s);
+        }
+        out
+    }
+
+    fn rot_right(&mut self, c: &RnsCiphertext, x: usize) -> RnsCiphertext {
+        let slots = self.slots();
+        let step = normalize_rotation(-(x as i64), slots);
+        self.rot_left(c, step)
+    }
+
+    fn add(&mut self, a: &RnsCiphertext, b: &RnsCiphertext) -> RnsCiphertext {
+        Self::assert_scales_match(a.scale, b.scale);
+        let level = a.level().min(b.level());
+        let mut x = self.align_level(a, level);
+        let y = self.align_level(b, level);
+        x.c0.add_assign(&self.ctx, &y.c0);
+        x.c1.add_assign(&self.ctx, &y.c1);
+        x
+    }
+
+    fn add_plain(&mut self, a: &RnsCiphertext, p: &RnsPlaintext) -> RnsCiphertext {
+        Self::assert_scales_match(a.scale, p.scale);
+        let mut pt = p.poly.clone();
+        pt.drop_to_level(a.level());
+        let mut out = a.clone();
+        out.c0.add_assign(&self.ctx, &pt);
+        out
+    }
+
+    fn add_scalar(&mut self, a: &RnsCiphertext, x: f64) -> RnsCiphertext {
+        let k = (x * a.scale).round() as i128;
+        let mut out = a.clone();
+        out.c0.add_scalar_all_slots_assign(&self.ctx, k);
+        out
+    }
+
+    fn sub(&mut self, a: &RnsCiphertext, b: &RnsCiphertext) -> RnsCiphertext {
+        Self::assert_scales_match(a.scale, b.scale);
+        let level = a.level().min(b.level());
+        let mut x = self.align_level(a, level);
+        let y = self.align_level(b, level);
+        x.c0.sub_assign(&self.ctx, &y.c0);
+        x.c1.sub_assign(&self.ctx, &y.c1);
+        x
+    }
+
+    fn sub_plain(&mut self, a: &RnsCiphertext, p: &RnsPlaintext) -> RnsCiphertext {
+        Self::assert_scales_match(a.scale, p.scale);
+        let mut pt = p.poly.clone();
+        pt.drop_to_level(a.level());
+        let mut out = a.clone();
+        out.c0.sub_assign(&self.ctx, &pt);
+        out
+    }
+
+    fn sub_scalar(&mut self, a: &RnsCiphertext, x: f64) -> RnsCiphertext {
+        self.add_scalar(a, -x)
+    }
+
+    fn mul(&mut self, a: &RnsCiphertext, b: &RnsCiphertext) -> RnsCiphertext {
+        let ctx = self.ctx.clone();
+        let level = a.level().min(b.level());
+        let x = self.align_level(a, level);
+        let y = self.align_level(b, level);
+        let d0 = x.c0.mul(&ctx, &y.c0);
+        let mut d1 = x.c0.mul(&ctx, &y.c1);
+        d1.add_assign(&ctx, &x.c1.mul(&ctx, &y.c0));
+        let mut d2 = x.c1.mul(&ctx, &y.c1);
+        // Relinearize d2·s² back to a degree-1 ciphertext.
+        d2.ntt_inverse(&ctx);
+        let (ks0, ks1) = self.switch_key(&d2, &self.relin.clone());
+        let mut c0 = d0;
+        c0.add_assign(&ctx, &ks0);
+        let mut c1 = d1;
+        c1.add_assign(&ctx, &ks1);
+        RnsCiphertext { c0, c1, scale: x.scale * y.scale }
+    }
+
+    fn mul_plain(&mut self, a: &RnsCiphertext, p: &RnsPlaintext) -> RnsCiphertext {
+        let mut pt = p.poly.clone();
+        pt.drop_to_level(a.level());
+        let mut out = a.clone();
+        out.c0.mul_assign(&self.ctx, &pt);
+        out.c1.mul_assign(&self.ctx, &pt);
+        out.scale = a.scale * p.scale;
+        out
+    }
+
+    fn mul_scalar(&mut self, a: &RnsCiphertext, x: f64, scale: f64) -> RnsCiphertext {
+        assert!(scale >= 1.0, "scalar scale must be >= 1");
+        let k = (x * scale).round() as i128;
+        let mut out = a.clone();
+        out.c0.mul_scalar_assign(&self.ctx, k);
+        out.c1.mul_scalar_assign(&self.ctx, k);
+        out.scale = a.scale * scale;
+        out
+    }
+
+    fn rescale(&mut self, c: &RnsCiphertext, divisor: f64) -> RnsCiphertext {
+        if divisor <= 1.0 {
+            return c.clone();
+        }
+        let mut out = c.clone();
+        let mut d = divisor;
+        while d > 1.5 {
+            let q_last = self.ctx.modulus(out.level() - 1) as f64;
+            self.rescale_one(&mut out);
+            d /= q_last;
+        }
+        assert!(
+            (d - 1.0).abs() < 1e-6,
+            "divisor {divisor} is not a product of the next chain primes"
+        );
+        out
+    }
+
+    fn max_rescale(&mut self, c: &RnsCiphertext, ub: f64) -> f64 {
+        if ub < 2.0 {
+            return 1.0;
+        }
+        let mut prod = 1.0f64;
+        let mut lvl = c.level();
+        while lvl > 1 {
+            let p = self.ctx.modulus(lvl - 1) as f64;
+            if prod * p > ub {
+                break;
+            }
+            prod *= p;
+            lvl -= 1;
+        }
+        prod
+    }
+
+    fn scale_of(&self, c: &RnsCiphertext) -> f64 {
+        c.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: f64 = (1u64 << 30) as f64;
+
+    fn scheme() -> RnsCkks {
+        let params = EncryptionParams::rns_ckks(2048, 40, 3)
+            .with_security(chet_hisa::SecurityLevel::Insecure);
+        RnsCkks::new(&params, &RotationKeyPolicy::PowersOfTwo, 12345)
+    }
+
+    fn enc(h: &mut RnsCkks, vals: &[f64]) -> RnsCiphertext {
+        let pt = h.encode(vals, SCALE);
+        h.encrypt(&pt)
+    }
+
+    fn dec(h: &mut RnsCkks, ct: &RnsCiphertext) -> Vec<f64> {
+        let pt = h.decrypt(ct);
+        h.decode(&pt)
+    }
+
+    fn assert_close(got: &[f64], want: &[f64], tol: f64) {
+        for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+            assert!((g - w).abs() < tol, "slot {i}: got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut h = scheme();
+        let vals = [1.5, -2.25, 3.0, 0.0, 100.0];
+        let ct = enc(&mut h, &vals);
+        assert_close(&dec(&mut h, &ct)[..5], &vals, 1e-3);
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let mut h = scheme();
+        let a = enc(&mut h, &[1.0, 2.0, 3.0]);
+        let b = enc(&mut h, &[10.0, 20.0, 30.0]);
+        let c = h.add(&a, &b);
+        assert_close(&dec(&mut h, &c)[..3], &[11.0, 22.0, 33.0], 1e-3);
+    }
+
+    #[test]
+    fn homomorphic_multiplication_with_rescale() {
+        let mut h = scheme();
+        let a = enc(&mut h, &[1.5, -2.0, 4.0]);
+        let b = enc(&mut h, &[2.0, 3.0, -1.5]);
+        let c = h.mul(&a, &b);
+        assert_eq!(h.scale_of(&c), SCALE * SCALE);
+        let d = h.max_rescale(&c, SCALE * SCALE);
+        assert!(d > 1.0);
+        let c = h.rescale(&c, d);
+        assert_close(&dec(&mut h, &c)[..3], &[3.0, -6.0, -6.0], 1e-2);
+    }
+
+    #[test]
+    fn plaintext_multiplication() {
+        let mut h = scheme();
+        let a = enc(&mut h, &[1.0, 2.0, 3.0, 4.0]);
+        let w = h.encode(&[0.5, -1.0, 2.0, 0.0], SCALE);
+        let c = h.mul_plain(&a, &w);
+        let d = h.max_rescale(&c, SCALE * SCALE);
+        let c = h.rescale(&c, d);
+        assert_close(&dec(&mut h, &c)[..4], &[0.5, -2.0, 6.0, 0.0], 1e-2);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let mut h = scheme();
+        let a = enc(&mut h, &[2.0, -4.0]);
+        let b = h.mul_scalar(&a, 2.5, SCALE);
+        let d = h.max_rescale(&b, SCALE * SCALE);
+        let b = h.rescale(&b, d);
+        let b = h.add_scalar(&b, 1.0);
+        assert_close(&dec(&mut h, &b)[..2], &[6.0, -9.0], 1e-2);
+    }
+
+    #[test]
+    fn rotation_left_and_right() {
+        let mut h = scheme();
+        let vals: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let ct = enc(&mut h, &vals);
+        let r1 = h.rot_left(&ct, 1);
+        let out = dec(&mut h, &r1);
+        assert_close(&out[..4], &[1.0, 2.0, 3.0, 4.0], 1e-2);
+        let r2 = h.rot_right(&ct, 2);
+        let out = dec(&mut h, &r2);
+        assert_close(&out[2..6], &[0.0, 1.0, 2.0, 3.0], 1e-2);
+    }
+
+    #[test]
+    fn composite_rotation() {
+        let mut h = scheme();
+        let vals: Vec<f64> = (0..32).map(|i| (i as f64) * 0.5).collect();
+        let ct = enc(&mut h, &vals);
+        let r = h.rot_left(&ct, 7); // 4 + 2 + 1 under power-of-two keys
+        let out = dec(&mut h, &r);
+        assert_close(&out[..4], &[3.5, 4.0, 4.5, 5.0], 1e-2);
+    }
+
+    #[test]
+    fn depth_two_computation() {
+        // ((a*b rescaled) * c rescaled) with 3 chain primes.
+        let mut h = scheme();
+        let a = enc(&mut h, &[2.0]);
+        let b = enc(&mut h, &[3.0]);
+        let c = enc(&mut h, &[4.0]);
+        let ab = h.mul(&a, &b);
+        let d = h.max_rescale(&ab, SCALE * SCALE);
+        let ab = h.rescale(&ab, d);
+        let cc = h.align_level(&c, ab.level());
+        // Scales differ slightly (SCALE² / q vs SCALE); rescale made scale
+        // SCALE²/q. Multiply anyway: mul does not require equal scales.
+        let abc = h.mul(&ab, &cc);
+        // Decode at the large product scale directly; a final rescale would
+        // shrink the scale to ~2^10 and surface the rounding noise.
+        let out = dec(&mut h, &abc);
+        assert!((out[0] - 24.0).abs() < 0.05, "got {}", out[0]);
+    }
+
+    #[test]
+    fn add_plain_and_sub() {
+        let mut h = scheme();
+        let a = enc(&mut h, &[5.0, 7.0]);
+        let p = h.encode(&[1.0, 2.0], SCALE);
+        let b = h.add_plain(&a, &p);
+        assert_close(&dec(&mut h, &b)[..2], &[6.0, 9.0], 1e-2);
+        let c = h.sub_plain(&b, &p);
+        assert_close(&dec(&mut h, &c)[..2], &[5.0, 7.0], 1e-2);
+        let d = h.sub(&b, &a);
+        assert_close(&dec(&mut h, &d)[..2], &[1.0, 2.0], 1e-2);
+    }
+
+    #[test]
+    fn exact_rotation_keys_only() {
+        let params = EncryptionParams::rns_ckks(2048, 40, 2)
+            .with_security(chet_hisa::SecurityLevel::Insecure);
+        let policy = RotationKeyPolicy::Exact([3usize, 5].into_iter().collect());
+        let mut h = RnsCkks::new(&params, &policy, 7);
+        let vals: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let pt = h.encode(&vals, SCALE);
+        let ct = h.encrypt(&pt);
+        let r = h.rot_left(&ct, 5);
+        let ptd = h.decrypt(&r);
+        let out = h.decode(&ptd);
+        assert!((out[0] - 5.0).abs() < 1e-2);
+        // Composite 8 = 3 + 5.
+        let r = h.rot_left(&ct, 8);
+        let ptd = h.decrypt(&r);
+        let out = h.decode(&ptd);
+        assert!((out[0] - 8.0).abs() < 1e-2, "got {}", out[0]);
+    }
+
+    #[test]
+    fn noise_stays_bounded_after_many_adds() {
+        let mut h = scheme();
+        let a = enc(&mut h, &[1.0]);
+        let mut acc = a.clone();
+        for _ in 0..63 {
+            acc = h.add(&acc, &a);
+        }
+        let out = dec(&mut h, &acc);
+        assert!((out[0] - 64.0).abs() < 0.01, "got {}", out[0]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Randomness for RLWE: ternary secrets, discrete Gaussian errors, uniform
+//! ring elements.
+//!
+//! All sampling is driven by a caller-provided RNG so that tests and the
+//! reproduction harness stay deterministic under a fixed seed.
+
+use rand::Rng;
+
+/// Samples a ternary polynomial with coefficients in `{-1, 0, 1}`, the
+/// secret-key distribution of SEAL and HEAAN.
+pub fn ternary<R: Rng>(rng: &mut R, n: usize) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(-1i64..=1)).collect()
+}
+
+/// Samples a rounded Gaussian with standard deviation `stddev`, truncated at
+/// six sigmas (the HE-standard error distribution).
+pub fn gaussian<R: Rng>(rng: &mut R, n: usize, stddev: f64) -> Vec<i64> {
+    let bound = (6.0 * stddev).ceil();
+    (0..n)
+        .map(|_| {
+            loop {
+                // Box–Muller.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen::<f64>();
+                let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let v = (g * stddev).round();
+                if v.abs() <= bound {
+                    return v as i64;
+                }
+            }
+        })
+        .collect()
+}
+
+/// Samples a continuous Gaussian `N(0, stddev^2)` as `f64` (no rounding),
+/// used by the simulator's noise model where magnitudes can be far below 1.
+pub fn gaussian_f64<R: Rng>(rng: &mut R, n: usize, stddev: f64) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * stddev
+        })
+        .collect()
+}
+
+/// Samples a uniform element of `Z_q` per coefficient.
+pub fn uniform_mod<R: Rng>(rng: &mut R, n: usize, q: u64) -> Vec<u64> {
+    (0..n).map(|_| rng.gen_range(0..q)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ternary_values_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = ternary(&mut rng, 4096);
+        assert!(s.iter().all(|&x| (-1..=1).contains(&x)));
+        // All three values should occur in a big enough sample.
+        for v in [-1i64, 0, 1] {
+            assert!(s.contains(&v));
+        }
+    }
+
+    #[test]
+    fn gaussian_statistics_plausible() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let stddev = 3.2;
+        let e = gaussian(&mut rng, 100_000, stddev);
+        let mean: f64 = e.iter().map(|&x| x as f64).sum::<f64>() / e.len() as f64;
+        let var: f64 = e.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / e.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
+        assert!((var.sqrt() - stddev).abs() < 0.2, "stddev {} vs {stddev}", var.sqrt());
+        let bound = (6.0 * stddev).ceil() as i64;
+        assert!(e.iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn uniform_within_modulus() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = 1_000_003u64;
+        let u = uniform_mod(&mut rng, 10_000, q);
+        assert!(u.iter().all(|&x| x < q));
+        let mean: f64 = u.iter().map(|&x| x as f64).sum::<f64>() / u.len() as f64;
+        assert!((mean / (q as f64 / 2.0) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn seeded_sampling_is_deterministic() {
+        let a = ternary(&mut StdRng::seed_from_u64(7), 64);
+        let b = ternary(&mut StdRng::seed_from_u64(7), 64);
+        assert_eq!(a, b);
+    }
+}

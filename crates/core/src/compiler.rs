@@ -1,0 +1,256 @@
+//! The top-level CHET compiler (paper §3, Figure 2).
+//!
+//! Input: a tensor circuit + input schema (shapes are embedded in the
+//! circuit; scales come from the user or the profile-guided search).
+//! Output: a [`CompiledCircuit`] — the optimized homomorphic tensor circuit
+//! (layout plan), the encryption parameters for the encryptor/decryptor,
+//! and the rotation-key configuration the client must generate.
+
+use crate::layout::{select_data_layout, LayoutChoice, LayoutPolicy};
+use crate::params::{AnalysisOutcome, SelectError};
+use crate::rotations::select_rotation_keys;
+use crate::scales::{select_scales, ScaleSearch};
+use chet_hisa::cost::CostModel;
+use chet_hisa::params::{EncryptionParams, SchemeKind};
+use chet_hisa::security::SecurityLevel;
+use chet_hisa::RotationKeyPolicy;
+use chet_runtime::exec::ExecPlan;
+use chet_runtime::kernels::ScaleConfig;
+use chet_tensor::circuit::Circuit;
+use chet_tensor::Tensor;
+
+/// Compiler configuration.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    kind: SchemeKind,
+    security: SecurityLevel,
+    output_precision: f64,
+    cost_model: CostModel,
+}
+
+/// The compiler's output: everything needed to run the circuit
+/// homomorphically (paper Figure 2's "optimized homomorphic tensor circuit"
+/// plus encryptor/decryptor configuration).
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    /// Layout assignment + scales + margin: drives the runtime executor.
+    pub plan: ExecPlan,
+    /// Encryption parameters for the encryptor/decryptor.
+    pub params: EncryptionParams,
+    /// The rotation keys the encryptor must generate.
+    pub rotation_keys: RotationKeyPolicy,
+    /// Which layout policy won the search.
+    pub policy: LayoutPolicy,
+    /// Estimated execution cost of the chosen plan.
+    pub estimated_cost: f64,
+    /// Analysis facts (modulus consumption, op counts, rotations).
+    pub outcome: AnalysisOutcome,
+}
+
+impl Compiler {
+    /// A compiler targeting the given scheme variant with CHET's defaults:
+    /// 128-bit security and output precision `2^30`.
+    pub fn new(kind: SchemeKind) -> Self {
+        Compiler {
+            kind,
+            security: SecurityLevel::Bits128,
+            output_precision: 2f64.powi(30),
+            cost_model: CostModel::for_scheme(kind),
+        }
+    }
+
+    /// Overrides the security level (builder style).
+    pub fn with_security(mut self, security: SecurityLevel) -> Self {
+        self.security = security;
+        self
+    }
+
+    /// Overrides the desired output fixed-point precision.
+    pub fn with_output_precision(mut self, precision: f64) -> Self {
+        self.output_precision = precision;
+        self
+    }
+
+    /// Overrides the cost model (e.g. after microbenchmark calibration).
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// The targeted scheme variant.
+    pub fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    fn finish(&self, choice: LayoutChoice) -> CompiledCircuit {
+        let rotation_keys = select_rotation_keys(&choice.outcome);
+        CompiledCircuit {
+            plan: choice.plan,
+            params: choice.outcome.params.clone(),
+            rotation_keys,
+            policy: choice.policy,
+            estimated_cost: choice.estimated_cost,
+            outcome: choice.outcome,
+        }
+    }
+
+    /// Compiles a circuit with user-provided fixed-point scales: runs the
+    /// layout search (each candidate priced after parameter selection) and
+    /// the rotation-key selection on the winner.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no supported ring degree can hold the circuit.
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        scales: &ScaleConfig,
+    ) -> Result<CompiledCircuit, SelectError> {
+        let choice = select_data_layout(
+            circuit,
+            scales,
+            self.kind,
+            self.security,
+            self.output_precision,
+            &self.cost_model,
+        )?;
+        Ok(self.finish(choice))
+    }
+
+    /// Compiles with profile-guided scale selection (paper §5.5): first
+    /// finds minimal scales meeting `tolerance` on the training images
+    /// (under the CHW layout), then runs the regular compilation with them.
+    ///
+    /// # Errors
+    ///
+    /// Fails if even the starting scales cannot reach the tolerance, or if
+    /// parameter selection fails.
+    pub fn compile_with_profile(
+        &self,
+        circuit: &Circuit,
+        images: &[Tensor],
+        search: &ScaleSearch,
+    ) -> Result<(CompiledCircuit, ScaleConfig), SelectError> {
+        let probe_layouts = crate::layout::policy_layouts(circuit, LayoutPolicy::Chw);
+        let (scales, _evals) = select_scales(
+            circuit,
+            &probe_layouts,
+            self.kind,
+            self.security,
+            self.output_precision,
+            images,
+            search,
+        )?;
+        let compiled = self.compile(circuit, &scales)?;
+        Ok((compiled, scales))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chet_ckks::rns::RnsCkks;
+    use chet_ckks::sim::SimCkks;
+    use chet_runtime::exec::infer;
+    use chet_tensor::circuit::CircuitBuilder;
+    use chet_tensor::ops::Padding;
+
+    fn cnn() -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(vec![1, 8, 8]);
+        let w1 = Tensor::from_fn(vec![2, 1, 3, 3], |i| (i[0] + i[2] + i[3]) as f64 * 0.08 - 0.15);
+        let c1 = b.conv2d(x, w1, Some(vec![0.05, -0.05]), 1, Padding::Valid);
+        let a1 = b.activation(c1, 0.15, 0.9);
+        let p1 = b.avg_pool2d(a1, 2, 2);
+        let f = b.flatten(p1);
+        let wfc = Tensor::from_fn(vec![3, 18], |i| ((i[0] + i[1]) % 4) as f64 * 0.1 - 0.15);
+        let m = b.matmul(f, wfc, Some(vec![0.1, 0.0, -0.1]));
+        b.build(m)
+    }
+
+    #[test]
+    fn compile_produces_consistent_artifacts() {
+        let circuit = cnn();
+        let compiled =
+            Compiler::new(SchemeKind::RnsCkks).compile(&circuit, &ScaleConfig::default()).unwrap();
+        assert_eq!(compiled.plan.layouts.len(), circuit.ops().len());
+        assert!(compiled.params.validate().is_ok());
+        match &compiled.rotation_keys {
+            RotationKeyPolicy::Exact(steps) => assert!(!steps.is_empty()),
+            _ => panic!("compiler must emit exact rotation keys"),
+        }
+        assert!(compiled.estimated_cost > 0.0);
+    }
+
+    #[test]
+    fn compiled_circuit_runs_on_simulator() {
+        let circuit = cnn();
+        let scales = ScaleConfig::default();
+        let compiled = Compiler::new(SchemeKind::RnsCkks).compile(&circuit, &scales).unwrap();
+        let mut sim = SimCkks::new(&compiled.params, &compiled.rotation_keys, 11);
+        let image = Tensor::random(vec![1, 8, 8], 1.0, 3);
+        let got = infer(&mut sim, &circuit, &compiled.plan, &image);
+        let want = circuit.eval(&[image]);
+        assert!(
+            got.max_abs_diff(&want) < 5e-2,
+            "sim inference should track reference: {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn compiled_circuit_runs_on_real_rns_ckks() {
+        // Full pipeline on the real lattice backend. Uses the circuit's own
+        // selected parameters and exact rotation keys.
+        let circuit = cnn();
+        let scales = ScaleConfig::from_log2(26, 16, 16, 16);
+        let compiled = Compiler::new(SchemeKind::RnsCkks)
+            .with_output_precision(2f64.powi(20))
+            .compile(&circuit, &scales)
+            .unwrap();
+        let mut fhe = RnsCkks::new(&compiled.params, &compiled.rotation_keys, 99);
+        let image = Tensor::random(vec![1, 8, 8], 1.0, 4);
+        let got = infer(&mut fhe, &circuit, &compiled.plan, &image);
+        let want = circuit.eval(&[image]);
+        assert!(
+            got.max_abs_diff(&want) < 0.05,
+            "encrypted inference must track reference: {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn ckks_and_rns_targets_both_compile() {
+        // Paper §6: CHET makes switching schemes easy — same circuit, two
+        // backends.
+        let circuit = cnn();
+        let scales = ScaleConfig::default();
+        let rns = Compiler::new(SchemeKind::RnsCkks).compile(&circuit, &scales).unwrap();
+        let big = Compiler::new(SchemeKind::Ckks).compile(&circuit, &scales).unwrap();
+        assert_eq!(rns.params.kind(), SchemeKind::RnsCkks);
+        assert_eq!(big.params.kind(), SchemeKind::Ckks);
+    }
+
+    #[test]
+    fn profile_guided_compilation() {
+        let circuit = cnn();
+        let images: Vec<Tensor> =
+            (0..2).map(|s| Tensor::random(vec![1, 8, 8], 1.0, 40 + s)).collect();
+        let search = ScaleSearch {
+            start: (30, 20, 20, 10),
+            min: (18, 10, 10, 5),
+            tolerance: 0.05,
+            max_evals: 20,
+        };
+        let (compiled, scales) = Compiler::new(SchemeKind::RnsCkks)
+            .compile_with_profile(&circuit, &images, &search)
+            .unwrap();
+        assert!(scales.input <= 2f64.powi(30));
+        assert!(compiled.params.validate().is_ok());
+    }
+}

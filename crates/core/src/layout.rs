@@ -1,0 +1,276 @@
+//! Data-layout selection (paper §5.3).
+//!
+//! CHET prunes the exponential layout space to four policies with
+//! domain-specific heuristics, prices each with the cost model, and keeps
+//! the cheapest.
+
+use crate::analysis::{Analyzer, RescaleModel};
+use crate::params::{candidate_primes, select_parameters, AnalysisOutcome, SelectError};
+use chet_hisa::cost::{CostModel, LevelInfo};
+use chet_hisa::params::SchemeKind;
+use chet_hisa::security::SecurityLevel;
+use chet_runtime::exec::{encrypt_input, required_margin_for, run_encrypted, ExecPlan};
+use chet_runtime::kernels::ScaleConfig;
+use chet_runtime::layout::LayoutKind;
+use chet_tensor::circuit::{Circuit, Op};
+use chet_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// The four pruned layout policies (paper §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayoutPolicy {
+    /// Every tensor in HW.
+    Hw,
+    /// Every tensor in CHW.
+    Chw,
+    /// Convolutions (and their producers) in HW, everything else in CHW.
+    HwConvChwRest,
+    /// HW until the first fully connected layer, CHW afterwards.
+    ChwFcHwBefore,
+}
+
+/// All four policies, in the paper's order.
+pub const ALL_POLICIES: [LayoutPolicy; 4] = [
+    LayoutPolicy::Hw,
+    LayoutPolicy::Chw,
+    LayoutPolicy::HwConvChwRest,
+    LayoutPolicy::ChwFcHwBefore,
+];
+
+impl std::fmt::Display for LayoutPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LayoutPolicy::Hw => "HW",
+            LayoutPolicy::Chw => "CHW",
+            LayoutPolicy::HwConvChwRest => "HW-conv, CHW-rest",
+            LayoutPolicy::ChwFcHwBefore => "CHW-fc, HW-before",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Expands a policy into a per-node layout assignment.
+pub fn policy_layouts(circuit: &Circuit, policy: LayoutPolicy) -> Vec<LayoutKind> {
+    let n = circuit.ops().len();
+    match policy {
+        LayoutPolicy::Hw => vec![LayoutKind::HW; n],
+        LayoutPolicy::Chw => vec![LayoutKind::CHW; n],
+        LayoutPolicy::HwConvChwRest => {
+            let mut kinds = vec![LayoutKind::CHW; n];
+            // Convs and every node feeding a conv run in HW, so the conv
+            // sees HW inputs and emits HW outputs.
+            for (i, op) in circuit.ops().iter().enumerate() {
+                if let Op::Conv2d { input, .. } = op {
+                    kinds[i] = LayoutKind::HW;
+                    kinds[*input] = LayoutKind::HW;
+                }
+            }
+            kinds
+        }
+        LayoutPolicy::ChwFcHwBefore => {
+            let first_fc = circuit
+                .ops()
+                .iter()
+                .position(|op| matches!(op, Op::MatMul { .. }))
+                .unwrap_or(n);
+            (0..n)
+                .map(|i| if i < first_fc { LayoutKind::HW } else { LayoutKind::CHW })
+                .collect()
+        }
+    }
+}
+
+/// A fully priced layout choice.
+#[derive(Debug, Clone)]
+pub struct LayoutChoice {
+    /// The policy this choice came from.
+    pub policy: LayoutPolicy,
+    /// The executable plan (layouts + scales + margin).
+    pub plan: ExecPlan,
+    /// The analysis outcome (parameters, rotations, consumption).
+    pub outcome: AnalysisOutcome,
+    /// Estimated execution cost under the scheme's cost model.
+    pub estimated_cost: f64,
+}
+
+/// Estimates the cost of executing a circuit under a plan at the given
+/// parameters (paper §5.3's cost-estimation pass).
+pub fn estimate_cost(
+    circuit: &Circuit,
+    plan: &ExecPlan,
+    outcome: &AnalysisOutcome,
+    cost_model: &CostModel,
+) -> f64 {
+    let params = &outcome.params;
+    let slots = params.slots();
+    let model = match params.kind() {
+        SchemeKind::Ckks => RescaleModel::PowerOfTwo,
+        SchemeKind::RnsCkks => RescaleModel::Chain(candidate_primes(&plan.scales)),
+    };
+    let initial = LevelInfo {
+        log_q: params.modulus.log_q(),
+        rns_len: params.modulus.chain_len(),
+    };
+    let mut az =
+        Analyzer::new(slots, model).with_cost(cost_model.clone(), params.degree, initial);
+    let input_shape = circuit
+        .ops()
+        .iter()
+        .find_map(|op| match op {
+            Op::Input { shape } => Some(shape.clone()),
+            _ => None,
+        })
+        .expect("circuit has an input");
+    let image = Tensor::zeros(input_shape);
+    let enc = encrypt_input(&mut az, circuit, plan, &image);
+    let _ = run_encrypted(&mut az, circuit, plan, enc);
+    az.total_cost
+}
+
+/// Searches the four layout policies and returns each priced choice,
+/// cheapest first (paper §5.3: two passes per choice — parameter selection
+/// then cost estimation).
+///
+/// # Errors
+///
+/// Returns an error if no policy admits valid encryption parameters.
+pub fn enumerate_layouts(
+    circuit: &Circuit,
+    scales: &ScaleConfig,
+    kind: SchemeKind,
+    security: SecurityLevel,
+    output_precision: f64,
+    cost_model: &CostModel,
+) -> Result<Vec<LayoutChoice>, SelectError> {
+    let margin = required_margin_for(circuit);
+    let mut choices = Vec::new();
+    for policy in ALL_POLICIES {
+        let layouts = policy_layouts(circuit, policy);
+        let outcome =
+            match select_parameters(circuit, &layouts, scales, kind, security, output_precision) {
+                Ok(o) => o,
+                Err(_) => continue,
+            };
+        let plan = ExecPlan { layouts, scales: *scales, margin };
+        let estimated_cost = estimate_cost(circuit, &plan, &outcome, cost_model);
+        choices.push(LayoutChoice { policy, plan, outcome, estimated_cost });
+    }
+    if choices.is_empty() {
+        return Err(SelectError("no layout policy admits valid parameters".into()));
+    }
+    choices.sort_by(|a, b| {
+        a.estimated_cost.partial_cmp(&b.estimated_cost).expect("costs are finite")
+    });
+    Ok(choices)
+}
+
+/// Picks the cheapest layout policy (the paper's data-layout selection).
+///
+/// # Errors
+///
+/// Propagates [`enumerate_layouts`] failures.
+pub fn select_data_layout(
+    circuit: &Circuit,
+    scales: &ScaleConfig,
+    kind: SchemeKind,
+    security: SecurityLevel,
+    output_precision: f64,
+    cost_model: &CostModel,
+) -> Result<LayoutChoice, SelectError> {
+    Ok(enumerate_layouts(circuit, scales, kind, security, output_precision, cost_model)?
+        .remove(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chet_tensor::circuit::CircuitBuilder;
+    use chet_tensor::ops::Padding;
+
+    fn cnn(channels: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(vec![channels, 12, 12]);
+        let w1 = Tensor::from_fn(vec![4, channels, 3, 3], |_| 0.1);
+        let c1 = b.conv2d(x, w1, None, 1, Padding::Valid);
+        let a1 = b.activation(c1, 0.2, 0.9);
+        let p1 = b.avg_pool2d(a1, 2, 2);
+        let w2 = Tensor::from_fn(vec![4, 4, 3, 3], |_| 0.05);
+        let c2 = b.conv2d(p1, w2, None, 1, Padding::Valid);
+        let f = b.flatten(c2);
+        let wfc = Tensor::from_fn(vec![5, 4 * 3 * 3], |_| 0.1);
+        let m = b.matmul(f, wfc, None);
+        b.build(m)
+    }
+
+    #[test]
+    fn policies_expand_as_expected() {
+        let c = cnn(2);
+        let hw = policy_layouts(&c, LayoutPolicy::Hw);
+        assert!(hw.iter().all(|&k| k == LayoutKind::HW));
+        let chw = policy_layouts(&c, LayoutPolicy::Chw);
+        assert!(chw.iter().all(|&k| k == LayoutKind::CHW));
+        let hybrid = policy_layouts(&c, LayoutPolicy::HwConvChwRest);
+        assert!(hybrid.contains(&LayoutKind::HW) && hybrid.contains(&LayoutKind::CHW));
+        let fc = policy_layouts(&c, LayoutPolicy::ChwFcHwBefore);
+        let first_fc = c.ops().iter().position(|op| matches!(op, Op::MatMul { .. })).unwrap();
+        assert!(fc[..first_fc].iter().all(|&k| k == LayoutKind::HW));
+        assert!(fc[first_fc..].iter().all(|&k| k == LayoutKind::CHW));
+    }
+
+    #[test]
+    fn enumerates_and_ranks_all_policies() {
+        let c = cnn(2);
+        let choices = enumerate_layouts(
+            &c,
+            &ScaleConfig::default(),
+            SchemeKind::RnsCkks,
+            SecurityLevel::Bits128,
+            2f64.powi(30),
+            &CostModel::for_scheme(SchemeKind::RnsCkks),
+        )
+        .unwrap();
+        assert_eq!(choices.len(), 4);
+        for w in choices.windows(2) {
+            assert!(w[0].estimated_cost <= w[1].estimated_cost);
+        }
+    }
+
+    #[test]
+    fn best_choice_has_positive_cost_and_valid_params() {
+        let c = cnn(2);
+        let best = select_data_layout(
+            &c,
+            &ScaleConfig::default(),
+            SchemeKind::RnsCkks,
+            SecurityLevel::Bits128,
+            2f64.powi(30),
+            &CostModel::for_scheme(SchemeKind::RnsCkks),
+        )
+        .unwrap();
+        assert!(best.estimated_cost > 0.0);
+        assert!(best.outcome.params.validate().is_ok());
+    }
+
+    #[test]
+    fn chw_beats_hw_on_many_channels_rns() {
+        // With many channels, HW pays C·R·S rotations per conv while CHW
+        // shares them — the cost model must reflect that (paper Table 5).
+        let c = cnn(8);
+        let choices = enumerate_layouts(
+            &c,
+            &ScaleConfig::default(),
+            SchemeKind::RnsCkks,
+            SecurityLevel::Bits128,
+            2f64.powi(30),
+            &CostModel::for_scheme(SchemeKind::RnsCkks),
+        )
+        .unwrap();
+        let cost_of = |p: LayoutPolicy| {
+            choices.iter().find(|ch| ch.policy == p).map(|ch| ch.estimated_cost).unwrap()
+        };
+        assert!(
+            cost_of(LayoutPolicy::Chw) < cost_of(LayoutPolicy::Hw),
+            "CHW should win on channel-heavy nets under RNS-CKKS"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! # chet-compiler
+//!
+//! The CHET optimizing compiler for homomorphic tensor circuits — the
+//! primary contribution of *"CHET: An Optimizing Compiler for
+//! Fully-Homomorphic Neural-Network Inferencing"* (PLDI 2019).
+//!
+//! Given a tensor circuit (from `chet-tensor`) the compiler:
+//!
+//! 1. **Selects encryption parameters** (§5.2, [`params`]) by running the
+//!    circuit under a modulus-tracking interpretation of the HISA and
+//!    consulting the HE-standard security table.
+//! 2. **Selects data layouts** (§5.3, [`layout`]) by pricing the four
+//!    pruned layout policies with the Table 1 cost model.
+//! 3. **Selects rotation keys** (§5.4, [`rotations`]) by recording the
+//!    exact rotation steps the circuit uses.
+//! 4. **Selects fixed-point scales** (§5.5, [`scales`]) with a
+//!    profile-guided round-robin search against an output tolerance.
+//!
+//! All analyses share one mechanism ([`analysis::Analyzer`]): the circuit
+//! executes under a different interpretation of the ciphertext datatype, so
+//! no explicit data-flow graph is ever built (§5.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use chet_compiler::Compiler;
+//! use chet_hisa::params::SchemeKind;
+//! use chet_runtime::kernels::ScaleConfig;
+//! use chet_tensor::circuit::CircuitBuilder;
+//! use chet_tensor::Tensor;
+//!
+//! // output = conv2d(image, weights)  — the paper's §3.2 example.
+//! let mut b = CircuitBuilder::new();
+//! let image = b.input(vec![1, 28, 28]);
+//! let weights = Tensor::random(vec![4, 1, 5, 5], 0.2, 1);
+//! let out = b.conv2d(image, weights, None, 1, chet_tensor::ops::Padding::Valid);
+//! let circuit = b.build(out);
+//!
+//! let compiled = Compiler::new(SchemeKind::RnsCkks)
+//!     .compile(&circuit, &ScaleConfig::default())
+//!     .expect("compiles");
+//! println!(
+//!     "N = {}, log Q = {:.0}, policy = {}",
+//!     compiled.params.degree,
+//!     compiled.params.modulus.log_q(),
+//!     compiled.policy,
+//! );
+//! ```
+
+pub mod analysis;
+pub mod compiler;
+pub mod layout;
+pub mod params;
+pub mod rotations;
+pub mod scales;
+
+pub use compiler::{CompiledCircuit, Compiler};
+pub use layout::{LayoutPolicy, ALL_POLICIES};
+pub use params::{select_parameters, AnalysisOutcome, SelectError};
+pub use rotations::select_rotation_keys;
+pub use scales::{select_scales, ScaleSearch};

@@ -1,0 +1,222 @@
+//! Cost model for HISA primitives (paper Table 1 + §5.3).
+//!
+//! The data-layout selection pass estimates circuit execution time by
+//! summing per-op costs. Costs follow the asymptotic complexities of paper
+//! Table 1, with per-op constants that can be tuned from microbenchmarks
+//! ("we use a combination of theoretical and experimental analysis").
+
+use crate::params::SchemeKind;
+use serde::{Deserialize, Serialize};
+
+/// The HISA primitive kinds that appear in circuit execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HisaOp {
+    /// Ciphertext ± ciphertext (also covers the scalar-add flavors, which
+    /// cost the same).
+    Add,
+    /// Ciphertext × scalar constant.
+    MulScalar,
+    /// Ciphertext × encoded plaintext vector.
+    MulPlain,
+    /// Ciphertext × ciphertext (includes relinearization).
+    MulCipher,
+    /// Slot rotation (either direction).
+    Rotate,
+    /// Rescaling.
+    Rescale,
+}
+
+/// All [`HisaOp`] variants, for iteration in calibration and reports.
+pub const ALL_OPS: [HisaOp; 6] = [
+    HisaOp::Add,
+    HisaOp::MulScalar,
+    HisaOp::MulPlain,
+    HisaOp::MulCipher,
+    HisaOp::Rotate,
+    HisaOp::Rescale,
+];
+
+impl std::fmt::Display for HisaOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            HisaOp::Add => "add",
+            HisaOp::MulScalar => "mulScalar",
+            HisaOp::MulPlain => "mulPlain",
+            HisaOp::MulCipher => "mul",
+            HisaOp::Rotate => "rotate",
+            HisaOp::Rescale => "rescale",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Modulus state of a ciphertext at the point an op executes: costs grow
+/// with the remaining modulus (`log Q` for CKKS, chain length `r` for
+/// RNS-CKKS).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelInfo {
+    /// Remaining `log2 Q` of the operand ciphertext.
+    pub log_q: f64,
+    /// Remaining RNS chain length `r` (1 for the power-of-two variant).
+    pub rns_len: usize,
+}
+
+/// Per-scheme cost model with tunable constants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    kind: SchemeKind,
+    add: f64,
+    mul_scalar: f64,
+    mul_plain: f64,
+    mul_cipher: f64,
+    rotate: f64,
+    rescale: f64,
+}
+
+impl CostModel {
+    /// Default constants for a scheme variant. The absolute magnitudes are
+    /// arbitrary (the layout pass only compares alternatives); the *ratios*
+    /// reflect microbenchmarks of the two backends in this repository — e.g.
+    /// `mulPlain` is much more expensive than `mulScalar` under bigint CKKS
+    /// but identical under RNS-CKKS, the asymmetry that drives the paper's
+    /// HW-vs-CHW layout observations (§4.2, Tables 5/6).
+    pub fn for_scheme(kind: SchemeKind) -> Self {
+        match kind {
+            SchemeKind::Ckks => CostModel {
+                kind,
+                add: 1.0,
+                mul_scalar: 1.2,
+                mul_plain: 1.0,
+                mul_cipher: 2.2,
+                rotate: 2.0,
+                rescale: 0.6,
+            },
+            SchemeKind::RnsCkks => CostModel {
+                kind,
+                add: 1.0,
+                mul_scalar: 1.1,
+                mul_plain: 1.2,
+                mul_cipher: 2.5,
+                rotate: 2.2,
+                rescale: 0.8,
+            },
+        }
+    }
+
+    /// The scheme variant this model describes.
+    pub fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    /// Overrides a single constant (used by microbenchmark calibration).
+    pub fn set_constant(&mut self, op: HisaOp, value: f64) {
+        let slot = match op {
+            HisaOp::Add => &mut self.add,
+            HisaOp::MulScalar => &mut self.mul_scalar,
+            HisaOp::MulPlain => &mut self.mul_plain,
+            HisaOp::MulCipher => &mut self.mul_cipher,
+            HisaOp::Rotate => &mut self.rotate,
+            HisaOp::Rescale => &mut self.rescale,
+        };
+        *slot = value;
+    }
+
+    /// Estimated cost of one op at ring degree `n` and modulus state `lvl`
+    /// (paper Table 1 asymptotics).
+    pub fn op_cost(&self, op: HisaOp, n: usize, lvl: LevelInfo) -> f64 {
+        let nf = n as f64;
+        let log_n = nf.log2();
+        match self.kind {
+            SchemeKind::Ckks => {
+                // M(Q) = log^1.58 Q (HEAAN's large-integer multiply).
+                let m_q = lvl.log_q.max(2.0).powf(1.58);
+                match op {
+                    HisaOp::Add => self.add * nf * lvl.log_q.max(1.0),
+                    HisaOp::MulScalar => self.mul_scalar * nf * m_q,
+                    HisaOp::MulPlain => self.mul_plain * nf * log_n * m_q,
+                    HisaOp::MulCipher => self.mul_cipher * nf * log_n * m_q,
+                    HisaOp::Rotate => self.rotate * nf * log_n * m_q,
+                    HisaOp::Rescale => self.rescale * nf * lvl.log_q.max(1.0),
+                }
+            }
+            SchemeKind::RnsCkks => {
+                let r = lvl.rns_len.max(1) as f64;
+                match op {
+                    HisaOp::Add => self.add * nf * r,
+                    HisaOp::MulScalar => self.mul_scalar * nf * r,
+                    HisaOp::MulPlain => self.mul_plain * nf * r,
+                    HisaOp::MulCipher => self.mul_cipher * nf * log_n * r * r,
+                    HisaOp::Rotate => self.rotate * nf * log_n * r * r,
+                    HisaOp::Rescale => self.rescale * nf * log_n * r,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lvl(log_q: f64, r: usize) -> LevelInfo {
+        LevelInfo { log_q, rns_len: r }
+    }
+
+    #[test]
+    fn rns_add_linear_in_chain_length() {
+        let m = CostModel::for_scheme(SchemeKind::RnsCkks);
+        let c1 = m.op_cost(HisaOp::Add, 8192, lvl(120.0, 2));
+        let c2 = m.op_cost(HisaOp::Add, 8192, lvl(240.0, 4));
+        assert!((c2 / c1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rns_mul_quadratic_in_chain_length() {
+        let m = CostModel::for_scheme(SchemeKind::RnsCkks);
+        let c1 = m.op_cost(HisaOp::MulCipher, 8192, lvl(120.0, 2));
+        let c2 = m.op_cost(HisaOp::MulCipher, 8192, lvl(240.0, 4));
+        assert!((c2 / c1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ckks_scalar_cheaper_than_plain() {
+        // The HW-layout convolution advantage under HEAAN (paper §4.2): a
+        // mulScalar lacks the log N factor a mulPlain carries.
+        let m = CostModel::for_scheme(SchemeKind::Ckks);
+        let l = lvl(300.0, 1);
+        assert!(
+            m.op_cost(HisaOp::MulScalar, 16384, l) * 4.0
+                < m.op_cost(HisaOp::MulPlain, 16384, l)
+        );
+    }
+
+    #[test]
+    fn rns_scalar_and_plain_comparable() {
+        let m = CostModel::for_scheme(SchemeKind::RnsCkks);
+        let l = lvl(300.0, 5);
+        let s = m.op_cost(HisaOp::MulScalar, 16384, l);
+        let p = m.op_cost(HisaOp::MulPlain, 16384, l);
+        assert!(p / s < 2.0, "mulPlain and mulScalar should be within 2x in RNS");
+    }
+
+    #[test]
+    fn costs_grow_with_degree() {
+        for kind in [SchemeKind::Ckks, SchemeKind::RnsCkks] {
+            let m = CostModel::for_scheme(kind);
+            for op in ALL_OPS {
+                let small = m.op_cost(op, 4096, lvl(100.0, 3));
+                let large = m.op_cost(op, 32768, lvl(100.0, 3));
+                assert!(large > small, "{op} cost must grow with N under {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_constant_rescales_cost() {
+        let mut m = CostModel::for_scheme(SchemeKind::RnsCkks);
+        let before = m.op_cost(HisaOp::Rotate, 8192, lvl(100.0, 2));
+        m.set_constant(HisaOp::Rotate, 4.4);
+        let after = m.op_cost(HisaOp::Rotate, 8192, lvl(100.0, 2));
+        assert!((after / before - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,189 @@
+//! # chet-hisa
+//!
+//! The **Homomorphic Instruction Set Architecture** (HISA) from the CHET
+//! paper (PLDI 2019, Table 2): a scheme-agnostic interface between the CHET
+//! runtime/compiler and concrete FHE backends.
+//!
+//! The crate provides:
+//!
+//! * [`Hisa`] — the instruction-set trait. Concrete schemes (RNS-CKKS,
+//!   bigint CKKS, the plaintext simulator) implement it, and — crucially —
+//!   so do the *compiler analyses*: CHET runs circuits under alternative
+//!   interpretations of the ciphertext datatype to perform data-flow
+//!   analysis without materializing a data-flow graph (paper §5.1).
+//! * [`params`] — encryption parameters ([`EncryptionParams`],
+//!   [`ModulusSpec`]) shared by schemes and the parameter-selection pass.
+//! * [`security`] — the homomorphic-encryption-standard table mapping ring
+//!   degree `N` to the maximum coefficient modulus for a security level
+//!   (paper §2.3/§5.2).
+//! * [`cost`] — the per-op cost model (paper Table 1 asymptotics with
+//!   tunable constants) used by data-layout selection.
+//! * [`keys`] — rotation-key policies: default power-of-two keys vs the
+//!   exact key set chosen by the rotation-key-selection pass (paper §5.4).
+//!
+//! # Examples
+//!
+//! ```
+//! use chet_hisa::security::{min_degree_for_modulus, SecurityLevel};
+//!
+//! // A circuit consuming 200 bits of modulus fits in N = 8192 at 128-bit
+//! // security; 240 bits (Table 4, LeNet-5-small under HEAAN's relaxed
+//! // security) needs N = 16384 at the full 128-bit level.
+//! assert_eq!(min_degree_for_modulus(200, SecurityLevel::Bits128), Some(8192));
+//! assert_eq!(min_degree_for_modulus(240, SecurityLevel::Bits128), Some(16384));
+//! ```
+
+pub mod cost;
+pub mod keys;
+pub mod params;
+pub mod security;
+
+pub use cost::{CostModel, HisaOp, LevelInfo};
+pub use keys::{normalize_rotation, RotationKeyPolicy};
+pub use params::{EncryptionParams, ModulusSpec, SchemeKind};
+pub use security::SecurityLevel;
+
+/// The Homomorphic Instruction Set Architecture (paper Table 2).
+///
+/// `Ct` and `Pt` are the backend's ciphertext and plaintext types. For real
+/// schemes they hold ring elements; for compiler analyses they hold
+/// data-flow facts (consumed modulus, accumulated cost, rotation sets, …).
+///
+/// Semantics notes mirroring the paper:
+///
+/// * Vectors have [`Hisa::slots`] entries; rotations are cyclic.
+/// * `mul_scalar(c, x, scale)` multiplies every slot by the real constant
+///   `x` encoded at fixed-point `scale` (paper `P_u`); `mul_plain`
+///   multiplies slot-wise by an encoded vector (paper `P_w` / `P_m`).
+/// * `rescale(c, d)` divides the ciphertext scale by `d`; `d` must be a
+///   value previously returned by [`Hisa::max_rescale`], which yields the
+///   largest legal divisor `<= ub` (a power of two for CKKS, a product of
+///   the next chain primes for RNS-CKKS, `1.0` if none).
+/// * Binary ops require (approximately) matching operand scales; backends
+///   internally align *levels* by modulus switching, as SEAL/HEAAN do.
+///
+/// All methods take `&mut self` because backends carry mutable state
+/// (random number generators, lazily generated keys) and analyses accumulate
+/// global facts.
+pub trait Hisa {
+    /// Ciphertext handle.
+    type Ct: Clone;
+    /// Plaintext handle.
+    type Pt: Clone;
+
+    /// Number of SIMD slots per ciphertext (`N/2` for CKKS-family schemes).
+    fn slots(&self) -> usize;
+
+    /// Encodes a vector of reals at the given fixed-point scale. Missing
+    /// entries (beyond `values.len()`) are zero.
+    ///
+    /// # Panics
+    ///
+    /// Backends panic if `values.len() > self.slots()`.
+    fn encode(&mut self, values: &[f64], scale: f64) -> Self::Pt;
+
+    /// Decodes a plaintext back to a vector of reals (length [`Hisa::slots`]).
+    fn decode(&mut self, p: &Self::Pt) -> Vec<f64>;
+
+    /// Encrypts a plaintext.
+    fn encrypt(&mut self, p: &Self::Pt) -> Self::Ct;
+
+    /// Decrypts a ciphertext.
+    fn decrypt(&mut self, c: &Self::Ct) -> Self::Pt;
+
+    /// Explicit ciphertext copy (analyses may want to observe it).
+    fn copy(&mut self, c: &Self::Ct) -> Self::Ct {
+        c.clone()
+    }
+
+    /// Rotates slots left by `x` (slot `i` receives old slot `i + x`).
+    fn rot_left(&mut self, c: &Self::Ct, x: usize) -> Self::Ct;
+
+    /// Rotates slots right by `x`.
+    fn rot_right(&mut self, c: &Self::Ct, x: usize) -> Self::Ct;
+
+    /// Ciphertext + ciphertext.
+    fn add(&mut self, a: &Self::Ct, b: &Self::Ct) -> Self::Ct;
+    /// Ciphertext + plaintext.
+    fn add_plain(&mut self, a: &Self::Ct, p: &Self::Pt) -> Self::Ct;
+    /// Ciphertext + scalar broadcast.
+    fn add_scalar(&mut self, a: &Self::Ct, x: f64) -> Self::Ct;
+
+    /// Ciphertext − ciphertext.
+    fn sub(&mut self, a: &Self::Ct, b: &Self::Ct) -> Self::Ct;
+    /// Ciphertext − plaintext.
+    fn sub_plain(&mut self, a: &Self::Ct, p: &Self::Pt) -> Self::Ct;
+    /// Ciphertext − scalar broadcast.
+    fn sub_scalar(&mut self, a: &Self::Ct, x: f64) -> Self::Ct;
+
+    /// Ciphertext × ciphertext (with relinearization).
+    fn mul(&mut self, a: &Self::Ct, b: &Self::Ct) -> Self::Ct;
+    /// Ciphertext × plaintext.
+    fn mul_plain(&mut self, a: &Self::Ct, p: &Self::Pt) -> Self::Ct;
+    /// Ciphertext × scalar constant encoded at `scale`.
+    fn mul_scalar(&mut self, a: &Self::Ct, x: f64, scale: f64) -> Self::Ct;
+
+    /// Divides the ciphertext scale by `divisor`, consuming modulus.
+    ///
+    /// `divisor` must come from [`Hisa::max_rescale`]; passing anything else
+    /// is a contract violation and backends may panic.
+    fn rescale(&mut self, c: &Self::Ct, divisor: f64) -> Self::Ct;
+
+    /// Largest legal rescale divisor `<= ub` for this ciphertext (`1.0` when
+    /// no rescaling is possible).
+    fn max_rescale(&mut self, c: &Self::Ct, ub: f64) -> f64;
+
+    /// Current fixed-point scale of a ciphertext.
+    fn scale_of(&self, c: &Self::Ct) -> f64;
+
+    // ---- Assign variants (paper lists them; default to the pure ops) ----
+
+    /// In-place [`Hisa::rot_left`].
+    fn rot_left_assign(&mut self, c: &mut Self::Ct, x: usize) {
+        *c = self.rot_left(c, x);
+    }
+    /// In-place [`Hisa::rot_right`].
+    fn rot_right_assign(&mut self, c: &mut Self::Ct, x: usize) {
+        *c = self.rot_right(c, x);
+    }
+    /// In-place [`Hisa::add`].
+    fn add_assign(&mut self, a: &mut Self::Ct, b: &Self::Ct) {
+        *a = self.add(a, b);
+    }
+    /// In-place [`Hisa::add_plain`].
+    fn add_plain_assign(&mut self, a: &mut Self::Ct, p: &Self::Pt) {
+        *a = self.add_plain(a, p);
+    }
+    /// In-place [`Hisa::add_scalar`].
+    fn add_scalar_assign(&mut self, a: &mut Self::Ct, x: f64) {
+        *a = self.add_scalar(a, x);
+    }
+    /// In-place [`Hisa::sub`].
+    fn sub_assign(&mut self, a: &mut Self::Ct, b: &Self::Ct) {
+        *a = self.sub(a, b);
+    }
+    /// In-place [`Hisa::sub_plain`].
+    fn sub_plain_assign(&mut self, a: &mut Self::Ct, p: &Self::Pt) {
+        *a = self.sub_plain(a, p);
+    }
+    /// In-place [`Hisa::sub_scalar`].
+    fn sub_scalar_assign(&mut self, a: &mut Self::Ct, x: f64) {
+        *a = self.sub_scalar(a, x);
+    }
+    /// In-place [`Hisa::mul`].
+    fn mul_assign(&mut self, a: &mut Self::Ct, b: &Self::Ct) {
+        *a = self.mul(a, b);
+    }
+    /// In-place [`Hisa::mul_plain`].
+    fn mul_plain_assign(&mut self, a: &mut Self::Ct, p: &Self::Pt) {
+        *a = self.mul_plain(a, p);
+    }
+    /// In-place [`Hisa::mul_scalar`].
+    fn mul_scalar_assign(&mut self, a: &mut Self::Ct, x: f64, scale: f64) {
+        *a = self.mul_scalar(a, x, scale);
+    }
+    /// In-place [`Hisa::rescale`].
+    fn rescale_assign(&mut self, c: &mut Self::Ct, divisor: f64) {
+        *c = self.rescale(c, divisor);
+    }
+}

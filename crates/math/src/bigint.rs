@@ -1,0 +1,381 @@
+//! A compact arbitrary-precision unsigned integer.
+//!
+//! [`UBig`] is deliberately small: it supports exactly the operations the
+//! HEAAN-style CKKS backend needs for coefficients modulo `Q = 2^L` —
+//! addition, subtraction, shifts, masking, multiplication by a machine word,
+//! remainder by a machine word, and conversion to `f64`. Polynomial products
+//! are computed in an NTT/CRT basis (see [`crate::crt`]), so no general
+//! big-integer multiplication is required.
+
+use std::cmp::Ordering;
+
+/// An arbitrary-precision unsigned integer stored as little-endian 64-bit
+/// limbs with no trailing zero limbs.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct UBig {
+    limbs: Vec<u64>,
+}
+
+impl UBig {
+    /// The value zero.
+    pub fn zero() -> Self {
+        UBig { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        UBig { limbs: vec![1] }
+    }
+
+    /// Constructs `2^k`.
+    pub fn pow2(k: u32) -> Self {
+        let limb = (k / 64) as usize;
+        let mut limbs = vec![0u64; limb + 1];
+        limbs[limb] = 1u64 << (k % 64);
+        UBig { limbs }
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() as u32 - 1) + (64 - top.leading_zeros()),
+        }
+    }
+
+    /// Read-only view of the little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &UBig) -> UBig {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut r = UBig { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &UBig) -> UBig {
+        assert!(self >= other, "UBig subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, u1) = self.limbs[i].overflowing_sub(b);
+            let (d2, u2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (u1 as u64) + (u2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut r = UBig { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self * m` for a machine-word multiplier.
+    pub fn mul_u64(&self, m: u64) -> UBig {
+        if m == 0 || self.is_zero() {
+            return UBig::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in &self.limbs {
+            let prod = l as u128 * m as u128 + carry;
+            out.push(prod as u64);
+            carry = prod >> 64;
+        }
+        if carry > 0 {
+            out.push(carry as u64);
+        }
+        let mut r = UBig { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self mod m` for a machine-word modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn rem_u64(&self, m: u64) -> u64 {
+        assert_ne!(m, 0, "division by zero");
+        let mut r = 0u128;
+        for &l in self.limbs.iter().rev() {
+            r = ((r << 64) | l as u128) % m as u128;
+        }
+        r as u64
+    }
+
+    /// `self << k` (bit shift).
+    pub fn shl_bits(&self, k: u32) -> UBig {
+        if self.is_zero() {
+            return UBig::zero();
+        }
+        let limb_shift = (k / 64) as usize;
+        let bit_shift = k % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut r = UBig { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self >> k` (bit shift, rounding toward zero).
+    pub fn shr_bits(&self, k: u32) -> UBig {
+        let limb_shift = (k / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return UBig::zero();
+        }
+        let bit_shift = k % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = src.get(i + 1).map_or(0, |&h| h << (64 - bit_shift));
+                out.push(lo | hi);
+            }
+        }
+        let mut r = UBig { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `round(self / 2^k)` with round-half-up.
+    pub fn shr_bits_round(&self, k: u32) -> UBig {
+        if k == 0 {
+            return self.clone();
+        }
+        let floor = self.shr_bits(k);
+        if self.bit(k - 1) {
+            floor.add(&UBig::one())
+        } else {
+            floor
+        }
+    }
+
+    /// The `i`-th bit of the value.
+    pub fn bit(&self, i: u32) -> bool {
+        let limb = (i / 64) as usize;
+        match self.limbs.get(limb) {
+            Some(&l) => (l >> (i % 64)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// `self mod 2^k`.
+    pub fn mask_bits(&self, k: u32) -> UBig {
+        let full = (k / 64) as usize;
+        let rem = k % 64;
+        let mut limbs: Vec<u64> = self.limbs.iter().copied().take(full + 1).collect();
+        if limbs.len() > full {
+            if rem == 0 {
+                limbs.truncate(full);
+            } else if limbs.len() == full + 1 {
+                limbs[full] &= (1u64 << rem) - 1;
+            }
+        }
+        let mut r = UBig { limbs };
+        r.normalize();
+        r
+    }
+
+    /// Lossy conversion to `f64` (round toward zero; may overflow to `inf`
+    /// for values above `2^1024`).
+    pub fn to_f64(&self) -> f64 {
+        let bl = self.bit_len();
+        if bl == 0 {
+            return 0.0;
+        }
+        if bl <= 64 {
+            return self.limbs[0] as f64;
+        }
+        // Take the top 64 bits as a mantissa and scale.
+        let top = self.shr_bits(bl - 64);
+        (top.limbs[0] as f64) * 2f64.powi(bl as i32 - 64)
+    }
+}
+
+impl From<u64> for UBig {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            UBig::zero()
+        } else {
+            UBig { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for UBig {
+    fn from(v: u128) -> Self {
+        let mut r = UBig { limbs: vec![v as u64, (v >> 64) as u64] };
+        r.normalize();
+        r
+    }
+}
+
+impl PartialOrd for UBig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for UBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl std::fmt::Display for UBig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0x0");
+        }
+        write!(f, "0x")?;
+        for (i, l) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                write!(f, "{l:x}")?;
+            } else {
+                write!(f, "{l:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = UBig::pow2(130).add(&UBig::from(12345u64));
+        let b = UBig::pow2(70).add(&UBig::from(999u64));
+        let s = a.add(&b);
+        assert_eq!(s.sub(&b), a);
+        assert_eq!(s.sub(&a), b);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = UBig::from(u64::MAX);
+        let b = UBig::one();
+        assert_eq!(a.add(&b), UBig::pow2(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = UBig::one().sub(&UBig::from(2u64));
+    }
+
+    #[test]
+    fn shifts_are_inverse() {
+        let a = UBig::from(0xdeadbeef_12345678u64);
+        for k in [0u32, 1, 13, 64, 65, 200] {
+            assert_eq!(a.shl_bits(k).shr_bits(k), a);
+        }
+    }
+
+    #[test]
+    fn mask_is_mod_pow2() {
+        let a = UBig::from(0b1011_0110u64).add(&UBig::pow2(100));
+        assert_eq!(a.mask_bits(4), UBig::from(0b0110u64));
+        assert_eq!(a.mask_bits(101), a);
+        assert_eq!(a.mask_bits(100), UBig::from(0b1011_0110u64));
+    }
+
+    #[test]
+    fn rounding_shift() {
+        assert_eq!(UBig::from(5u64).shr_bits_round(1), UBig::from(3u64)); // 2.5 -> 3
+        assert_eq!(UBig::from(4u64).shr_bits_round(1), UBig::from(2u64));
+        assert_eq!(UBig::from(7u64).shr_bits_round(2), UBig::from(2u64)); // 1.75 -> 2
+    }
+
+    #[test]
+    fn mul_and_rem_u64() {
+        let a = UBig::pow2(90); // 2^90
+        let m = a.mul_u64(1000);
+        // 2^90 * 1000 mod 997: compute via pow_mod
+        let expect = crate::modint::mul_mod(crate::modint::pow_mod(2, 90, 997), 1000 % 997, 997);
+        assert_eq!(m.rem_u64(997), expect);
+    }
+
+    #[test]
+    fn bit_len_and_to_f64() {
+        assert_eq!(UBig::zero().bit_len(), 0);
+        assert_eq!(UBig::one().bit_len(), 1);
+        assert_eq!(UBig::pow2(100).bit_len(), 101);
+        let v = UBig::pow2(100);
+        let f = v.to_f64();
+        assert!((f / 2f64.powi(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(UBig::pow2(64) > UBig::from(u64::MAX));
+        assert!(UBig::from(3u64) < UBig::from(4u64));
+        assert_eq!(UBig::pow2(10), UBig::from(1024u64));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(format!("{}", UBig::zero()), "0x0");
+        assert_eq!(format!("{}", UBig::from(255u64)), "0xff");
+    }
+}

@@ -1,0 +1,204 @@
+//! Residue number system (CRT) bases and Garner reconstruction.
+//!
+//! The HEAAN-style CKKS backend keeps ciphertext coefficients as big
+//! integers modulo `Q = 2^L`. To multiply polynomials it maps coefficients
+//! into a basis of NTT-friendly word-sized primes, convolves per prime, and
+//! reconstructs the (possibly huge) integer coefficients with Garner's
+//! mixed-radix algorithm before reducing modulo `Q`.
+
+use crate::bigint::UBig;
+use crate::modint::{inv_mod, mul_mod, sub_mod};
+
+/// A CRT basis of distinct word-sized primes with Garner precomputations.
+#[derive(Debug, Clone)]
+pub struct CrtBasis {
+    primes: Vec<u64>,
+    /// `inv[i][j] = (p_j)^{-1} mod p_i` for `j < i`.
+    inv: Vec<Vec<u64>>,
+    /// `partial[i] = p_0 * … * p_{i-1}` (so `partial[0] = 1`).
+    partial: Vec<UBig>,
+    /// Product of all primes.
+    product: UBig,
+    /// `product / 2` (floor), used for centered reconstruction.
+    half_product: UBig,
+}
+
+impl CrtBasis {
+    /// Builds a basis from distinct primes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the primes are not pairwise coprime (e.g. duplicated).
+    pub fn new(primes: Vec<u64>) -> Self {
+        let k = primes.len();
+        let mut inv = vec![Vec::new(); k];
+        for i in 0..k {
+            inv[i] = (0..i)
+                .map(|j| {
+                    inv_mod(primes[j] % primes[i], primes[i])
+                        .expect("CRT primes must be pairwise coprime")
+                })
+                .collect();
+        }
+        let mut partial = Vec::with_capacity(k + 1);
+        partial.push(UBig::one());
+        for &p in &primes {
+            let last = partial.last().unwrap().mul_u64(p);
+            partial.push(last);
+        }
+        let product = partial.pop().unwrap();
+        let half_product = product.shr_bits(1);
+        CrtBasis { primes, inv, partial, product, half_product }
+    }
+
+    /// The primes of the basis.
+    pub fn primes(&self) -> &[u64] {
+        &self.primes
+    }
+
+    /// Number of primes in the basis.
+    pub fn len(&self) -> usize {
+        self.primes.len()
+    }
+
+    /// Whether the basis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.primes.is_empty()
+    }
+
+    /// Product of all primes in the basis.
+    pub fn product(&self) -> &UBig {
+        &self.product
+    }
+
+    /// Reconstructs the unique `x in [0, P)` with `x ≡ residues[i] mod p_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len() != self.len()`.
+    pub fn reconstruct(&self, residues: &[u64]) -> UBig {
+        assert_eq!(residues.len(), self.len(), "residue count must match basis size");
+        // Garner: compute mixed-radix digits d_i.
+        let k = self.len();
+        let mut digits = vec![0u64; k];
+        for i in 0..k {
+            let p = self.primes[i];
+            let mut x = residues[i] % p;
+            // x = (r_i - (d_0 + d_1 p_0 + … )) * inv(p_0…p_{i-1}) computed
+            // incrementally: repeatedly subtract digit and multiply by inverse.
+            for j in 0..i {
+                x = sub_mod(x, digits[j] % p, p);
+                x = mul_mod(x, self.inv[i][j], p);
+            }
+            digits[i] = x;
+        }
+        let mut acc = UBig::zero();
+        for i in 0..k {
+            acc = acc.add(&self.partial[i].mul_u64(digits[i]));
+        }
+        acc
+    }
+
+    /// Reconstructs interpreting the value as centered in `(-P/2, P/2]`.
+    ///
+    /// Returns `(negative, magnitude)`.
+    pub fn reconstruct_centered(&self, residues: &[u64]) -> (bool, UBig) {
+        let v = self.reconstruct(residues);
+        if v > self.half_product {
+            (true, self.product.sub(&v))
+        } else {
+            (false, v)
+        }
+    }
+
+    /// Reduces a signed magnitude into each prime of the basis.
+    pub fn residues_of_signed(&self, negative: bool, magnitude: &UBig) -> Vec<u64> {
+        self.primes
+            .iter()
+            .map(|&p| {
+                let r = magnitude.rem_u64(p);
+                if negative && r != 0 {
+                    p - r
+                } else {
+                    r
+                }
+            })
+            .collect()
+    }
+
+    /// Reduces a signed 128-bit integer into each prime of the basis.
+    pub fn residues_of_i128(&self, v: i128) -> Vec<u64> {
+        self.primes
+            .iter()
+            .map(|&p| {
+                let r = (v % p as i128 + p as i128) as u128 % p as u128;
+                r as u64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::ntt_primes;
+
+    fn basis() -> CrtBasis {
+        CrtBasis::new(ntt_primes(40, 64, 4))
+    }
+
+    #[test]
+    fn reconstruct_small_values() {
+        let b = basis();
+        for v in [0u64, 1, 42, 1 << 30] {
+            let residues: Vec<u64> = b.primes().iter().map(|&p| v % p).collect();
+            assert_eq!(b.reconstruct(&residues), UBig::from(v));
+        }
+    }
+
+    #[test]
+    fn reconstruct_large_value_roundtrip() {
+        let b = basis();
+        // v = 2^100 + 12345 < P (~160 bits)
+        let v = UBig::pow2(100).add(&UBig::from(12345u64));
+        let residues: Vec<u64> = b.primes().iter().map(|&p| v.rem_u64(p)).collect();
+        assert_eq!(b.reconstruct(&residues), v);
+    }
+
+    #[test]
+    fn centered_reconstruction_of_negative() {
+        let b = basis();
+        // Encode -7 as P - 7.
+        let residues: Vec<u64> = b.primes().iter().map(|&p| p - 7).collect();
+        let (neg, mag) = b.reconstruct_centered(&residues);
+        assert!(neg);
+        assert_eq!(mag, UBig::from(7u64));
+    }
+
+    #[test]
+    fn signed_residues_roundtrip() {
+        let b = basis();
+        for v in [-12345i128, -1, 0, 1, 1 << 40] {
+            let residues = b.residues_of_i128(v);
+            let (neg, mag) = b.reconstruct_centered(&residues);
+            let got = if neg { -(mag.to_f64()) } else { mag.to_f64() };
+            assert_eq!(got as i128, v);
+        }
+    }
+
+    #[test]
+    fn residues_of_signed_magnitude() {
+        let b = basis();
+        let mag = UBig::from(99u64);
+        let res = b.residues_of_signed(true, &mag);
+        let (neg, m) = b.reconstruct_centered(&res);
+        assert!(neg);
+        assert_eq!(m, mag);
+    }
+
+    #[test]
+    #[should_panic(expected = "residue count")]
+    fn wrong_residue_count_panics() {
+        basis().reconstruct(&[1, 2]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Complex floating-point FFT for the CKKS canonical embedding.
+//!
+//! This is a plain iterative radix-2 Cooley–Tukey transform over `f64`
+//! complex numbers. CKKS encoders in SEAL and HEAAN likewise use double
+//! precision; the resulting encoding error is part of the scheme's
+//! approximation noise and is accounted for by the fixed-point scale
+//! selection pass.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Creates a complex number from rectangular coordinates.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// `e^{i theta}`.
+    pub fn from_angle(theta: f64) -> Self {
+        Complex64 { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex64 { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Complex64 { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, o: Complex64) -> Complex64 {
+        Complex64 { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, o: Complex64) -> Complex64 {
+        Complex64 { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, o: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        Complex64 { re: -self.re, im: -self.im }
+    }
+}
+
+/// In-place radix-2 FFT.
+///
+/// Computes `X_k = Σ_j x_j e^{-2πi jk/n}` when `inverse` is false, and the
+/// unnormalized inverse (positive exponent) when `inverse` is true; divide by
+/// `n` yourself if you need the true inverse.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_in_place(data: &mut [Complex64], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    let log_n = n.trailing_zeros();
+    for i in 0..n {
+        let j = crate::ntt::bit_reverse(i, log_n);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::from_angle(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex64::new(1.0, 0.0);
+            for j in 0..len / 2 {
+                let u = data[i + j];
+                let v = data[i + j + len / 2] * w;
+                data[i + j] = u + v;
+                data[i + j + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex64, b: Complex64, tol: f64) {
+        assert!(
+            (a - b).norm_sqr().sqrt() < tol,
+            "expected {b:?}, got {a:?}"
+        );
+    }
+
+    #[test]
+    fn fft_of_delta_is_flat() {
+        let mut data = vec![Complex64::default(); 8];
+        data[0] = Complex64::new(1.0, 0.0);
+        fft_in_place(&mut data, false);
+        for &x in &data {
+            assert_close(x, Complex64::new(1.0, 0.0), 1e-12);
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let n = 256;
+        let orig: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.7).cos())).collect();
+        let mut data = orig.clone();
+        fft_in_place(&mut data, false);
+        fft_in_place(&mut data, true);
+        for (a, &b) in data.iter().zip(&orig) {
+            assert_close(a.scale(1.0 / n as f64), b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 64;
+        let mut data: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new(i as f64, -(i as f64) * 0.5)).collect();
+        let time_energy: f64 = data.iter().map(|x| x.norm_sqr()).sum();
+        fft_in_place(&mut data, false);
+        let freq_energy: f64 = data.iter().map(|x| x.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-10);
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let n = 16;
+        let input: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i * i) as f64 * 0.1, i as f64 * 0.3)).collect();
+        let mut fast = input.clone();
+        fft_in_place(&mut fast, false);
+        for k in 0..n {
+            let mut acc = Complex64::default();
+            for (j, &x) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                acc = acc + x * Complex64::from_angle(ang);
+            }
+            assert_close(fast[k], acc, 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let mut d = vec![Complex64::default(); 3];
+        fft_in_place(&mut d, false);
+    }
+}

@@ -1,0 +1,258 @@
+//! Negacyclic number-theoretic transforms over `Z_q[X]/(X^N + 1)`.
+//!
+//! The forward transform maps coefficient vectors to evaluations at the odd
+//! powers of a primitive `2N`-th root of unity `ψ`, so that pointwise
+//! multiplication of transformed vectors realizes *negacyclic* convolution —
+//! exactly the polynomial product in the CKKS ciphertext ring.
+//!
+//! The butterflies use Shoup multiplication with precomputed twiddles in
+//! bit-reversed order (the layout popularized by Harvey and used by SEAL).
+
+use crate::modint::{add_mod, inv_mod, sub_mod, ShoupMul};
+use crate::prime::primitive_root_2n;
+
+/// Reverses the lowest `bits` bits of `x`.
+#[inline]
+pub fn bit_reverse(x: usize, bits: u32) -> usize {
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Precomputed tables for the negacyclic NTT of a fixed `(q, n)` pair.
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    q: u64,
+    n: usize,
+    log_n: u32,
+    /// ψ^bitrev(i) with Shoup precomputation.
+    psi_rev: Vec<ShoupMul>,
+    /// ψ^{-bitrev(i)} with Shoup precomputation.
+    psi_inv_rev: Vec<ShoupMul>,
+    /// n^{-1} mod q.
+    n_inv: ShoupMul,
+}
+
+/// Error returned when an [`NttTable`] cannot be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NttError(String);
+
+impl std::fmt::Display for NttError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot build NTT table: {}", self.0)
+    }
+}
+
+impl std::error::Error for NttError {}
+
+impl NttTable {
+    /// Builds NTT tables for modulus `q` and power-of-two degree `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is not a power of two or `q ≠ 1 mod 2n`.
+    pub fn new(q: u64, n: usize) -> Result<Self, NttError> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(NttError(format!("degree {n} is not a power of two >= 2")));
+        }
+        if (q - 1) % (2 * n as u64) != 0 {
+            return Err(NttError(format!("modulus {q} is not 1 mod {}", 2 * n)));
+        }
+        let log_n = n.trailing_zeros();
+        let psi = primitive_root_2n(q, n);
+        let psi_inv = inv_mod(psi, q).expect("psi is invertible mod prime q");
+
+        let mut psi_pow = vec![0u64; n];
+        let mut psi_inv_pow = vec![0u64; n];
+        psi_pow[0] = 1;
+        psi_inv_pow[0] = 1;
+        for i in 1..n {
+            psi_pow[i] = crate::modint::mul_mod(psi_pow[i - 1], psi, q);
+            psi_inv_pow[i] = crate::modint::mul_mod(psi_inv_pow[i - 1], psi_inv, q);
+        }
+        let mut psi_rev = Vec::with_capacity(n);
+        let mut psi_inv_rev = Vec::with_capacity(n);
+        for i in 0..n {
+            let r = bit_reverse(i, log_n);
+            psi_rev.push(ShoupMul::new(psi_pow[r], q));
+            psi_inv_rev.push(ShoupMul::new(psi_inv_pow[r], q));
+        }
+        let n_inv = ShoupMul::new(inv_mod(n as u64, q).expect("n invertible"), q);
+        Ok(NttTable { q, n, log_n, psi_rev, psi_inv_rev, n_inv })
+    }
+
+    /// The modulus this table was built for.
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// The transform length (ring degree).
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// In-place forward negacyclic NTT (coefficient → evaluation domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.degree()`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal the ring degree");
+        let q = self.q;
+        let n = self.n;
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let j2 = j1 + t;
+                let s = self.psi_rev[m + i];
+                for j in j1..j2 {
+                    let u = a[j];
+                    let v = s.mul(a[j + t], q);
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = sub_mod(u, v, q);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation → coefficient domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.degree()`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal the ring degree");
+        let q = self.q;
+        let n = self.n;
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let j2 = j1 + t;
+                let s = self.psi_inv_rev[h + i];
+                for j in j1..j2 {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = s.mul(sub_mod(u, v, q), q);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = self.n_inv.mul(*x, q);
+        }
+    }
+
+    /// log2 of the transform length.
+    pub fn log_degree(&self) -> u32 {
+        self.log_n
+    }
+}
+
+/// Reference negacyclic convolution in `O(n^2)`, for testing and tiny sizes.
+pub fn negacyclic_convolution_naive(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+    let n = a.len();
+    assert_eq!(b.len(), n);
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        for j in 0..n {
+            let prod = crate::modint::mul_mod(a[i], b[j], q);
+            let k = i + j;
+            if k < n {
+                out[k] = add_mod(out[k], prod, q);
+            } else {
+                out[k - n] = sub_mod(out[k - n], prod, q);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::ntt_primes;
+
+    fn table(n: usize) -> NttTable {
+        let q = ntt_primes(50, n, 1)[0];
+        NttTable::new(q, n).unwrap()
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let t = table(256);
+        let q = t.modulus();
+        let mut a: Vec<u64> = (0..256).map(|i| (i as u64 * 7919) % q).collect();
+        let orig = a.clone();
+        t.forward(&mut a);
+        assert_ne!(a, orig);
+        t.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn pointwise_product_is_negacyclic_convolution() {
+        let n = 64;
+        let t = table(n);
+        let q = t.modulus();
+        let a: Vec<u64> = (0..n).map(|i| (i as u64 * 31 + 5) % q).collect();
+        let b: Vec<u64> = (0..n).map(|i| (i as u64 * 17 + 3) % q).collect();
+        let expect = negacyclic_convolution_naive(&a, &b, q);
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        let mut fc: Vec<u64> = fa
+            .iter()
+            .zip(&fb)
+            .map(|(&x, &y)| crate::modint::mul_mod(x, y, q))
+            .collect();
+        t.inverse(&mut fc);
+        assert_eq!(fc, expect);
+    }
+
+    #[test]
+    fn x_times_x_pow_nminus1_is_minus_one() {
+        // X * X^{n-1} = X^n = -1 in the negacyclic ring.
+        let n = 32;
+        let t = table(n);
+        let q = t.modulus();
+        let mut a = vec![0u64; n];
+        a[1] = 1;
+        let mut b = vec![0u64; n];
+        b[n - 1] = 1;
+        let c = negacyclic_convolution_naive(&a, &b, q);
+        assert_eq!(c[0], q - 1);
+        assert!(c[1..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn rejects_bad_degree() {
+        assert!(NttTable::new(97, 24).is_err());
+    }
+
+    #[test]
+    fn rejects_non_ntt_modulus() {
+        assert!(NttTable::new(97, 256).is_err());
+    }
+
+    #[test]
+    fn bit_reverse_involution() {
+        for bits in 1..12u32 {
+            for x in 0..(1usize << bits) {
+                assert_eq!(bit_reverse(bit_reverse(x, bits), bits), x);
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Primality testing and NTT-friendly prime generation.
+
+use crate::modint::{mul_mod, pow_mod};
+
+/// Deterministic Miller–Rabin primality test for `u64`.
+///
+/// Uses the witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`, which
+/// is known to be deterministic for all 64-bit integers.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates `count` distinct primes of roughly `bits` bits, each congruent
+/// to `1 mod 2 * degree` so that a negacyclic NTT of length `degree` exists.
+///
+/// Candidates are searched downward from `2^bits`, mirroring how SEAL
+/// distributes its default coefficient-modulus primes. The result is sorted
+/// descending (largest first).
+///
+/// # Panics
+///
+/// Panics if `degree` is not a power of two, if `bits` is outside `[20, 61]`,
+/// or if not enough primes exist in the search window (never happens for the
+/// parameter ranges used by the schemes).
+pub fn ntt_primes(bits: u32, degree: usize, count: usize) -> Vec<u64> {
+    assert!(degree.is_power_of_two(), "ring degree must be a power of two");
+    assert!((20..=61).contains(&bits), "prime size must be in [20, 61] bits");
+    let m = 2 * degree as u64; // primes must be 1 mod m
+    let mut primes = Vec::with_capacity(count);
+    // Largest candidate of the requested size that is 1 mod m.
+    let top = (1u64 << bits) - 1;
+    let mut candidate = top - ((top - 1) % m);
+    while primes.len() < count {
+        if candidate < (1u64 << (bits - 1)) {
+            panic!("exhausted {bits}-bit prime search window for degree {degree}");
+        }
+        if is_prime(candidate) {
+            primes.push(candidate);
+        }
+        candidate -= m;
+    }
+    primes
+}
+
+/// Finds a generator of the multiplicative group `Z_q^*` restricted to what
+/// the NTT needs: a primitive `2n`-th root of unity modulo `q`.
+///
+/// # Panics
+///
+/// Panics if `q - 1` is not divisible by `2n` (i.e. `q` is not NTT-friendly
+/// for degree `n`).
+pub fn primitive_root_2n(q: u64, n: usize) -> u64 {
+    let order = 2 * n as u64;
+    assert_eq!((q - 1) % order, 0, "modulus is not NTT friendly for this degree");
+    let cofactor = (q - 1) / order;
+    // Try small candidates; g^cofactor has order dividing 2n. It has order
+    // exactly 2n iff raising to n does not give 1.
+    for g in 2u64.. {
+        let root = pow_mod(g, cofactor, q);
+        if root != 1 && pow_mod(root, n as u64, q) == q - 1 {
+            return root;
+        }
+        if g > 1 << 20 {
+            unreachable!("no primitive root found; modulus is not prime?");
+        }
+    }
+    unreachable!()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_recognized() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 7919, 1_000_000_007];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+    }
+
+    #[test]
+    fn composites_rejected() {
+        for c in [0u64, 1, 4, 6, 9, 91, 1_000_000_006, 3_215_031_751] {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601] {
+            assert!(!is_prime(c), "Carmichael number {c} should be composite");
+        }
+    }
+
+    #[test]
+    fn generated_primes_are_ntt_friendly() {
+        let degree = 2048;
+        let primes = ntt_primes(50, degree, 4);
+        assert_eq!(primes.len(), 4);
+        for &p in &primes {
+            assert!(is_prime(p));
+            assert_eq!((p - 1) % (2 * degree as u64), 0);
+            assert!(p < 1 << 50 && p > 1 << 49);
+        }
+        // Distinct and descending.
+        for w in primes.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn primitive_root_has_exact_order() {
+        let n = 1024usize;
+        let q = ntt_primes(45, n, 1)[0];
+        let root = primitive_root_2n(q, n);
+        assert_eq!(pow_mod(root, 2 * n as u64, q), 1);
+        assert_eq!(pow_mod(root, n as u64, q), q - 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Encrypted tensors: the HTC's `CipherTensor` datatype (paper §4.2).
+
+use crate::layout::Layout;
+use chet_hisa::Hisa;
+use chet_tensor::Tensor;
+
+/// An encrypted CHW tensor: layout metadata (plain integers — leaks nothing
+/// about the data) plus one ciphertext per layout slot group.
+#[derive(Debug, Clone)]
+pub struct CipherTensor<C> {
+    /// Physical layout of the logical tensor.
+    pub layout: Layout,
+    /// Ciphertexts in layout order.
+    pub cts: Vec<C>,
+}
+
+impl<C> CipherTensor<C> {
+    /// Logical CHW shape.
+    pub fn shape(&self) -> [usize; 3] {
+        [self.layout.channels, self.layout.height, self.layout.width]
+    }
+
+    /// Number of ciphertexts.
+    pub fn num_cts(&self) -> usize {
+        self.cts.len()
+    }
+}
+
+/// Packs a plain CHW tensor into per-ciphertext slot vectors for a layout.
+pub fn pack_tensor(tensor: &Tensor, layout: &Layout) -> Vec<Vec<f64>> {
+    let [c, h, w] = *tensor.shape() else { panic!("pack_tensor expects CHW") };
+    assert_eq!(
+        (c, h, w),
+        (layout.channels, layout.height, layout.width),
+        "tensor shape must match layout dims"
+    );
+    let mut vecs = vec![vec![0.0; layout.slots]; layout.num_cts()];
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let (ct, slot) = layout.slot_of(ci, y, x);
+                vecs[ct][slot] = tensor.at(&[ci, y, x]);
+            }
+        }
+    }
+    vecs
+}
+
+/// Unpacks per-ciphertext slot vectors back into a plain CHW tensor.
+pub fn unpack_tensor(vecs: &[Vec<f64>], layout: &Layout) -> Tensor {
+    let mut out = Tensor::zeros(vec![layout.channels, layout.height, layout.width]);
+    for c in 0..layout.channels {
+        for y in 0..layout.height {
+            for x in 0..layout.width {
+                let (ct, slot) = layout.slot_of(c, y, x);
+                *out.at_mut(&[c, y, x]) = vecs[ct][slot];
+            }
+        }
+    }
+    out
+}
+
+/// Encrypts a plain tensor into a [`CipherTensor`] under the given layout
+/// and input scale (the client-side step of the paper's Figure 3).
+pub fn encrypt_tensor<H: Hisa>(
+    h: &mut H,
+    tensor: &Tensor,
+    layout: &Layout,
+    scale: f64,
+) -> CipherTensor<H::Ct> {
+    assert_eq!(layout.slots, h.slots(), "layout slot width must match the scheme");
+    let cts = pack_tensor(tensor, layout)
+        .into_iter()
+        .map(|v| {
+            let pt = h.encode(&v, scale);
+            h.encrypt(&pt)
+        })
+        .collect();
+    CipherTensor { layout: layout.clone(), cts }
+}
+
+/// Decrypts a [`CipherTensor`] back into a plain tensor.
+pub fn decrypt_tensor<H: Hisa>(h: &mut H, ct: &CipherTensor<H::Ct>) -> Tensor {
+    let vecs: Vec<Vec<f64>> = ct
+        .cts
+        .iter()
+        .map(|c| {
+            let pt = h.decrypt(c);
+            h.decode(&pt)
+        })
+        .collect();
+    unpack_tensor(&vecs, &ct.layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{Layout, LayoutKind};
+
+    fn ramp(c: usize, h: usize, w: usize) -> Tensor {
+        Tensor::from_fn(vec![c, h, w], |i| (i[0] * 100 + i[1] * 10 + i[2]) as f64)
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_hw() {
+        let t = ramp(3, 4, 5);
+        let l = Layout::hw(3, 4, 5, 2, 64);
+        let packed = pack_tensor(&t, &l);
+        assert_eq!(packed.len(), 3);
+        assert_eq!(unpack_tensor(&packed, &l), t);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_chw() {
+        let t = ramp(6, 3, 3);
+        let l = Layout::chw(6, 3, 3, 1, 64);
+        assert_eq!(l.kind, LayoutKind::CHW);
+        let packed = pack_tensor(&t, &l);
+        assert_eq!(unpack_tensor(&packed, &l), t);
+    }
+
+    #[test]
+    fn margins_stay_zero() {
+        let t = ramp(1, 2, 2);
+        let l = Layout::hw(1, 2, 2, 2, 32);
+        let packed = pack_tensor(&t, &l);
+        // valid slots: 0,1 then 4,5 (h_stride 4); everything else zero.
+        let nonzero: Vec<usize> = packed[0]
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(nonzero.iter().all(|i| [1usize, 4, 5].contains(i)), "{nonzero:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "match layout dims")]
+    fn shape_mismatch_panics() {
+        pack_tensor(&ramp(2, 2, 2), &Layout::hw(1, 2, 2, 0, 16));
+    }
+}

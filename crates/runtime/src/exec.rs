@@ -1,0 +1,403 @@
+//! The homomorphic tensor-circuit executor.
+//!
+//! Given a tensor [`Circuit`] and an [`ExecPlan`] (per-node layout
+//! assignment + fixed-point scales — the policy decisions of the paper's
+//! HTC), this walks the circuit and invokes the homomorphic kernels.
+//! Because kernels are generic over [`Hisa`], the same executor performs
+//! real encrypted inference *and* the compiler's data-flow analyses.
+
+use crate::ciphertensor::{decrypt_tensor, encrypt_tensor, CipherTensor};
+use crate::kernels::concat::hconcat;
+use crate::kernels::conv::hconv2d_with_mask;
+use crate::kernels::convert::convert_layout;
+use crate::kernels::elementwise::{hactivation, hbatch_norm};
+use crate::kernels::matmul::hmatmul;
+use crate::kernels::pool::{havg_pool2d_with_mask, hglobal_avg_pool};
+use crate::kernels::ScaleConfig;
+use crate::layout::{Layout, LayoutKind};
+use chet_hisa::Hisa;
+use chet_tensor::circuit::{Circuit, Op};
+use chet_tensor::Tensor;
+
+/// All policy decisions needed to execute a circuit homomorphically: this
+/// is the reproduction's Homomorphic Tensor Circuit metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecPlan {
+    /// Output layout kind per node. Only convolutions can change layout;
+    /// other ops inherit their input's kind (the assignment is advisory
+    /// for them).
+    pub layouts: Vec<LayoutKind>,
+    /// The four fixed-point scales (paper §5.5).
+    pub scales: ScaleConfig,
+    /// Zero margin (rows/columns) reserved in the input layout for
+    /// Same-padding reads.
+    pub margin: usize,
+}
+
+impl ExecPlan {
+    /// A plan assigning the same layout kind to every node, with the margin
+    /// the circuit's convolutions require.
+    pub fn uniform(circuit: &Circuit, kind: LayoutKind, scales: ScaleConfig) -> Self {
+        ExecPlan {
+            layouts: vec![kind; circuit.ops().len()],
+            scales,
+            margin: required_margin_for(circuit),
+        }
+    }
+}
+
+/// Margin (physical rows/columns) the input layout must reserve so every
+/// `Same`-padded convolution reads zeros: the max kernel overhang times the
+/// cumulative stride dilation at that convolution.
+pub fn required_margin_for(circuit: &Circuit) -> usize {
+    let mut dilation = vec![1usize; circuit.ops().len()];
+    let mut margin = 0usize;
+    for (i, op) in circuit.ops().iter().enumerate() {
+        dilation[i] = match op {
+            Op::Input { .. } => 1,
+            Op::Conv2d { input, stride, weights, padding, .. } => {
+                let d = dilation[*input];
+                if *padding == chet_tensor::ops::Padding::Same {
+                    let r = weights.shape()[2].max(weights.shape()[3]);
+                    margin = margin.max((r - 1) * d);
+                }
+                d * stride
+            }
+            Op::AvgPool2d { input, stride, .. } => dilation[*input] * stride,
+            Op::Activation { input, .. }
+            | Op::BatchNorm { input, .. }
+            | Op::Flatten { input } => dilation[*input],
+            Op::Concat { inputs } => inputs.iter().map(|&i| dilation[i]).max().unwrap_or(1),
+            Op::MatMul { .. } | Op::GlobalAvgPool { .. } => 1,
+        };
+    }
+    margin
+}
+
+/// Backward analysis for *lazy masking* (paper §4.2: CHET "avoids or
+/// delays" expensive masking): a node must emit zeroed junk slots only if
+/// some consumer actually reads beyond the valid positions — a
+/// `Same`-padded convolution (margin reads), a concatenation (block
+/// moves), or a layout conversion. Activations and flattens pass junk
+/// through, so requirements propagate to their producers; batch-norm,
+/// dense layers and pools clean or tolerate junk by construction.
+pub fn clean_output_required(circuit: &Circuit, plan: &ExecPlan) -> Vec<bool> {
+    let ops = circuit.ops();
+    let n = ops.len();
+    let mut need = vec![false; n];
+    // Produced layout kind per node (to find conversion sites).
+    let mut produced = plan.layouts.clone();
+    for (i, op) in ops.iter().enumerate() {
+        produced[i] = match op {
+            Op::Input { .. } | Op::Conv2d { .. } => plan.layouts[i],
+            Op::MatMul { .. } | Op::GlobalAvgPool { .. } => LayoutKind::CHW,
+            Op::Flatten { input } => produced[*input],
+            // Converted at fetch time to the plan's kind.
+            _ => plan.layouts[i],
+        };
+    }
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Conv2d { input, padding, .. } => {
+                if *padding == chet_tensor::ops::Padding::Same {
+                    need[*input] = true;
+                }
+            }
+            Op::Concat { inputs } => {
+                for &d in inputs {
+                    need[d] = true;
+                }
+            }
+            // Conversion sites (fetch repacks): require clean producers.
+            Op::Activation { input, .. }
+            | Op::BatchNorm { input, .. }
+            | Op::AvgPool2d { input, .. }
+            | Op::GlobalAvgPool { input } => {
+                if produced[*input] != plan.layouts[i] {
+                    need[*input] = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Propagate through junk-preserving ops to the nearest maskable node.
+    for i in (0..n).rev() {
+        if need[i] {
+            match &ops[i] {
+                Op::Activation { input, .. } | Op::Flatten { input } => {
+                    need[*input] = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    need
+}
+
+/// Builds the input layout for a circuit under a plan.
+///
+/// # Panics
+///
+/// Panics if the circuit has no input op.
+pub fn input_layout<H: Hisa>(h: &H, circuit: &Circuit, plan: &ExecPlan) -> Layout {
+    let (idx, shape) = circuit
+        .ops()
+        .iter()
+        .enumerate()
+        .find_map(|(i, op)| match op {
+            Op::Input { shape } => Some((i, shape.clone())),
+            _ => None,
+        })
+        .expect("circuit has an input");
+    let [c, ih, iw] = shape[..] else { panic!("input must be CHW") };
+    match plan.layouts[idx] {
+        LayoutKind::HW => Layout::hw(c, ih, iw, plan.margin, h.slots()),
+        LayoutKind::CHW => Layout::chw(c, ih, iw, plan.margin, h.slots()),
+    }
+}
+
+/// Client-side step: encode + encrypt an image under the plan's layout.
+pub fn encrypt_input<H: Hisa>(
+    h: &mut H,
+    circuit: &Circuit,
+    plan: &ExecPlan,
+    image: &Tensor,
+) -> CipherTensor<H::Ct> {
+    let layout = input_layout(h, circuit, plan);
+    encrypt_tensor(h, image, &layout, plan.scales.input)
+}
+
+/// Server-side step: execute the homomorphic tensor circuit on an
+/// encrypted input, returning the encrypted prediction.
+///
+/// # Panics
+///
+/// Panics on unsupported circuits (multiple encrypted inputs) or shape
+/// mismatches.
+pub fn run_encrypted<H: Hisa>(
+    h: &mut H,
+    circuit: &Circuit,
+    plan: &ExecPlan,
+    input: CipherTensor<H::Ct>,
+) -> CipherTensor<H::Ct> {
+    let n = circuit.ops().len();
+    assert_eq!(plan.layouts.len(), n, "plan must assign a layout per node");
+    // Free intermediate tensors after their last consumer.
+    let mut last_use = vec![0usize; n];
+    for (i, op) in circuit.ops().iter().enumerate() {
+        for dep in op.inputs() {
+            last_use[dep] = last_use[dep].max(i);
+        }
+    }
+    last_use[circuit.output()] = n;
+
+    let scales = &plan.scales;
+    let need_clean = clean_output_required(circuit, plan);
+    let mut values: Vec<Option<CipherTensor<H::Ct>>> = (0..n).map(|_| None).collect();
+    let mut input_slot = Some(input);
+    // Repacks a dependency when the plan assigns this node a different
+    // layout family than its producer emitted (hybrid policies pay this).
+    fn fetch<'v, H2: Hisa>(
+        h: &mut H2,
+        values: &'v mut [Option<CipherTensor<H2::Ct>>],
+        dep: usize,
+        want: LayoutKind,
+        scales: &ScaleConfig,
+    ) -> &'v CipherTensor<H2::Ct> {
+        let needs = {
+            let x = values[dep].as_ref().expect("dep computed");
+            x.layout.kind != want && x.layout.height * x.layout.width > 1
+        };
+        if needs {
+            let converted = {
+                let x = values[dep].as_ref().expect("dep computed");
+                convert_layout(h, x, want, scales)
+            };
+            values[dep] = Some(converted);
+        }
+        values[dep].as_ref().expect("dep computed")
+    }
+    for (i, op) in circuit.ops().iter().enumerate() {
+        let v = match op {
+            Op::Input { .. } => input_slot
+                .take()
+                .expect("circuits with multiple encrypted inputs are unsupported"),
+            Op::Conv2d { input, weights, bias, stride, padding } => {
+                let x = values[*input].as_ref().expect("dep computed");
+                hconv2d_with_mask(
+                    h,
+                    x,
+                    weights,
+                    bias.as_deref(),
+                    *stride,
+                    *padding,
+                    plan.layouts[i],
+                    scales,
+                    need_clean[i],
+                )
+            }
+            Op::MatMul { input, weights, bias } => {
+                let x = values[*input].as_ref().expect("dep computed");
+                hmatmul(h, x, weights, bias.as_deref(), scales)
+            }
+            Op::AvgPool2d { input, kernel, stride } => {
+                let x = fetch(h, &mut values, *input, plan.layouts[i], scales);
+                let x = x.clone();
+                havg_pool2d_with_mask(h, &x, *kernel, *stride, scales, need_clean[i])
+            }
+            Op::GlobalAvgPool { input } => {
+                let x = fetch(h, &mut values, *input, plan.layouts[i], scales);
+                let x = x.clone();
+                hglobal_avg_pool(h, &x, scales)
+            }
+            Op::Activation { input, a, b } => {
+                let x = fetch(h, &mut values, *input, plan.layouts[i], scales);
+                let x = x.clone();
+                hactivation(h, &x, *a, *b, scales)
+            }
+            Op::BatchNorm { input, scale, shift } => {
+                let x = fetch(h, &mut values, *input, plan.layouts[i], scales);
+                let x = x.clone();
+                hbatch_norm(h, &x, scale, shift, scales)
+            }
+            Op::Concat { inputs } => {
+                for &j in inputs {
+                    fetch(h, &mut values, j, plan.layouts[i], scales);
+                }
+                let xs: Vec<&CipherTensor<H::Ct>> =
+                    inputs.iter().map(|&j| values[j].as_ref().expect("dep computed")).collect();
+                hconcat(h, &xs, scales)
+            }
+            Op::Flatten { input } => {
+                // Metadata-only: the dense kernel enumerates any layout.
+                values[*input].as_ref().expect("dep computed").clone()
+            }
+        };
+        values[i] = Some(v);
+        // Drop tensors that will not be used again.
+        for dep in op.inputs() {
+            if last_use[dep] <= i && dep != circuit.output() {
+                values[dep] = None;
+            }
+        }
+    }
+    values[circuit.output()].take().expect("output computed")
+}
+
+/// End-to-end convenience: encrypt, run, decrypt (the full Figure 3 flow on
+/// one machine).
+pub fn infer<H: Hisa>(h: &mut H, circuit: &Circuit, plan: &ExecPlan, image: &Tensor) -> Tensor {
+    let enc = encrypt_input(h, circuit, plan, image);
+    let out = run_encrypted(h, circuit, plan, enc);
+    let dec = decrypt_tensor(h, &out);
+    // Dense outputs come back as [len, 1, 1]; flatten to [len] to match the
+    // reference evaluator.
+    let shapes = circuit.shapes();
+    let want = &shapes[circuit.output()];
+    if want.len() == 1 && dec.shape() != &want[..] {
+        dec.reshape(want.clone())
+    } else {
+        dec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chet_ckks::sim::SimCkks;
+    use chet_hisa::{EncryptionParams, RotationKeyPolicy};
+    use chet_tensor::circuit::CircuitBuilder;
+    use chet_tensor::ops::Padding;
+
+    fn sim(chain: usize) -> SimCkks {
+        let params = EncryptionParams::rns_ckks(8192, 40, chain);
+        SimCkks::new(&params, &RotationKeyPolicy::PowersOfTwo, 5).without_noise()
+    }
+
+    fn small_cnn() -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(vec![1, 8, 8]);
+        let w1 = Tensor::from_fn(vec![2, 1, 3, 3], |i| ((i[0] + i[2] + i[3]) % 3) as f64 * 0.2 - 0.2);
+        let c1 = b.conv2d(x, w1, Some(vec![0.1, -0.1]), 1, Padding::Valid);
+        let a1 = b.activation(c1, 0.1, 1.0);
+        let p1 = b.avg_pool2d(a1, 2, 2);
+        let f = b.flatten(p1);
+        let wfc = Tensor::from_fn(vec![3, 18], |i| ((i[0] * 7 + i[1]) % 5) as f64 * 0.1 - 0.2);
+        let fc = b.matmul(f, wfc, Some(vec![0.5, 0.0, -0.5]));
+        b.build(fc)
+    }
+
+    #[test]
+    fn end_to_end_small_cnn_all_layouts() {
+        let circuit = small_cnn();
+        let image = Tensor::from_fn(vec![1, 8, 8], |i| ((i[1] * 8 + i[2]) % 11) as f64 * 0.1 - 0.5);
+        let want = circuit.eval(&[image.clone()]);
+        for kind in [LayoutKind::HW, LayoutKind::CHW] {
+            let mut h = sim(8);
+            let plan = ExecPlan::uniform(&circuit, kind, ScaleConfig::default());
+            let got = infer(&mut h, &circuit, &plan, &image);
+            assert_eq!(got.shape(), want.shape());
+            assert!(
+                got.max_abs_diff(&want) < 1e-4,
+                "{kind}: diff {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_layout_plan() {
+        // HW for the conv, CHW after (the paper's HW-conv/CHW-rest policy).
+        let circuit = small_cnn();
+        let image = Tensor::from_fn(vec![1, 8, 8], |i| (i[1] + i[2]) as f64 * 0.05);
+        let want = circuit.eval(&[image.clone()]);
+        let mut h = sim(8);
+        let mut plan = ExecPlan::uniform(&circuit, LayoutKind::HW, ScaleConfig::default());
+        for (i, op) in circuit.ops().iter().enumerate() {
+            if matches!(op, Op::Conv2d { .. }) {
+                plan.layouts[i] = LayoutKind::CHW; // conv emits CHW
+            }
+        }
+        let got = infer(&mut h, &circuit, &plan, &image);
+        assert!(got.max_abs_diff(&want) < 1e-4, "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn margin_computed_from_same_convs() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(vec![1, 8, 8]);
+        let w = Tensor::zeros(vec![1, 1, 3, 3]);
+        let c1 = b.conv2d(x, w.clone(), None, 2, Padding::Same);
+        let c2 = b.conv2d(c1, w, None, 1, Padding::Same);
+        let circuit = b.build(c2);
+        // Second conv runs at dilation 2: margin = (3-1)*2 = 4.
+        assert_eq!(required_margin_for(&circuit), 4);
+    }
+
+    #[test]
+    fn squeeze_like_concat_circuit() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(vec![2, 6, 6]);
+        let ws = Tensor::from_fn(vec![2, 2, 1, 1], |i| (i[0] + i[1]) as f64 * 0.3 - 0.3);
+        let sq = b.conv2d(x, ws, None, 1, Padding::Valid);
+        let a = b.activation(sq, 0.2, 0.8);
+        let we1 = Tensor::from_fn(vec![2, 2, 1, 1], |i| i[0] as f64 * 0.5 - 0.2);
+        let we3 = Tensor::from_fn(vec![2, 2, 3, 3], |i| ((i[2] + i[3]) % 2) as f64 * 0.2 - 0.1);
+        let e1 = b.conv2d(a, we1, None, 1, Padding::Same);
+        let e3 = b.conv2d(a, we3, None, 1, Padding::Same);
+        let cc = b.concat(vec![e1, e3]);
+        let g = b.global_avg_pool(cc);
+        let circuit = b.build(g);
+        let image = Tensor::from_fn(vec![2, 6, 6], |i| ((i[0] * 3 + i[1] + i[2]) % 4) as f64 * 0.2);
+        let want = circuit.eval(&[image.clone()]);
+        for kind in [LayoutKind::HW, LayoutKind::CHW] {
+            let mut h = sim(8);
+            let plan = ExecPlan::uniform(&circuit, kind, ScaleConfig::default());
+            let got = infer(&mut h, &circuit, &plan, &image);
+            let diff = got
+                .reshape(vec![got.numel()])
+                .max_abs_diff(&want.reshape(vec![want.numel()]));
+            assert!(diff < 1e-4, "{kind}: diff {diff}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Homomorphic channel concatenation (SqueezeNet expand paths).
+//!
+//! Under HW layout concatenation is *free* — the ciphertext lists are
+//! simply joined. Under CHW the source channel blocks are rotated into
+//! their destination positions; when a source ciphertext's blocks land
+//! contiguously in one destination ciphertext this is rotation-only,
+//! otherwise block masks isolate the pieces first.
+
+use super::{apply_mask, rot_signed, ScaleConfig};
+use crate::ciphertensor::CipherTensor;
+use crate::layout::{prev_power_of_two, LayoutKind};
+use chet_hisa::Hisa;
+
+/// Concatenates [`CipherTensor`]s along the channel dimension.
+///
+/// # Panics
+///
+/// Panics if layouts disagree on kind, spatial dims, or strides, or if
+/// operand scales mismatch.
+pub fn hconcat<H: Hisa>(
+    h: &mut H,
+    inputs: &[&CipherTensor<H::Ct>],
+    scales: &ScaleConfig,
+) -> CipherTensor<H::Ct> {
+    assert!(!inputs.is_empty(), "concat needs at least one input");
+    let first = &inputs[0].layout;
+    for t in inputs {
+        let l = &t.layout;
+        assert_eq!(l.kind, first.kind, "concat inputs must share layout kind");
+        assert_eq!(
+            (l.height, l.width, l.h_stride, l.w_stride, l.c_stride),
+            (first.height, first.width, first.h_stride, first.w_stride, first.c_stride),
+            "concat inputs must share spatial geometry"
+        );
+    }
+    let total_c: usize = inputs.iter().map(|t| t.layout.channels).sum();
+
+    match first.kind {
+        LayoutKind::HW => {
+            let mut layout = first.clone();
+            layout.channels = total_c;
+            let mut cts = Vec::new();
+            for t in inputs {
+                for c in &t.cts {
+                    cts.push(h.copy(c));
+                }
+            }
+            CipherTensor { layout, cts }
+        }
+        LayoutKind::CHW => {
+            let mut layout = first.clone();
+            layout.channels = total_c;
+            layout.channels_per_ct =
+                prev_power_of_two(layout.slots / layout.c_stride).max(1).min(total_c);
+            let cpc_out = layout.channels_per_ct;
+            let mut out: Vec<Option<H::Ct>> = vec![None; layout.num_cts()];
+
+            // Check whether every source ciphertext maps wholly into one
+            // destination ciphertext with a single rotation.
+            let mut aligned = true;
+            {
+                let mut g_off = 0usize;
+                for t in inputs {
+                    let cpc_in = t.layout.channels_per_ct;
+                    for (ct_idx, _) in t.cts.iter().enumerate() {
+                        let c0 = g_off + ct_idx * cpc_in;
+                        let c1 = g_off + t.layout.channels.min((ct_idx + 1) * cpc_in);
+                        if c0 / cpc_out != (c1 - 1) / cpc_out {
+                            aligned = false;
+                        }
+                    }
+                    g_off += t.layout.channels;
+                }
+            }
+
+            let mut g_off = 0usize;
+            for t in inputs {
+                let cpc_in = t.layout.channels_per_ct;
+                for (ct_idx, ct) in t.cts.iter().enumerate() {
+                    let local_c0 = ct_idx * cpc_in;
+                    let local_c1 = t.layout.channels.min(local_c0 + cpc_in);
+                    if aligned {
+                        let g0 = g_off + local_c0;
+                        let dest_ct = g0 / cpc_out;
+                        let delta = (g0 % cpc_out) as isize - 0;
+                        let piece = rot_signed(h, ct, -delta * layout.c_stride as isize);
+                        out[dest_ct] = Some(match out[dest_ct].take() {
+                            None => piece,
+                            Some(prev) => h.add(&prev, &piece),
+                        });
+                    } else {
+                        // General path: isolate each destination run with a
+                        // block mask (uniform: every piece gets one mask so
+                        // scales stay equal).
+                        let mut b = local_c0;
+                        while b < local_c1 {
+                            let g = g_off + b;
+                            let dest_ct = g / cpc_out;
+                            // Run of source blocks landing in dest_ct.
+                            let run_end = ((dest_ct + 1) * cpc_out - g_off).min(local_c1);
+                            let mut mask = vec![0.0; layout.slots];
+                            for blk in (b - local_c0)..(run_end - local_c0) {
+                                let start = blk * layout.c_stride;
+                                for v in mask.iter_mut().skip(start).take(layout.c_stride) {
+                                    *v = 1.0;
+                                }
+                            }
+                            let masked = apply_mask(h, ct, &mask, scales);
+                            let delta = (g % cpc_out) as isize - (b - local_c0) as isize;
+                            let piece =
+                                rot_signed(h, &masked, -delta * layout.c_stride as isize);
+                            out[dest_ct] = Some(match out[dest_ct].take() {
+                                None => piece,
+                                Some(prev) => h.add(&prev, &piece),
+                            });
+                            b = run_end;
+                        }
+                    }
+                }
+                g_off += t.layout.channels;
+            }
+            CipherTensor {
+                layout,
+                cts: out.into_iter().map(|c| c.expect("all output cts populated")).collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ciphertensor::{decrypt_tensor, encrypt_tensor};
+    use crate::layout::Layout;
+    use chet_ckks::sim::SimCkks;
+    use chet_hisa::{EncryptionParams, RotationKeyPolicy};
+    use chet_tensor::{ops, Tensor};
+
+    fn sim() -> SimCkks {
+        let params = EncryptionParams::rns_ckks(8192, 40, 6);
+        SimCkks::new(&params, &RotationKeyPolicy::PowersOfTwo, 5).without_noise()
+    }
+
+    fn ramp(c: usize, hh: usize, ww: usize, base: f64) -> Tensor {
+        Tensor::from_fn(vec![c, hh, ww], |i| base + (i[0] * 100 + i[1] * 10 + i[2]) as f64)
+    }
+
+    #[test]
+    fn concat_hw_is_ct_concatenation() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let a = ramp(2, 3, 3, 0.0);
+        let b = ramp(1, 3, 3, 1000.0);
+        let la = Layout::hw(2, 3, 3, 0, h.slots());
+        let lb = Layout::hw(1, 3, 3, 0, h.slots());
+        let ea = encrypt_tensor(&mut h, &a, &la, scales.input);
+        let eb = encrypt_tensor(&mut h, &b, &lb, scales.input);
+        let out = hconcat(&mut h, &[&ea, &eb], &scales);
+        assert_eq!(out.num_cts(), 3);
+        let got = decrypt_tensor(&mut h, &out);
+        let want = ops::concat_channels(&[&a, &b]);
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn concat_chw_aligned() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        // Blocks of 4x4 grids: c_stride 16; plenty of room -> aligned path.
+        let a = ramp(2, 4, 4, 0.0);
+        let b = ramp(2, 4, 4, 1000.0);
+        let la = Layout::chw(2, 4, 4, 0, h.slots());
+        let lb = Layout::chw(2, 4, 4, 0, h.slots());
+        let ea = encrypt_tensor(&mut h, &a, &la, scales.input);
+        let eb = encrypt_tensor(&mut h, &b, &lb, scales.input);
+        let out = hconcat(&mut h, &[&ea, &eb], &scales);
+        assert_eq!(out.num_cts(), 1);
+        let got = decrypt_tensor(&mut h, &out);
+        let want = ops::concat_channels(&[&a, &b]);
+        assert!(got.max_abs_diff(&want) < 1e-9, "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn concat_three_inputs() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let ts: Vec<Tensor> = (0..3).map(|i| ramp(1, 2, 2, i as f64 * 50.0)).collect();
+        let encs: Vec<_> = ts
+            .iter()
+            .map(|t| {
+                let l = Layout::chw(1, 2, 2, 0, h.slots());
+                encrypt_tensor(&mut h, t, &l, scales.input)
+            })
+            .collect();
+        let refs: Vec<&CipherTensor<_>> = encs.iter().collect();
+        let out = hconcat(&mut h, &refs, &scales);
+        let got = decrypt_tensor(&mut h, &out);
+        let want = ops::concat_channels(&[&ts[0], &ts[1], &ts[2]]);
+        assert!(got.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "share layout kind")]
+    fn mixed_kind_concat_panics() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let a = ramp(1, 2, 2, 0.0);
+        let lhw = Layout::hw(1, 2, 2, 0, h.slots());
+        let lchw = Layout::chw(1, 2, 2, 0, h.slots());
+        let ea = encrypt_tensor(&mut h, &a, &lhw, scales.input);
+        let eb = encrypt_tensor(&mut h, &a, &lchw, scales.input);
+        hconcat(&mut h, &[&ea, &eb], &scales);
+    }
+}

@@ -1,0 +1,381 @@
+//! Homomorphic 2-D convolution (paper Figure 4).
+//!
+//! Strategy depends on the *input* layout:
+//!
+//! * **HW** — rotate each channel ciphertext once per filter tap and
+//!   multiply by the scalar weight (`mulScalar`, cheap under CKKS);
+//!   `C·R·S` rotations shared across all `K` output channels.
+//! * **CHW** — rotate each ciphertext once per tap, multiply by a plaintext
+//!   carrying per-channel-block weights (`mulPlain`), then reduce across
+//!   channel blocks with a rotate-add tree; `R·S + K·(log C + 1)`
+//!   rotations.
+//!
+//! The *output* layout is chosen independently (the compiler's layout
+//! assignment): each output channel's accumulated grid is masked to the
+//! valid positions (the paper's `B = B' · Mask` step) and rotated into its
+//! destination block.
+
+use super::{apply_mask, rot_signed, ScaleConfig};
+use crate::ciphertensor::CipherTensor;
+use crate::layout::{Layout, LayoutKind};
+use chet_hisa::Hisa;
+use chet_tensor::ops::{conv_output_dim, Padding};
+use chet_tensor::Tensor;
+
+/// Builds the output layout for a convolution: a strided view of the input
+/// frame, re-kinded to the requested output layout.
+pub(crate) fn conv_output_layout(
+    lin: &Layout,
+    oh: usize,
+    ow: usize,
+    stride: usize,
+    out_channels: usize,
+    out_kind: LayoutKind,
+) -> Layout {
+    let mut out = lin.strided_view(oh, ow, stride, out_channels);
+    out.kind = out_kind;
+    out.channels_per_ct = match out_kind {
+        LayoutKind::HW => 1,
+        LayoutKind::CHW => {
+            let capacity = crate::layout::prev_power_of_two(out.slots / out.c_stride).max(1);
+            capacity.min(out_channels).max(1)
+        }
+    };
+    out
+}
+
+/// Homomorphic convolution of a CHW [`CipherTensor`] with KCRS weights.
+///
+/// # Panics
+///
+/// Panics on shape mismatches, or if `Same` padding needs more margin than
+/// the input layout reserved.
+pub fn hconv2d<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    weights: &Tensor,
+    bias: Option<&[f64]>,
+    stride: usize,
+    padding: Padding,
+    out_kind: LayoutKind,
+    scales: &ScaleConfig,
+) -> CipherTensor<H::Ct> {
+    hconv2d_with_mask(h, input, weights, bias, stride, padding, out_kind, scales, true)
+}
+
+/// [`hconv2d`] with an explicit masking decision (lazy masking, §4.2: CHET
+/// "avoids or delays performing these expensive operations"). Masking can
+/// only be skipped when the output stays in HW layout with at most one
+/// channel block per ciphertext — CHW placement must isolate each block —
+/// and when no consumer needs zeroed junk slots (the executor's backward
+/// analysis decides).
+#[allow(clippy::too_many_arguments)]
+pub fn hconv2d_with_mask<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    weights: &Tensor,
+    bias: Option<&[f64]>,
+    stride: usize,
+    padding: Padding,
+    out_kind: LayoutKind,
+    scales: &ScaleConfig,
+    mask_output: bool,
+) -> CipherTensor<H::Ct> {
+    let lin = &input.layout;
+    let [k_out, c_in, r, s] = *weights.shape() else { panic!("conv weights must be KCRS") };
+    assert_eq!(c_in, lin.channels, "weight channels must match input channels");
+    let (oh, pad_h) = conv_output_dim(lin.height, r, stride, padding);
+    let (ow, pad_w) = conv_output_dim(lin.width, s, stride, padding);
+    if padding == Padding::Same {
+        let margin = lin.h_stride / lin.w_stride.max(1) - lin.width;
+        assert!(
+            margin + 1 >= r,
+            "input layout margin {margin} too small for a {r}x{s} Same-padded kernel"
+        );
+    }
+
+    // Phase A: per-output-channel accumulation at the origin block.
+    let accs: Vec<H::Ct> = match lin.kind {
+        LayoutKind::HW => conv_accumulate_hw(h, input, weights, (pad_h, pad_w), scales),
+        LayoutKind::CHW => conv_accumulate_chw(h, input, weights, (pad_h, pad_w), scales),
+    };
+
+    // Phase B: mask to valid output positions, place into the output layout.
+    let out_layout = conv_output_layout(lin, oh, ow, stride, k_out, out_kind);
+    let mut grid_mask_layout = out_layout.clone();
+    grid_mask_layout.channels = 1;
+    grid_mask_layout.channels_per_ct = 1;
+    let grid_mask = grid_mask_layout.mask_for_ct(0);
+
+    // Skipping the mask is only sound when no block placement happens
+    // (placement overlap-adds rotated junk into other blocks' valid slots).
+    let must_mask = mask_output || out_layout.channels_per_ct > 1;
+    let mut out_cts: Vec<Option<H::Ct>> = vec![None; out_layout.num_cts()];
+    for (k, acc) in accs.into_iter().enumerate() {
+        let masked = if must_mask {
+            apply_mask(h, &acc, &grid_mask, scales)
+        } else {
+            super::settle(h, acc, scales.input)
+        };
+        let dest_ct = k / out_layout.channels_per_ct;
+        let dest_block = k % out_layout.channels_per_ct;
+        let placed = if dest_block == 0 {
+            masked
+        } else {
+            h.rot_right(&masked, dest_block * out_layout.c_stride)
+        };
+        out_cts[dest_ct] = Some(match out_cts[dest_ct].take() {
+            None => placed,
+            Some(prev) => h.add(&prev, &placed),
+        });
+    }
+    let mut out = CipherTensor {
+        layout: out_layout,
+        cts: out_cts.into_iter().map(|c| c.expect("all output cts populated")).collect(),
+    };
+
+    // Bias: a plaintext with bias[k] at each valid position of channel k.
+    if let Some(b) = bias {
+        assert_eq!(b.len(), k_out, "bias length must equal output channels");
+        let layout = out.layout.clone();
+        for (ct_idx, ct) in out.cts.iter_mut().enumerate() {
+            let mut vec = vec![0.0; layout.slots];
+            for c in 0..layout.channels {
+                if c / layout.channels_per_ct != ct_idx {
+                    continue;
+                }
+                for y in 0..layout.height {
+                    for x in 0..layout.width {
+                        let (_, slot) = layout.slot_of(c, y, x);
+                        vec[slot] = b[c];
+                    }
+                }
+            }
+            let scale = h.scale_of(ct);
+            let pt = h.encode(&vec, scale);
+            *ct = h.add_plain(ct, &pt);
+        }
+    }
+    out
+}
+
+/// HW-input accumulation: rotations shared across output channels, scalar
+/// weight multiplies.
+fn conv_accumulate_hw<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    weights: &Tensor,
+    (pad_h, pad_w): (usize, usize),
+    scales: &ScaleConfig,
+) -> Vec<H::Ct> {
+    let lin = &input.layout;
+    let [k_out, c_in, r, s] = *weights.shape() else { unreachable!() };
+    let mut accs: Vec<Option<H::Ct>> = vec![None; k_out];
+    for ci in 0..c_in {
+        for ry in 0..r {
+            for rx in 0..s {
+                // Skip taps with all-zero weights across output channels.
+                if (0..k_out).all(|k| weights.at(&[k, ci, ry, rx]) == 0.0) {
+                    continue;
+                }
+                let off = lin.offset(ry as isize - pad_h as isize, rx as isize - pad_w as isize);
+                let rotated = rot_signed(h, &input.cts[ci], off);
+                for (k, acc) in accs.iter_mut().enumerate() {
+                    let w = weights.at(&[k, ci, ry, rx]);
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let prod = h.mul_scalar(&rotated, w, scales.weight_scalar);
+                    *acc = Some(match acc.take() {
+                        None => prod,
+                        Some(prev) => h.add(&prev, &prod),
+                    });
+                }
+            }
+        }
+    }
+    let zero_scale = h.scale_of(accs.iter().flatten().next().expect("nonzero filter"));
+    accs.into_iter()
+        .map(|a| {
+            a.unwrap_or_else(|| {
+                // All-zero filter: encrypt-free zero via 0 × input.
+                let z = h.mul_scalar(&input.cts[0], 0.0, scales.weight_scalar);
+                debug_assert_eq!(h.scale_of(&z), zero_scale);
+                z
+            })
+        })
+        .collect()
+}
+
+/// CHW-input accumulation: plaintext weight multiplies, then a rotate-add
+/// tree across channel blocks; the complete sum lands in block 0.
+fn conv_accumulate_chw<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    weights: &Tensor,
+    (pad_h, pad_w): (usize, usize),
+    scales: &ScaleConfig,
+) -> Vec<H::Ct> {
+    let lin = &input.layout;
+    let [k_out, c_in, r, s] = *weights.shape() else { unreachable!() };
+    let cpc = lin.channels_per_ct;
+    let mut accs: Vec<Option<H::Ct>> = vec![None; k_out];
+    for (ct_idx, ct) in input.cts.iter().enumerate() {
+        let c_base = ct_idx * cpc;
+        let c_count = cpc.min(c_in - c_base);
+        for ry in 0..r {
+            for rx in 0..s {
+                let off = lin.offset(ry as isize - pad_h as isize, rx as isize - pad_w as isize);
+                let rotated = rot_signed(h, ct, off);
+                for k in 0..k_out {
+                    // Plaintext: weight of (k, channel block) broadcast over
+                    // each block's span.
+                    let mut vec = vec![0.0; lin.slots];
+                    let mut any = false;
+                    for b in 0..c_count {
+                        let w = weights.at(&[k, c_base + b, ry, rx]);
+                        if w == 0.0 {
+                            continue;
+                        }
+                        any = true;
+                        let start = b * lin.c_stride;
+                        for v in vec.iter_mut().skip(start).take(lin.c_stride) {
+                            *v = w;
+                        }
+                    }
+                    if !any {
+                        continue;
+                    }
+                    let pt = h.encode(&vec, scales.weight_plain);
+                    let prod = h.mul_plain(&rotated, &pt);
+                    accs[k] = Some(match accs[k].take() {
+                        None => prod,
+                        Some(prev) => h.add(&prev, &prod),
+                    });
+                }
+            }
+        }
+    }
+    accs.into_iter()
+        .enumerate()
+        .map(|(_k, a)| {
+            let acc = a.unwrap_or_else(|| {
+                let pt = h.encode(&vec![0.0; lin.slots], scales.weight_plain);
+                h.mul_plain(&input.cts[0], &pt)
+            });
+            super::reduce_groups(h, &acc, lin.c_stride, cpc)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ciphertensor::{decrypt_tensor, encrypt_tensor};
+    use chet_ckks::sim::SimCkks;
+    use chet_hisa::{EncryptionParams, RotationKeyPolicy};
+    use chet_tensor::ops;
+
+    fn sim() -> SimCkks {
+        let params = EncryptionParams::rns_ckks(8192, 40, 6);
+        SimCkks::new(&params, &RotationKeyPolicy::PowersOfTwo, 5).without_noise()
+    }
+
+    fn check_conv(
+        input_shape: [usize; 3],
+        weight_shape: [usize; 4],
+        stride: usize,
+        padding: Padding,
+        in_kind: LayoutKind,
+        out_kind: LayoutKind,
+    ) {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let input = Tensor::from_fn(input_shape.to_vec(), |i| {
+            ((i[0] * 7 + i[1] * 3 + i[2]) % 5) as f64 - 2.0
+        });
+        let weights = Tensor::from_fn(weight_shape.to_vec(), |i| {
+            ((i[0] + i[1] * 2 + i[2] + i[3]) % 3) as f64 * 0.5 - 0.5
+        });
+        let bias: Vec<f64> = (0..weight_shape[0]).map(|k| k as f64 * 0.25).collect();
+        let margin = weight_shape[2] - 1;
+        let [c, ih, iw] = input_shape;
+        let layout = match in_kind {
+            LayoutKind::HW => Layout::hw(c, ih, iw, margin, h.slots()),
+            LayoutKind::CHW => Layout::chw(c, ih, iw, margin, h.slots()),
+        };
+        let enc = encrypt_tensor(&mut h, &input, &layout, scales.input);
+        let out = hconv2d(&mut h, &enc, &weights, Some(&bias), stride, padding, out_kind, &scales);
+        let got = decrypt_tensor(&mut h, &out);
+        let want = ops::conv2d(&input, &weights, Some(&bias), stride, padding);
+        assert_eq!(got.shape(), want.shape());
+        assert!(
+            got.max_abs_diff(&want) < 1e-6,
+            "conv mismatch ({in_kind}->{out_kind}, stride {stride}, {padding:?}): {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn hw_to_hw_valid() {
+        check_conv([2, 6, 6], [3, 2, 3, 3], 1, Padding::Valid, LayoutKind::HW, LayoutKind::HW);
+    }
+
+    #[test]
+    fn hw_to_chw_valid() {
+        check_conv([2, 6, 6], [3, 2, 3, 3], 1, Padding::Valid, LayoutKind::HW, LayoutKind::CHW);
+    }
+
+    #[test]
+    fn chw_to_chw_valid() {
+        check_conv([4, 5, 5], [3, 4, 2, 2], 1, Padding::Valid, LayoutKind::CHW, LayoutKind::CHW);
+    }
+
+    #[test]
+    fn chw_to_hw_valid() {
+        check_conv([4, 5, 5], [2, 4, 2, 2], 1, Padding::Valid, LayoutKind::CHW, LayoutKind::HW);
+    }
+
+    #[test]
+    fn same_padding_hw() {
+        check_conv([1, 5, 5], [2, 1, 3, 3], 1, Padding::Same, LayoutKind::HW, LayoutKind::HW);
+    }
+
+    #[test]
+    fn same_padding_chw() {
+        check_conv([2, 4, 4], [2, 2, 3, 3], 1, Padding::Same, LayoutKind::CHW, LayoutKind::CHW);
+    }
+
+    #[test]
+    fn strided_conv_hw() {
+        check_conv([1, 8, 8], [2, 1, 3, 3], 2, Padding::Valid, LayoutKind::HW, LayoutKind::HW);
+    }
+
+    #[test]
+    fn strided_conv_chw() {
+        check_conv([2, 8, 8], [2, 2, 2, 2], 2, Padding::Valid, LayoutKind::CHW, LayoutKind::CHW);
+    }
+
+    #[test]
+    fn one_by_one_conv() {
+        check_conv([4, 4, 4], [8, 4, 1, 1], 1, Padding::Valid, LayoutKind::CHW, LayoutKind::CHW);
+    }
+
+    #[test]
+    fn many_output_channels_split_cts() {
+        // Force the output channels to split across several ciphertexts.
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let input = Tensor::from_fn(vec![1, 30, 30], |i| ((i[1] + i[2]) % 7) as f64 * 0.1);
+        let weights = Tensor::from_fn(vec![6, 1, 3, 3], |i| (i[0] as f64 - 2.5) * 0.1);
+        let layout = Layout::chw(1, 30, 30, 2, h.slots());
+        let enc = encrypt_tensor(&mut h, &input, &layout, scales.input);
+        let out = hconv2d(
+            &mut h, &enc, &weights, None, 1, Padding::Valid, LayoutKind::CHW, &scales,
+        );
+        assert!(out.layout.num_cts() >= 1);
+        let got = decrypt_tensor(&mut h, &out);
+        let want = ops::conv2d(&input, &weights, None, 1, Padding::Valid);
+        assert!(got.max_abs_diff(&want) < 1e-3);
+    }
+}

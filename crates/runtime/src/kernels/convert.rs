@@ -1,0 +1,154 @@
+//! Layout conversion between HW and CHW (repacking).
+//!
+//! Conversions are what the hybrid layout policies (paper §5.3: HW-conv/
+//! CHW-rest and CHW-fc/HW-before) pay at policy boundaries; the cost model
+//! prices them against the per-op savings.
+
+use super::{apply_mask, ScaleConfig};
+use crate::ciphertensor::CipherTensor;
+use crate::layout::{prev_power_of_two, LayoutKind};
+use chet_hisa::Hisa;
+
+/// Repacks a [`CipherTensor`] into the target layout kind (no-op when it
+/// already matches).
+///
+/// * HW → CHW: rotate each channel grid into its block (rotations + adds).
+/// * CHW → HW: mask out each channel block, rotate to the origin (one mask
+///   multiply + rotation per channel).
+pub fn convert_layout<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    target: LayoutKind,
+    scales: &ScaleConfig,
+) -> CipherTensor<H::Ct> {
+    let lin = &input.layout;
+    if lin.kind == target {
+        return CipherTensor {
+            layout: lin.clone(),
+            cts: input.cts.iter().map(|c| h.copy(c)).collect(),
+        };
+    }
+    match target {
+        LayoutKind::CHW => {
+            // HW → CHW: each source ciphertext holds one zero-padded grid.
+            let mut layout = lin.clone();
+            layout.kind = LayoutKind::CHW;
+            layout.channels_per_ct = prev_power_of_two(lin.slots / lin.c_stride)
+                .max(1)
+                .min(lin.channels);
+            let mut cts: Vec<Option<H::Ct>> = vec![None; layout.num_cts()];
+            for (c, src) in input.cts.iter().enumerate() {
+                let dest_ct = c / layout.channels_per_ct;
+                let block = c % layout.channels_per_ct;
+                let piece = if block == 0 {
+                    h.copy(src)
+                } else {
+                    h.rot_right(src, block * layout.c_stride)
+                };
+                cts[dest_ct] = Some(match cts[dest_ct].take() {
+                    None => piece,
+                    Some(prev) => h.add(&prev, &piece),
+                });
+            }
+            CipherTensor {
+                layout,
+                cts: cts.into_iter().map(|c| c.expect("populated")).collect(),
+            }
+        }
+        LayoutKind::HW => {
+            // CHW → HW: isolate each channel block and move it to the origin.
+            let mut layout = lin.clone();
+            layout.kind = LayoutKind::HW;
+            layout.channels_per_ct = 1;
+            let mut single = lin.clone();
+            single.channels = 1;
+            single.channels_per_ct = 1;
+            let grid_mask = single.mask_for_ct(0);
+            let cts = (0..lin.channels)
+                .map(|c| {
+                    let (src_ct, base_slot) = lin.slot_of(c, 0, 0);
+                    let moved = if base_slot == 0 {
+                        h.copy(&input.cts[src_ct])
+                    } else {
+                        h.rot_left(&input.cts[src_ct], base_slot)
+                    };
+                    apply_mask(h, &moved, &grid_mask, scales)
+                })
+                .collect();
+            CipherTensor { layout, cts }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ciphertensor::{decrypt_tensor, encrypt_tensor};
+    use crate::layout::Layout;
+    use chet_ckks::sim::SimCkks;
+    use chet_hisa::{EncryptionParams, Hisa, RotationKeyPolicy};
+    use chet_tensor::Tensor;
+
+    fn sim() -> SimCkks {
+        let params = EncryptionParams::rns_ckks(8192, 40, 6);
+        SimCkks::new(&params, &RotationKeyPolicy::PowersOfTwo, 5).without_noise()
+    }
+
+    fn ramp(c: usize, hh: usize, ww: usize) -> Tensor {
+        Tensor::from_fn(vec![c, hh, ww], |i| (i[0] * 100 + i[1] * 10 + i[2]) as f64 * 0.01)
+    }
+
+    #[test]
+    fn hw_to_chw_roundtrip() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let t = ramp(5, 4, 4);
+        let l = Layout::hw(5, 4, 4, 1, h.slots());
+        let enc = encrypt_tensor(&mut h, &t, &l, scales.input);
+        let chw = convert_layout(&mut h, &enc, LayoutKind::CHW, &scales);
+        assert_eq!(chw.layout.kind, LayoutKind::CHW);
+        assert!(chw.num_cts() < enc.num_cts());
+        let got = decrypt_tensor(&mut h, &chw);
+        assert!(got.max_abs_diff(&t) < 1e-9);
+    }
+
+    #[test]
+    fn chw_to_hw_roundtrip() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let t = ramp(4, 3, 3);
+        let l = Layout::chw(4, 3, 3, 0, h.slots());
+        let enc = encrypt_tensor(&mut h, &t, &l, scales.input);
+        let hw = convert_layout(&mut h, &enc, LayoutKind::HW, &scales);
+        assert_eq!(hw.layout.kind, LayoutKind::HW);
+        assert_eq!(hw.num_cts(), 4);
+        let got = decrypt_tensor(&mut h, &hw);
+        assert!(got.max_abs_diff(&t) < 1e-3);
+    }
+
+    #[test]
+    fn double_conversion_is_identity() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let t = ramp(3, 4, 4);
+        let l = Layout::hw(3, 4, 4, 0, h.slots());
+        let enc = encrypt_tensor(&mut h, &t, &l, scales.input);
+        let chw = convert_layout(&mut h, &enc, LayoutKind::CHW, &scales);
+        let back = convert_layout(&mut h, &chw, LayoutKind::HW, &scales);
+        let got = decrypt_tensor(&mut h, &back);
+        assert!(got.max_abs_diff(&t) < 1e-3);
+    }
+
+    #[test]
+    fn same_kind_is_copy() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let t = ramp(2, 2, 2);
+        let l = Layout::hw(2, 2, 2, 0, h.slots());
+        let enc = encrypt_tensor(&mut h, &t, &l, scales.input);
+        let out = convert_layout(&mut h, &enc, LayoutKind::HW, &scales);
+        assert_eq!(out.layout, enc.layout);
+        let got = decrypt_tensor(&mut h, &out);
+        assert!(got.max_abs_diff(&t) < 1e-9);
+    }
+}

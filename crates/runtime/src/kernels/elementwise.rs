@@ -1,0 +1,181 @@
+//! Element-wise homomorphic kernels: polynomial activations and folded
+//! batch normalization.
+
+use super::{settle, ScaleConfig};
+use crate::ciphertensor::CipherTensor;
+use chet_hisa::Hisa;
+
+/// The HE-compatible activation `f(x) = a·x² + b·x`, computed as
+/// `x · (a·x + b)` — one scalar multiply plus one ciphertext multiply.
+///
+/// Zero slots stay zero (`f(0) = 0`), preserving the masking discipline.
+pub fn hactivation<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    a: f64,
+    b: f64,
+    scales: &ScaleConfig,
+) -> CipherTensor<H::Ct> {
+    let cts = input
+        .cts
+        .iter()
+        .map(|ct| {
+            if a == 0.0 {
+                // Degenerate linear activation.
+                let y = h.mul_scalar(ct, b, scales.weight_scalar);
+                return settle(h, y, scales.input);
+            }
+            let u = h.mul_scalar(ct, a, scales.weight_scalar);
+            let u = settle(h, u, scales.input);
+            let u = h.add_scalar(&u, b);
+            let y = h.mul(&u, ct);
+            settle(h, y, scales.input)
+        })
+        .collect();
+    CipherTensor { layout: input.layout.clone(), cts }
+}
+
+/// Folded batch normalization `y_c = g_c · x_c + s_c` per channel: one
+/// plaintext multiply (the per-channel scales) and one plaintext add, both
+/// restricted to valid slot positions so junk slots stay zero.
+pub fn hbatch_norm<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    scale: &[f64],
+    shift: &[f64],
+    scales: &ScaleConfig,
+) -> CipherTensor<H::Ct> {
+    let layout = &input.layout;
+    assert_eq!(scale.len(), layout.channels, "scale length must equal channels");
+    assert_eq!(shift.len(), layout.channels, "shift length must equal channels");
+    let cts = input
+        .cts
+        .iter()
+        .enumerate()
+        .map(|(ct_idx, ct)| {
+            let mut gain = vec![0.0; layout.slots];
+            let mut offset = vec![0.0; layout.slots];
+            for c in 0..layout.channels {
+                if c / layout.channels_per_ct != ct_idx {
+                    continue;
+                }
+                for y in 0..layout.height {
+                    for x in 0..layout.width {
+                        let (_, slot) = layout.slot_of(c, y, x);
+                        gain[slot] = scale[c];
+                        offset[slot] = shift[c];
+                    }
+                }
+            }
+            let gpt = h.encode(&gain, scales.weight_plain);
+            let t = h.mul_plain(ct, &gpt);
+            let t = settle(h, t, scales.input);
+            let cur = h.scale_of(&t);
+            let spt = h.encode(&offset, cur);
+            h.add_plain(&t, &spt)
+        })
+        .collect();
+    CipherTensor { layout: layout.clone(), cts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ciphertensor::{decrypt_tensor, encrypt_tensor};
+    use crate::layout::{Layout, LayoutKind};
+    use chet_ckks::sim::SimCkks;
+    use chet_hisa::{EncryptionParams, RotationKeyPolicy};
+    use chet_tensor::{ops, Tensor};
+
+    fn sim() -> SimCkks {
+        let params = EncryptionParams::rns_ckks(8192, 40, 6);
+        SimCkks::new(&params, &RotationKeyPolicy::PowersOfTwo, 5).without_noise()
+    }
+
+    fn layouts(c: usize, ih: usize, iw: usize, slots: usize) -> Vec<Layout> {
+        vec![Layout::hw(c, ih, iw, 0, slots), Layout::chw(c, ih, iw, 0, slots)]
+    }
+
+    #[test]
+    fn activation_matches_reference() {
+        for layout in layouts(2, 3, 3, 4096) {
+            let mut h = sim();
+            let scales = ScaleConfig::default();
+            let input = Tensor::from_fn(vec![2, 3, 3], |i| (i[0] + i[1] + i[2]) as f64 * 0.3 - 1.0);
+            let enc = encrypt_tensor(&mut h, &input, &layout, scales.input);
+            let out = hactivation(&mut h, &enc, 0.25, 0.5, &scales);
+            let got = decrypt_tensor(&mut h, &out);
+            let want = ops::activation(&input, 0.25, 0.5);
+            assert!(got.max_abs_diff(&want) < 1e-5, "{:?}", layout.kind);
+        }
+    }
+
+    #[test]
+    fn linear_activation() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let input = Tensor::from_fn(vec![1, 2, 2], |i| i[1] as f64 + 1.0);
+        let layout = Layout::hw(1, 2, 2, 0, h.slots());
+        let enc = encrypt_tensor(&mut h, &input, &layout, scales.input);
+        let out = hactivation(&mut h, &enc, 0.0, 2.0, &scales);
+        let got = decrypt_tensor(&mut h, &out);
+        let want = ops::activation(&input, 0.0, 2.0);
+        assert!(got.max_abs_diff(&want) < 1e-6);
+    }
+
+    #[test]
+    fn activation_keeps_junk_slots_zero() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let input = Tensor::from_fn(vec![1, 2, 2], |_| 1.0);
+        let layout = Layout::hw(1, 2, 2, 2, h.slots());
+        let enc = encrypt_tensor(&mut h, &input, &layout, scales.input);
+        let out = hactivation(&mut h, &enc, 0.5, 1.0, &scales);
+        // Inspect raw slots: margin slot 2 must still be zero.
+        let pt = h.decrypt(&out.cts[0]);
+        let raw = h.decode(&pt);
+        assert!(raw[2].abs() < 1e-9, "junk slot leaked {}", raw[2]);
+    }
+
+    #[test]
+    fn batch_norm_matches_reference() {
+        for layout in layouts(3, 2, 2, 4096) {
+            let mut h = sim();
+            let scales = ScaleConfig::default();
+            let input = Tensor::from_fn(vec![3, 2, 2], |i| i[0] as f64 - 1.0 + 0.1 * i[2] as f64);
+            let g = [0.5, 2.0, -1.0];
+            let s = [1.0, -0.5, 0.25];
+            let enc = encrypt_tensor(&mut h, &input, &layout, scales.input);
+            let out = hbatch_norm(&mut h, &enc, &g, &s, &scales);
+            let got = decrypt_tensor(&mut h, &out);
+            let want = ops::batch_norm(&input, &g, &s);
+            assert!(got.max_abs_diff(&want) < 1e-5, "{:?}", layout.kind);
+        }
+    }
+
+    #[test]
+    fn batch_norm_shift_does_not_leak_into_junk() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let input = Tensor::from_fn(vec![1, 2, 2], |_| 1.0);
+        let layout = Layout::hw(1, 2, 2, 2, h.slots());
+        let enc = encrypt_tensor(&mut h, &input, &layout, scales.input);
+        let out = hbatch_norm(&mut h, &enc, &[1.0], &[5.0], &scales);
+        let pt = h.decrypt(&out.cts[0]);
+        let raw = h.decode(&pt);
+        assert!(raw[2].abs() < 1e-9, "shift leaked into junk slot: {}", raw[2]);
+        assert!((raw[0] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activation_preserves_layout() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let input = Tensor::zeros(vec![4, 3, 3]);
+        let layout = Layout::chw(4, 3, 3, 0, h.slots());
+        assert_eq!(layout.kind, LayoutKind::CHW);
+        let enc = encrypt_tensor(&mut h, &input, &layout, scales.input);
+        let out = hactivation(&mut h, &enc, 0.1, 1.0, &scales);
+        assert_eq!(out.layout, layout);
+    }
+}

@@ -1,0 +1,346 @@
+//! Homomorphic dense (fully connected) layers — the paper's Figure 1
+//! workload, generalized to arbitrary input layouts.
+
+use super::{apply_mask, reduce_groups, ScaleConfig};
+use crate::ciphertensor::CipherTensor;
+use crate::layout::Layout;
+use chet_hisa::Hisa;
+use chet_tensor::Tensor;
+
+/// Homomorphic `y = W·x + b` over a flattened [`CipherTensor`].
+///
+/// Per output neuron: multiply each input ciphertext by a plaintext holding
+/// that neuron's weights at the input's slot positions, add, rotate-reduce
+/// the sum into slot 0, mask, and rotate into the output position. The
+/// output is a dense vector layout (one ciphertext).
+///
+/// # Panics
+///
+/// Panics if dimensions mismatch or the output does not fit one ciphertext.
+pub fn hmatmul<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    weights: &Tensor,
+    bias: Option<&[f64]>,
+    scales: &ScaleConfig,
+) -> CipherTensor<H::Ct> {
+    let lin = &input.layout;
+    let [out_dim, in_dim] = *weights.shape() else { panic!("matmul weights must be 2-D") };
+    let numel = lin.channels * lin.height * lin.width;
+    assert_eq!(in_dim, numel, "weight columns must match flattened input size");
+    assert!(out_dim <= lin.slots, "output vector must fit one ciphertext");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), out_dim, "bias length must equal output rows");
+    }
+
+    // Used span for the reduction tree.
+    let span = (lin.channels_per_ct - 1).min(lin.channels - 1) * lin.c_stride
+        + (lin.height - 1) * lin.h_stride
+        + (lin.width - 1) * lin.w_stride
+        + 1;
+    let span_p2 = span.next_power_of_two();
+    assert!(span_p2 <= lin.slots, "input span must fit a power-of-two region");
+
+    let mut unit_mask = vec![0.0; lin.slots];
+    unit_mask[0] = 1.0;
+
+    let mut out_ct: Option<H::Ct> = None;
+    for o in 0..out_dim {
+        // Weighted input, one plaintext multiply per input ciphertext.
+        let mut acc: Option<H::Ct> = None;
+        for (ct_idx, ct) in input.cts.iter().enumerate() {
+            let mut vec = vec![0.0; lin.slots];
+            let mut any = false;
+            for c in 0..lin.channels {
+                if c / lin.channels_per_ct != ct_idx {
+                    continue;
+                }
+                for y in 0..lin.height {
+                    for x in 0..lin.width {
+                        let flat = (c * lin.height + y) * lin.width + x;
+                        let w = weights.at(&[o, flat]);
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let (_, slot) = lin.slot_of(c, y, x);
+                        vec[slot] = w;
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                continue;
+            }
+            let pt = h.encode(&vec, scales.weight_plain);
+            let prod = h.mul_plain(ct, &pt);
+            acc = Some(match acc.take() {
+                None => prod,
+                Some(prev) => h.add(&prev, &prod),
+            });
+        }
+        let acc = match acc {
+            Some(a) => a,
+            None => {
+                // All-zero row: synthesize a zero at the right scale.
+                let pt = h.encode(&vec![0.0; lin.slots], scales.weight_plain);
+                h.mul_plain(&input.cts[0], &pt)
+            }
+        };
+        // Sum all used slots into slot 0, isolate it, move to position o.
+        let red = reduce_groups(h, &acc, 1, span_p2);
+        let masked = apply_mask(h, &red, &unit_mask, scales);
+        let placed = if o == 0 { masked } else { h.rot_right(&masked, o) };
+        out_ct = Some(match out_ct.take() {
+            None => placed,
+            Some(prev) => h.add(&prev, &placed),
+        });
+    }
+
+    let mut result = out_ct.expect("out_dim >= 1");
+    if let Some(b) = bias {
+        let mut vec = vec![0.0; lin.slots];
+        vec[..out_dim].copy_from_slice(b);
+        let scale = h.scale_of(&result);
+        let pt = h.encode(&vec, scale);
+        result = h.add_plain(&result, &pt);
+    }
+    CipherTensor { layout: Layout::dense_vector(out_dim, lin.slots), cts: vec![result] }
+}
+
+
+/// Baby-step/giant-step dense layer for *contiguous* inputs (a dense
+/// vector layout, e.g. chained FC layers).
+///
+/// Uses the Halevi–Shoup diagonal decomposition: `y = Σ_d diag_d ⊙
+/// rot(x, d)`, grouped so only `~2·sqrt(n)` ciphertext rotations are
+/// needed instead of `out·log(n)` — the `ablation_matmul` experiment
+/// quantifies the trade (more plaintext multiplies, far fewer rotations).
+///
+/// # Panics
+///
+/// Panics unless the input layout is a contiguous vector (`slot(e) = e`)
+/// and `2·n` slots are available for `n = next_pow2(max(in, out))`.
+pub fn hmatmul_bsgs<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    weights: &Tensor,
+    bias: Option<&[f64]>,
+    scales: &ScaleConfig,
+) -> CipherTensor<H::Ct> {
+    let lin = &input.layout;
+    let [out_dim, in_dim] = *weights.shape() else { panic!("matmul weights must be 2-D") };
+    let numel = lin.channels * lin.height * lin.width;
+    assert_eq!(in_dim, numel, "weight columns must match flattened input size");
+    assert_eq!(input.num_cts(), 1, "BSGS needs a single-ciphertext input");
+    assert!(
+        lin.height == 1 && lin.width == 1 && lin.c_stride == 1,
+        "BSGS needs a contiguous dense-vector layout"
+    );
+    let n = in_dim.max(out_dim).next_power_of_two();
+    assert!(2 * n <= lin.slots, "BSGS needs 2·n slots of headroom");
+
+    // x_ext: the input replicated with period n.
+    let x = &input.cts[0];
+    let dup = h.rot_right(x, n);
+    let x_ext = h.add(x, &dup);
+
+    // Block sizes: B baby steps, G giant steps, B·G = n.
+    let b_steps = (1usize << (n.ilog2().div_ceil(2))).min(n);
+    let g_steps = n / b_steps;
+
+    // Baby rotations of x_ext (shared across giant steps).
+    let mut baby: Vec<H::Ct> = Vec::with_capacity(b_steps);
+    baby.push(h.copy(&x_ext));
+    for b in 1..b_steps {
+        let _ = b;
+        let prev = h.rot_left(&x_ext, b);
+        baby.push(prev);
+    }
+
+    let mut acc_total: Option<H::Ct> = None;
+    for g in 0..g_steps {
+        let gb = g * b_steps;
+        let mut acc: Option<H::Ct> = None;
+        for (b, xb) in baby.iter().enumerate() {
+            let d = gb + b;
+            // diag'_{g,b}[j] for j in [gB, gB + n): row = j − gB,
+            // col = (row + d) mod n.
+            let mut vec = vec![0.0; lin.slots];
+            let mut any = false;
+            for row in 0..n.min(out_dim) {
+                let col = (row + d) % n;
+                if col >= in_dim {
+                    continue;
+                }
+                let w = weights.at(&[row, col]);
+                if w == 0.0 {
+                    continue;
+                }
+                vec[gb + row] = w;
+                any = true;
+            }
+            if !any {
+                continue;
+            }
+            let pt = h.encode(&vec, scales.weight_plain);
+            let prod = h.mul_plain(xb, &pt);
+            acc = Some(match acc.take() {
+                None => prod,
+                Some(prev) => h.add(&prev, &prod),
+            });
+        }
+        let Some(partial) = acc else { continue };
+        let shifted = if gb == 0 { partial } else { h.rot_left(&partial, gb) };
+        acc_total = Some(match acc_total.take() {
+            None => shifted,
+            Some(prev) => h.add(&prev, &shifted),
+        });
+    }
+    let acc = match acc_total {
+        Some(a) => super::settle(h, a, scales.input),
+        None => {
+            let pt = h.encode(&vec![0.0; lin.slots], scales.weight_plain);
+            let z = h.mul_plain(x, &pt);
+            super::settle(h, z, scales.input)
+        }
+    };
+    let mut result = acc;
+    if let Some(bv) = bias {
+        assert_eq!(bv.len(), out_dim, "bias length must equal output rows");
+        let mut vec = vec![0.0; lin.slots];
+        vec[..out_dim].copy_from_slice(bv);
+        let scale = h.scale_of(&result);
+        let pt = h.encode(&vec, scale);
+        result = h.add_plain(&result, &pt);
+    }
+    CipherTensor { layout: Layout::dense_vector(out_dim, lin.slots), cts: vec![result] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ciphertensor::{decrypt_tensor, encrypt_tensor};
+    use crate::layout::LayoutKind;
+    use chet_ckks::sim::SimCkks;
+    use chet_hisa::{EncryptionParams, RotationKeyPolicy};
+    use chet_tensor::ops;
+
+    fn sim() -> SimCkks {
+        let params = EncryptionParams::rns_ckks(8192, 40, 6);
+        SimCkks::new(&params, &RotationKeyPolicy::PowersOfTwo, 5).without_noise()
+    }
+
+    fn check_matmul(shape: [usize; 3], out_dim: usize, kind: LayoutKind, with_bias: bool) {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let [c, ih, iw] = shape;
+        let in_dim = c * ih * iw;
+        let input = Tensor::from_fn(shape.to_vec(), |i| ((i[0] * 5 + i[1] + i[2] * 3) % 7) as f64 - 3.0);
+        let weights = Tensor::from_fn(vec![out_dim, in_dim], |i| {
+            ((i[0] * 13 + i[1] * 7) % 11) as f64 * 0.1 - 0.5
+        });
+        let bias: Option<Vec<f64>> =
+            with_bias.then(|| (0..out_dim).map(|o| o as f64 - 1.0).collect());
+        let layout = match kind {
+            LayoutKind::HW => Layout::hw(c, ih, iw, 0, h.slots()),
+            LayoutKind::CHW => Layout::chw(c, ih, iw, 0, h.slots()),
+        };
+        let enc = encrypt_tensor(&mut h, &input, &layout, scales.input);
+        let out = hmatmul(&mut h, &enc, &weights, bias.as_deref(), &scales);
+        let got = decrypt_tensor(&mut h, &out);
+        let want = ops::matmul_vec(&weights, input.data(), bias.as_deref());
+        for (i, (&g, &w)) in got.data().iter().zip(&want).enumerate() {
+            assert!((g - w).abs() < 1e-3, "{kind} out {i}: got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn matmul_from_hw() {
+        check_matmul([2, 4, 4], 5, LayoutKind::HW, true);
+    }
+
+    #[test]
+    fn matmul_from_chw() {
+        check_matmul([4, 3, 3], 7, LayoutKind::CHW, true);
+    }
+
+    #[test]
+    fn matmul_without_bias() {
+        check_matmul([1, 4, 4], 3, LayoutKind::CHW, false);
+    }
+
+    #[test]
+    fn matmul_from_dense_vector() {
+        // Chained dense layers: input already a dense vector.
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let x = Tensor::from_fn(vec![6, 1, 1], |i| i[0] as f64 * 0.5 - 1.0);
+        let layout = Layout::dense_vector(6, h.slots());
+        let enc = encrypt_tensor(&mut h, &x, &layout, scales.input);
+        let w = Tensor::from_fn(vec![4, 6], |i| ((i[0] + i[1]) % 3) as f64 - 1.0);
+        let out = hmatmul(&mut h, &enc, &w, None, &scales);
+        let got = decrypt_tensor(&mut h, &out);
+        let want = ops::matmul_vec(&w, x.data(), None);
+        for (g, w) in got.data().iter().zip(&want) {
+            assert!((g - w).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bsgs_matches_standard_matmul() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        for (inp, out) in [(6usize, 4usize), (8, 8), (5, 12)] {
+            let x = Tensor::from_fn(vec![inp, 1, 1], |i| (i[0] as f64) * 0.3 - 0.7);
+            let layout = Layout::dense_vector(inp, h.slots());
+            let enc = encrypt_tensor(&mut h, &x, &layout, scales.input);
+            let w = Tensor::from_fn(vec![out, inp], |i| ((i[0] * 3 + i[1]) % 5) as f64 * 0.2 - 0.4);
+            let bias: Vec<f64> = (0..out).map(|o| o as f64 * 0.1).collect();
+            let fast = hmatmul_bsgs(&mut h, &enc, &w, Some(&bias), &scales);
+            let want = ops::matmul_vec(&w, x.data(), Some(&bias));
+            let got = decrypt_tensor(&mut h, &fast);
+            for (i, (&g, &e)) in got.data().iter().zip(&want).enumerate() {
+                assert!((g - e).abs() < 1e-3, "({inp}x{out}) out {i}: {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn bsgs_uses_fewer_rotations() {
+        use chet_hisa::cost::HisaOp;
+        let scales = ScaleConfig::default();
+        let inp = 64usize;
+        let out = 32usize;
+        let x = Tensor::from_fn(vec![inp, 1, 1], |i| i[0] as f64 * 0.01);
+        let w = Tensor::from_fn(vec![out, inp], |i| (i[1] % 7) as f64 * 0.1 - 0.3);
+
+        let mut h1 = sim();
+        let layout = Layout::dense_vector(inp, h1.slots());
+        let enc = encrypt_tensor(&mut h1, &x, &layout, scales.input);
+        let _ = hmatmul(&mut h1, &enc, &w, None, &scales);
+        let standard_rots = h1.op_count(HisaOp::Rotate);
+
+        let mut h2 = sim();
+        let enc = encrypt_tensor(&mut h2, &x, &layout, scales.input);
+        let _ = hmatmul_bsgs(&mut h2, &enc, &w, None, &scales);
+        let bsgs_rots = h2.op_count(HisaOp::Rotate);
+
+        assert!(
+            bsgs_rots * 2 < standard_rots,
+            "BSGS ({bsgs_rots}) should use far fewer rotations than standard ({standard_rots})"
+        );
+    }
+
+    #[test]
+    fn output_layout_is_dense() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let x = Tensor::zeros(vec![2, 2, 2]);
+        let layout = Layout::hw(2, 2, 2, 0, h.slots());
+        let enc = encrypt_tensor(&mut h, &x, &layout, scales.input);
+        let w = Tensor::zeros(vec![3, 8]);
+        let out = hmatmul(&mut h, &enc, &w, None, &scales);
+        assert_eq!(out.layout, Layout::dense_vector(3, h.slots()));
+        assert_eq!(out.num_cts(), 1);
+    }
+}

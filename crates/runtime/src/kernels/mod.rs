@@ -1,0 +1,192 @@
+//! Homomorphic tensor kernels over the HISA (paper §4, Figures 1 & 4).
+//!
+//! Every kernel is generic over [`Hisa`], so the same code runs on the real
+//! lattice backends, the plaintext simulator, *and* the compiler's
+//! data-flow analyses (paper §5.1's "different interpretation" trick).
+//!
+//! Conventions shared by all kernels:
+//!
+//! * Junk slots are zero on entry and on exit ("masking discipline"): every
+//!   kernel that can leave partial sums in invalid positions multiplies by
+//!   a 0/1 mask at scale `P_m`, as in the paper's Figures 1 and 4.
+//! * After each multiplicative step the ciphertext is *settled*: rescaled
+//!   by [`Hisa::max_rescale`] toward the working scale `P_c`. Under
+//!   RNS-CKKS this consumes whole chain primes only when enough scale has
+//!   accumulated; under CKKS it divides exactly — reproducing both schemes'
+//!   rescaling semantics.
+
+pub mod concat;
+pub mod conv;
+pub mod convert;
+pub mod elementwise;
+pub mod matmul;
+pub mod pool;
+
+use chet_hisa::Hisa;
+use serde::{Deserialize, Serialize};
+
+/// The four fixed-point scales CHET exposes (paper §5.5, Table 4):
+/// image (`P_c`), plaintext-vector weights (`P_w`), scalar weights (`P_u`)
+/// and masks (`P_m`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleConfig {
+    /// Fixed-point scale of the encrypted image and the working scale
+    /// kernels settle toward (`P_c`).
+    pub input: f64,
+    /// Scale of plaintext-vector weights (`P_w`).
+    pub weight_plain: f64,
+    /// Scale of scalar weights (`P_u`).
+    pub weight_scalar: f64,
+    /// Scale of 0/1 masks (`P_m`).
+    pub mask: f64,
+}
+
+impl ScaleConfig {
+    /// Builds a config from log2 exponents `(P_c, P_w, P_u, P_m)`.
+    pub fn from_log2(pc: u32, pw: u32, pu: u32, pm: u32) -> Self {
+        ScaleConfig {
+            input: 2f64.powi(pc as i32),
+            weight_plain: 2f64.powi(pw as i32),
+            weight_scalar: 2f64.powi(pu as i32),
+            mask: 2f64.powi(pm as i32),
+        }
+    }
+}
+
+impl Default for ScaleConfig {
+    /// Defaults in the ballpark of the paper's Table 4 (`P_c = 2^30`,
+    /// `P_w = 2^16`, `P_u = 2^15`), with a larger mask scale (`P_m = 2^12`)
+    /// because this implementation's canonical-embedding masks carry
+    /// `~sqrt(N)/P_m` encoding noise.
+    fn default() -> Self {
+        ScaleConfig::from_log2(30, 16, 15, 12)
+    }
+}
+
+/// Rotates by a signed slot offset (positive = left).
+pub fn rot_signed<H: Hisa>(h: &mut H, ct: &H::Ct, offset: isize) -> H::Ct {
+    match offset.cmp(&0) {
+        std::cmp::Ordering::Equal => h.copy(ct),
+        std::cmp::Ordering::Greater => h.rot_left(ct, offset as usize),
+        std::cmp::Ordering::Less => h.rot_right(ct, offset.unsigned_abs()),
+    }
+}
+
+/// Rescales `ct` toward `target` scale using the largest divisor the scheme
+/// currently offers (a no-op when none fits).
+pub fn settle<H: Hisa>(h: &mut H, ct: H::Ct, target: f64) -> H::Ct {
+    let current = h.scale_of(&ct);
+    if current <= target * 1.5 {
+        return ct;
+    }
+    let d = h.max_rescale(&ct, current / target);
+    if d > 1.0 {
+        h.rescale(&ct, d)
+    } else {
+        ct
+    }
+}
+
+/// Sums `count` groups spaced `stride` slots apart into group 0 by a
+/// rotate-and-add tree. Requires slots beyond the used region to be zero
+/// and `next_power_of_two(count) * stride <= slots`.
+pub fn reduce_groups<H: Hisa>(h: &mut H, ct: &H::Ct, stride: usize, count: usize) -> H::Ct {
+    let mut acc = h.copy(ct);
+    if count <= 1 {
+        return acc;
+    }
+    let target = count.next_power_of_two();
+    let mut step = target / 2;
+    while step >= 1 {
+        let rotated = h.rot_left(&acc, step * stride);
+        acc = h.add(&acc, &rotated);
+        step /= 2;
+    }
+    acc
+}
+
+/// Multiplies by a 0/1 mask vector at the mask scale and settles.
+pub fn apply_mask<H: Hisa>(
+    h: &mut H,
+    ct: &H::Ct,
+    mask: &[f64],
+    scales: &ScaleConfig,
+) -> H::Ct {
+    let pt = h.encode(mask, scales.mask);
+    let masked = h.mul_plain(ct, &pt);
+    settle(h, masked, scales.input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chet_ckks::sim::SimCkks;
+    use chet_hisa::{EncryptionParams, RotationKeyPolicy};
+
+    fn sim() -> SimCkks {
+        let params = EncryptionParams::rns_ckks(8192, 40, 4);
+        SimCkks::new(&params, &RotationKeyPolicy::PowersOfTwo, 3).without_noise()
+    }
+
+    #[test]
+    fn rot_signed_directions() {
+        let mut h = sim();
+        let pt = h.encode(&[1.0, 2.0, 3.0, 4.0], 2f64.powi(30));
+        let ct = h.encrypt(&pt);
+        let l = rot_signed(&mut h, &ct, 1);
+        let r = rot_signed(&mut h, &ct, -1);
+        let z = rot_signed(&mut h, &ct, 0);
+        let dl = h.decrypt(&l);
+        assert_eq!(h.decode(&dl)[0], 2.0);
+        let dr = h.decrypt(&r);
+        assert_eq!(h.decode(&dr)[1], 1.0);
+        let dz = h.decrypt(&z);
+        assert_eq!(h.decode(&dz)[0], 1.0);
+    }
+
+    #[test]
+    fn reduce_groups_sums_strided_data() {
+        let mut h = sim();
+        // 5 groups of stride 8, value = group index + 1.
+        let mut v = vec![0.0; 64];
+        for g in 0..5 {
+            v[g * 8] = (g + 1) as f64;
+        }
+        let pt = h.encode(&v, 2f64.powi(30));
+        let ct = h.encrypt(&pt);
+        let red = reduce_groups(&mut h, &ct, 8, 5);
+        let d = h.decrypt(&red);
+        assert_eq!(h.decode(&d)[0], 15.0);
+    }
+
+    #[test]
+    fn settle_brings_scale_down() {
+        let mut h = sim();
+        let s = 2f64.powi(30);
+        let pt = h.encode(&[2.0], s);
+        let ct = h.encrypt(&pt);
+        let big = h.mul_scalar(&ct, 3.0, 2f64.powi(20));
+        assert_eq!(h.scale_of(&big), 2f64.powi(50));
+        let settled = settle(&mut h, big, s);
+        // One 40-bit prime fits in the 2^20 excess? No: excess is 2^20 < prime,
+        // so nothing happens yet (RNS drift semantics).
+        assert_eq!(h.scale_of(&settled), 2f64.powi(50));
+        let bigger = h.mul_scalar(&settled, 1.0, 2f64.powi(25));
+        let settled = settle(&mut h, bigger, s);
+        // Now excess 2^45 >= one 40-bit prime: rescale fires.
+        assert!(h.scale_of(&settled) < 2f64.powi(40));
+    }
+
+    #[test]
+    fn apply_mask_zeroes_junk() {
+        let mut h = sim();
+        let s = 2f64.powi(30);
+        let pt = h.encode(&[5.0, 7.0, 9.0], s);
+        let ct = h.encrypt(&pt);
+        let mask = vec![1.0, 0.0, 1.0];
+        let m = apply_mask(&mut h, &ct, &mask, &ScaleConfig::default());
+        let d = h.decrypt(&m);
+        let out = h.decode(&d);
+        assert_eq!(&out[..3], &[5.0, 0.0, 9.0]);
+    }
+}

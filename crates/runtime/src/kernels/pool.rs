@@ -1,0 +1,187 @@
+//! Homomorphic average pooling (the paper's HE-compatible replacement for
+//! max pooling, §6).
+
+use super::{apply_mask, rot_signed, ScaleConfig};
+use crate::ciphertensor::CipherTensor;
+use chet_hisa::Hisa;
+use chet_tensor::ops::{conv_output_dim, Padding};
+
+/// Average pooling with a square window: window rotations + one scalar
+/// multiply by `1/k²` + mask. Identical structure in both layouts — under
+/// CHW all channels of a ciphertext pool simultaneously, which is why
+/// non-conv ops favor CHW (paper §5.3 heuristics).
+pub fn havg_pool2d<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    kernel: usize,
+    stride: usize,
+    scales: &ScaleConfig,
+) -> CipherTensor<H::Ct> {
+    havg_pool2d_with_mask(h, input, kernel, stride, scales, true)
+}
+
+/// [`havg_pool2d`] with an explicit masking decision (lazy masking): the
+/// window reads touch only valid input positions, so when no downstream
+/// consumer needs zeroed junk the mask multiply can be skipped.
+pub fn havg_pool2d_with_mask<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    kernel: usize,
+    stride: usize,
+    scales: &ScaleConfig,
+    mask_output: bool,
+) -> CipherTensor<H::Ct> {
+    let lin = &input.layout;
+    let (oh, _) = conv_output_dim(lin.height, kernel, stride, Padding::Valid);
+    let (ow, _) = conv_output_dim(lin.width, kernel, stride, Padding::Valid);
+    let out_layout = lin.strided_view(oh, ow, stride, lin.channels);
+    let inv = 1.0 / (kernel * kernel) as f64;
+    let cts = input
+        .cts
+        .iter()
+        .enumerate()
+        .map(|(i, ct)| {
+            let mut acc: Option<H::Ct> = None;
+            for ry in 0..kernel {
+                for rx in 0..kernel {
+                    let off = lin.offset(ry as isize, rx as isize);
+                    let rotated = rot_signed(h, ct, off);
+                    acc = Some(match acc.take() {
+                        None => rotated,
+                        Some(prev) => h.add(&prev, &rotated),
+                    });
+                }
+            }
+            let summed = acc.expect("kernel is nonempty");
+            let scaled = h.mul_scalar(&summed, inv, scales.weight_scalar);
+            if mask_output {
+                apply_mask(h, &scaled, &out_layout.mask_for_ct(i), scales)
+            } else {
+                super::settle(h, scaled, scales.input)
+            }
+        })
+        .collect();
+    CipherTensor { layout: out_layout, cts }
+}
+
+/// Global average pooling: sum each channel grid into its origin slot, then
+/// scale by `1/(H·W)` and mask the origins. The output keeps the layout's
+/// channel placement with a `1×1` grid.
+pub fn hglobal_avg_pool<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    scales: &ScaleConfig,
+) -> CipherTensor<H::Ct> {
+    let lin = &input.layout;
+    let mut out_layout = lin.clone();
+    out_layout.height = 1;
+    out_layout.width = 1;
+    let inv = 1.0 / (lin.height * lin.width) as f64;
+    let cts = input
+        .cts
+        .iter()
+        .enumerate()
+        .map(|(i, ct)| {
+            // Fold columns into column 0 (reads only valid columns).
+            let mut cols: Option<H::Ct> = None;
+            for x in 0..lin.width {
+                let rotated = rot_signed(h, ct, (x * lin.w_stride) as isize);
+                cols = Some(match cols.take() {
+                    None => rotated,
+                    Some(prev) => h.add(&prev, &rotated),
+                });
+            }
+            let cols = cols.expect("nonempty grid");
+            // Fold rows into row 0.
+            let mut rows: Option<H::Ct> = None;
+            for y in 0..lin.height {
+                let rotated = rot_signed(h, &cols, (y * lin.h_stride) as isize);
+                rows = Some(match rows.take() {
+                    None => rotated,
+                    Some(prev) => h.add(&prev, &rotated),
+                });
+            }
+            let summed = rows.expect("nonempty grid");
+            let scaled = h.mul_scalar(&summed, inv, scales.weight_scalar);
+            apply_mask(h, &scaled, &out_layout.mask_for_ct(i), scales)
+        })
+        .collect();
+    CipherTensor { layout: out_layout, cts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ciphertensor::{decrypt_tensor, encrypt_tensor};
+    use crate::layout::{Layout, LayoutKind};
+    use chet_ckks::sim::SimCkks;
+    use chet_hisa::{EncryptionParams, RotationKeyPolicy};
+    use chet_tensor::{ops, Tensor};
+
+    fn sim() -> SimCkks {
+        let params = EncryptionParams::rns_ckks(8192, 40, 6);
+        SimCkks::new(&params, &RotationKeyPolicy::PowersOfTwo, 5).without_noise()
+    }
+
+    fn check_pool(shape: [usize; 3], kernel: usize, stride: usize, kind: LayoutKind) {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let input = Tensor::from_fn(shape.to_vec(), |i| ((i[0] + i[1] * 2 + i[2]) % 9) as f64 - 4.0);
+        let [c, ih, iw] = shape;
+        let layout = match kind {
+            LayoutKind::HW => Layout::hw(c, ih, iw, 0, h.slots()),
+            LayoutKind::CHW => Layout::chw(c, ih, iw, 0, h.slots()),
+        };
+        let enc = encrypt_tensor(&mut h, &input, &layout, scales.input);
+        let out = havg_pool2d(&mut h, &enc, kernel, stride, &scales);
+        let got = decrypt_tensor(&mut h, &out);
+        let want = ops::avg_pool2d(&input, kernel, stride);
+        assert_eq!(got.shape(), want.shape());
+        assert!(got.max_abs_diff(&want) < 1e-3, "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn avg_pool_hw() {
+        check_pool([2, 6, 6], 2, 2, LayoutKind::HW);
+    }
+
+    #[test]
+    fn avg_pool_chw() {
+        check_pool([3, 6, 6], 2, 2, LayoutKind::CHW);
+    }
+
+    #[test]
+    fn avg_pool_overlapping_windows() {
+        check_pool([1, 5, 5], 3, 1, LayoutKind::CHW);
+    }
+
+    #[test]
+    fn global_pool_matches_reference() {
+        for kind in [LayoutKind::HW, LayoutKind::CHW] {
+            let mut h = sim();
+            let scales = ScaleConfig::default();
+            let input = Tensor::from_fn(vec![4, 5, 5], |i| (i[0] * i[1] + i[2]) as f64 * 0.1);
+            let layout = match kind {
+                LayoutKind::HW => Layout::hw(4, 5, 5, 0, h.slots()),
+                LayoutKind::CHW => Layout::chw(4, 5, 5, 0, h.slots()),
+            };
+            let enc = encrypt_tensor(&mut h, &input, &layout, scales.input);
+            let out = hglobal_avg_pool(&mut h, &enc, &scales);
+            let got = decrypt_tensor(&mut h, &out);
+            let want = ops::global_avg_pool(&input);
+            assert!(got.max_abs_diff(&want) < 1e-3, "{kind}: diff {}", got.max_abs_diff(&want));
+        }
+    }
+
+    #[test]
+    fn pooled_output_is_dilated_not_repacked() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let input = Tensor::from_fn(vec![1, 4, 4], |i| (i[1] * 4 + i[2]) as f64);
+        let layout = Layout::hw(1, 4, 4, 0, h.slots());
+        let enc = encrypt_tensor(&mut h, &input, &layout, scales.input);
+        let out = havg_pool2d(&mut h, &enc, 2, 2, &scales);
+        assert_eq!(out.layout.h_stride, 8);
+        assert_eq!(out.layout.w_stride, 2);
+    }
+}

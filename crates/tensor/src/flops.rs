@@ -1,0 +1,129 @@
+//! Floating-point operation counting for tensor circuits (paper Table 3).
+//!
+//! Counts multiplies and adds of the reference (unencrypted) evaluation;
+//! this is the "# FP operations" column of the paper's network table.
+
+use crate::circuit::{Circuit, Op};
+use crate::ops::conv_output_dim;
+
+/// FLOP totals for one circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlopCount {
+    /// Multiplications.
+    pub muls: u64,
+    /// Additions.
+    pub adds: u64,
+}
+
+impl FlopCount {
+    /// Total floating-point operations.
+    pub fn total(&self) -> u64 {
+        self.muls + self.adds
+    }
+}
+
+/// Counts the floating-point operations a reference evaluation performs.
+pub fn count_flops(circuit: &Circuit) -> FlopCount {
+    let shapes = circuit.shapes();
+    let mut fc = FlopCount::default();
+    for (i, op) in circuit.ops().iter().enumerate() {
+        match op {
+            Op::Input { .. } | Op::Flatten { .. } | Op::Concat { .. } => {}
+            Op::Conv2d { input, weights, bias, stride, padding } => {
+                let [c, h, w] = shapes[*input][..] else { unreachable!() };
+                let [k, _, r, s] = weights.shape()[..] else { unreachable!() };
+                let (oh, _) = conv_output_dim(h, r, *stride, *padding);
+                let (ow, _) = conv_output_dim(w, s, *stride, *padding);
+                let out_elems = (k * oh * ow) as u64;
+                let window = (c * r * s) as u64;
+                fc.muls += out_elems * window;
+                fc.adds += out_elems * (window - 1 + bias.is_some() as u64 as usize as u64);
+                let _ = i;
+            }
+            Op::MatMul { input, weights, bias } => {
+                let inp: u64 = shapes[*input].iter().product::<usize>() as u64;
+                let out = weights.shape()[0] as u64;
+                fc.muls += out * inp;
+                fc.adds += out * (inp - 1 + bias.is_some() as u64);
+            }
+            Op::AvgPool2d { input, kernel, stride } => {
+                let [c, h, w] = shapes[*input][..] else { unreachable!() };
+                let (oh, _) = conv_output_dim(h, *kernel, *stride, crate::ops::Padding::Valid);
+                let (ow, _) = conv_output_dim(w, *kernel, *stride, crate::ops::Padding::Valid);
+                let out_elems = (c * oh * ow) as u64;
+                fc.adds += out_elems * ((kernel * kernel - 1) as u64);
+                fc.muls += out_elems; // × 1/k²
+            }
+            Op::GlobalAvgPool { input } => {
+                let [c, h, w] = shapes[*input][..] else { unreachable!() };
+                fc.adds += (c * (h * w - 1)) as u64;
+                fc.muls += c as u64;
+            }
+            Op::Activation { input, .. } => {
+                let n: u64 = shapes[*input].iter().product::<usize>() as u64;
+                // a·x² + b·x: two muls for x² terms + one for b·x, one add.
+                fc.muls += 3 * n;
+                fc.adds += n;
+            }
+            Op::BatchNorm { input, .. } => {
+                let n: u64 = shapes[*input].iter().product::<usize>() as u64;
+                fc.muls += n;
+                fc.adds += n;
+            }
+        }
+    }
+    fc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use crate::ops::Padding;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn conv_flops_formula() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(vec![3, 8, 8]);
+        let w = Tensor::zeros(vec![4, 3, 3, 3]);
+        let c = b.conv2d(x, w, None, 1, Padding::Valid);
+        let circuit = b.build(c);
+        let fc = count_flops(&circuit);
+        // out: 4×6×6 = 144 elems, window 27.
+        assert_eq!(fc.muls, 144 * 27);
+        assert_eq!(fc.adds, 144 * 26);
+    }
+
+    #[test]
+    fn dense_flops_formula() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(vec![10]);
+        let m = b.matmul(x, Tensor::zeros(vec![5, 10]), Some(vec![0.0; 5]));
+        let circuit = b.build(m);
+        let fc = count_flops(&circuit);
+        assert_eq!(fc.muls, 50);
+        assert_eq!(fc.adds, 5 * 10);
+    }
+
+    #[test]
+    fn activation_flops() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(vec![7]);
+        let a = b.activation(x, 0.1, 1.0);
+        let circuit = b.build(a);
+        let fc = count_flops(&circuit);
+        assert_eq!(fc.muls, 21);
+        assert_eq!(fc.adds, 7);
+    }
+
+    #[test]
+    fn flatten_and_concat_are_free() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(vec![2, 2, 2]);
+        let cc = b.concat(vec![x, x]);
+        let f = b.flatten(cc);
+        let circuit = b.build(f);
+        assert_eq!(count_flops(&circuit).total(), 0);
+    }
+}

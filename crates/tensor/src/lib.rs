@@ -1,0 +1,45 @@
+//! # chet-tensor
+//!
+//! Plain (unencrypted) tensor infrastructure for the CHET reproduction:
+//!
+//! * [`tensor::Tensor`] — a dense row-major `f64` tensor.
+//! * [`ops`] — reference implementations of the tensor operations CHET
+//!   supports (paper §2.6): convolution, matrix multiplication, average
+//!   pooling, element-wise polynomial activations, batch-norm folding,
+//!   reshaping and channel concatenation.
+//! * [`circuit`] — the tensor-circuit DAG and builder DSL: the input
+//!   language of the CHET compiler, mirroring how models are specified in
+//!   frameworks like TensorFlow.
+//! * [`flops`] — floating-point operation counting (paper Table 3).
+//! * [`train`] — a small SGD trainer for HE-compatible networks with
+//!   learnable `f(x) = a·x² + b·x` activations (paper §6).
+//!
+//! This crate doubles as the paper's "unencrypted reference inference
+//! engine": [`circuit::Circuit::eval`] evaluates a circuit in floating
+//! point, which the profile-guided scale selection compares encrypted
+//! outputs against.
+//!
+//! # Examples
+//!
+//! ```
+//! use chet_tensor::circuit::CircuitBuilder;
+//! use chet_tensor::tensor::Tensor;
+//!
+//! let mut b = CircuitBuilder::new();
+//! let x = b.input(vec![1, 4, 4]);
+//! let w = Tensor::from_fn(vec![2, 1, 3, 3], |_| 0.1);
+//! let c = b.conv2d(x, w, None, 1, chet_tensor::ops::Padding::Valid);
+//! let y = b.activation(c, 0.25, 0.5);
+//! let circuit = b.build(y);
+//! let out = circuit.eval(&[Tensor::from_fn(vec![1, 4, 4], |i| i[1] as f64)]);
+//! assert_eq!(out.shape(), &[2, 2, 2]);
+//! ```
+
+pub mod circuit;
+pub mod flops;
+pub mod ops;
+pub mod tensor;
+pub mod train;
+
+pub use circuit::{Circuit, CircuitBuilder, NodeId, Op};
+pub use tensor::Tensor;
