@@ -10,7 +10,7 @@ use super::poly::{BigMultiplier, BigPoly};
 use crate::encoding::CkksEncoder;
 use chet_hisa::keys::{normalize_rotation, plan_rotation, RotationKeyPolicy};
 use chet_hisa::params::{EncryptionParams, ModulusSpec};
-use chet_hisa::Hisa;
+use chet_hisa::{Hisa, HisaError};
 use chet_math::bigint::UBig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -209,24 +209,28 @@ impl BigCkks {
         BigCiphertext { c0: c.c0.mod_down_to(l), c1: c.c1.mod_down_to(l), scale: c.scale }
     }
 
-    fn assert_scales_match(a: f64, b: f64) {
-        assert!(
-            (a / b - 1.0).abs() < 1e-6,
-            "operand scales must match (got {a} vs {b}); rescale first"
-        );
+    fn check_scales(a: f64, b: f64) -> Result<(), HisaError> {
+        if (a / b - 1.0).abs() < 1e-6 {
+            Ok(())
+        } else {
+            Err(HisaError::ScaleMismatch { left: a, right: b })
+        }
     }
 
-    fn rotate_step(&mut self, ct: &BigCiphertext, step: usize) -> BigCiphertext {
+    fn rotate_step(&mut self, ct: &BigCiphertext, step: usize) -> Result<BigCiphertext, HisaError> {
         let g = self.encoder.galois_element(step);
         let key = self
             .galois
             .get(&step)
-            .unwrap_or_else(|| panic!("missing rotation key for step {step}"))
+            .ok_or_else(|| HisaError::MissingRotationKey {
+                step,
+                available: self.key_steps.iter().copied().collect(),
+            })?
             .clone();
         let c0g = ct.c0.automorphism(g);
         let c1g = ct.c1.automorphism(g);
         let (ks0, ks1) = self.switch_key(&c1g, &key);
-        BigCiphertext { c0: c0g.add(&ks0), c1: ks1, scale: ct.scale }
+        Ok(BigCiphertext { c0: c0g.add(&ks0), c1: ks1, scale: ct.scale })
     }
 }
 
@@ -239,10 +243,17 @@ impl Hisa for BigCkks {
     }
 
     fn encode(&mut self, values: &[f64], scale: f64) -> BigPlaintext {
+        self.try_encode(values, scale).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_encode(&mut self, values: &[f64], scale: f64) -> Result<BigPlaintext, HisaError> {
+        if values.len() > self.degree / 2 {
+            return Err(HisaError::SlotOverflow { len: values.len(), slots: self.degree / 2 });
+        }
         let int_coeffs = self.encoder.encode(values, scale);
         let poly = BigPoly::from_signed(&int_coeffs, self.log_q_max);
         let coeffs = int_coeffs.iter().map(|&c| c as f64).collect();
-        BigPlaintext { poly, scale, coeffs }
+        Ok(BigPlaintext { poly, scale, coeffs })
     }
 
     fn decode(&mut self, p: &BigPlaintext) -> Vec<f64> {
@@ -273,36 +284,64 @@ impl Hisa for BigCkks {
     }
 
     fn rot_left(&mut self, c: &BigCiphertext, x: usize) -> BigCiphertext {
+        self.try_rot_left(c, x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_rot_left(&mut self, c: &BigCiphertext, x: usize) -> Result<BigCiphertext, HisaError> {
         let slots = self.slots();
         let step = normalize_rotation(x as i64, slots);
         if step == 0 {
-            return c.clone();
+            return Ok(c.clone());
         }
-        let plan = plan_rotation(step, &self.key_steps, slots)
-            .unwrap_or_else(|| panic!("no rotation-key plan for step {step}"));
+        let plan = plan_rotation(step, &self.key_steps, slots).ok_or_else(|| {
+            HisaError::MissingRotationKey {
+                step,
+                available: self.key_steps.iter().copied().collect(),
+            }
+        })?;
         let mut out = c.clone();
         for s in plan {
-            out = self.rotate_step(&out, s);
+            out = self.rotate_step(&out, s)?;
         }
-        out
+        Ok(out)
     }
 
     fn rot_right(&mut self, c: &BigCiphertext, x: usize) -> BigCiphertext {
+        self.try_rot_right(c, x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_rot_right(&mut self, c: &BigCiphertext, x: usize) -> Result<BigCiphertext, HisaError> {
         let slots = self.slots();
         let step = normalize_rotation(-(x as i64), slots);
-        self.rot_left(c, step)
+        self.try_rot_left(c, step)
     }
 
     fn add(&mut self, a: &BigCiphertext, b: &BigCiphertext) -> BigCiphertext {
-        Self::assert_scales_match(a.scale, b.scale);
+        self.try_add(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_add(
+        &mut self,
+        a: &BigCiphertext,
+        b: &BigCiphertext,
+    ) -> Result<BigCiphertext, HisaError> {
+        Self::check_scales(a.scale, b.scale)?;
         let (x, y) = self.align(a, b);
-        BigCiphertext { c0: x.c0.add(&y.c0), c1: x.c1.add(&y.c1), scale: x.scale }
+        Ok(BigCiphertext { c0: x.c0.add(&y.c0), c1: x.c1.add(&y.c1), scale: x.scale })
     }
 
     fn add_plain(&mut self, a: &BigCiphertext, p: &BigPlaintext) -> BigCiphertext {
-        Self::assert_scales_match(a.scale, p.scale);
+        self.try_add_plain(a, p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_add_plain(
+        &mut self,
+        a: &BigCiphertext,
+        p: &BigPlaintext,
+    ) -> Result<BigCiphertext, HisaError> {
+        Self::check_scales(a.scale, p.scale)?;
         let pt = p.poly.mod_down_to(a.log_q());
-        BigCiphertext { c0: a.c0.add(&pt), c1: a.c1.clone(), scale: a.scale }
+        Ok(BigCiphertext { c0: a.c0.add(&pt), c1: a.c1.clone(), scale: a.scale })
     }
 
     fn add_scalar(&mut self, a: &BigCiphertext, x: f64) -> BigCiphertext {
@@ -314,15 +353,31 @@ impl Hisa for BigCkks {
     }
 
     fn sub(&mut self, a: &BigCiphertext, b: &BigCiphertext) -> BigCiphertext {
-        Self::assert_scales_match(a.scale, b.scale);
+        self.try_sub(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_sub(
+        &mut self,
+        a: &BigCiphertext,
+        b: &BigCiphertext,
+    ) -> Result<BigCiphertext, HisaError> {
+        Self::check_scales(a.scale, b.scale)?;
         let (x, y) = self.align(a, b);
-        BigCiphertext { c0: x.c0.sub(&y.c0), c1: x.c1.sub(&y.c1), scale: x.scale }
+        Ok(BigCiphertext { c0: x.c0.sub(&y.c0), c1: x.c1.sub(&y.c1), scale: x.scale })
     }
 
     fn sub_plain(&mut self, a: &BigCiphertext, p: &BigPlaintext) -> BigCiphertext {
-        Self::assert_scales_match(a.scale, p.scale);
+        self.try_sub_plain(a, p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_sub_plain(
+        &mut self,
+        a: &BigCiphertext,
+        p: &BigPlaintext,
+    ) -> Result<BigCiphertext, HisaError> {
+        Self::check_scales(a.scale, p.scale)?;
         let pt = p.poly.mod_down_to(a.log_q());
-        BigCiphertext { c0: a.c0.sub(&pt), c1: a.c1.clone(), scale: a.scale }
+        Ok(BigCiphertext { c0: a.c0.sub(&pt), c1: a.c1.clone(), scale: a.scale })
     }
 
     fn sub_scalar(&mut self, a: &BigCiphertext, x: f64) -> BigCiphertext {
@@ -361,20 +416,38 @@ impl Hisa for BigCkks {
     }
 
     fn rescale(&mut self, c: &BigCiphertext, divisor: f64) -> BigCiphertext {
+        self.try_rescale(c, divisor).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_rescale(
+        &mut self,
+        c: &BigCiphertext,
+        divisor: f64,
+    ) -> Result<BigCiphertext, HisaError> {
         if divisor <= 1.0 {
-            return c.clone();
+            return Ok(c.clone());
         }
         let k = divisor.log2();
-        assert!(
-            (k - k.round()).abs() < 1e-9,
-            "CKKS rescale divisor must be a power of two, got {divisor}"
-        );
+        if (k - k.round()).abs() >= 1e-9 {
+            return Err(HisaError::InvalidRescale {
+                divisor,
+                reason: "CKKS rescale divisor must be a power of two".into(),
+            });
+        }
         let k = k.round() as u32;
-        BigCiphertext {
+        // Rescaling must leave at least one modulus bit, or the ciphertext
+        // silently degenerates (historically unchecked in this backend).
+        if k >= c.log_q() {
+            return Err(HisaError::LevelExhausted {
+                remaining: (c.log_q() - 1) as f64,
+                requested: k as f64,
+            });
+        }
+        Ok(BigCiphertext {
             c0: c.c0.rescale_by_pow2(k),
             c1: c.c1.rescale_by_pow2(k),
             scale: c.scale / divisor,
-        }
+        })
     }
 
     fn max_rescale(&mut self, c: &BigCiphertext, ub: f64) -> f64 {
@@ -391,6 +464,10 @@ impl Hisa for BigCkks {
 
     fn scale_of(&self, c: &BigCiphertext) -> f64 {
         c.scale
+    }
+
+    fn available_rotations(&self) -> Option<BTreeSet<usize>> {
+        Some(self.key_steps.clone())
     }
 }
 
@@ -517,5 +594,44 @@ mod tests {
         let mut h = scheme();
         let a = enc(&mut h, &[1.0]);
         let _ = h.rescale(&a, 3.0);
+    }
+
+    #[test]
+    fn fallible_surface_returns_errors() {
+        let mut h = scheme();
+        let a = enc(&mut h, &[1.0]);
+
+        // Invalid divisor is an error, not a panic, on the try path.
+        assert!(matches!(
+            h.try_rescale(&a, 3.0),
+            Err(HisaError::InvalidRescale { .. })
+        ));
+
+        // Consuming the whole modulus is level exhaustion (previously this
+        // underflowed silently).
+        assert!(matches!(
+            h.try_rescale(&a, 2f64.powi(120)),
+            Err(HisaError::LevelExhausted { remaining, requested })
+                if remaining == 119.0 && requested == 120.0
+        ));
+
+        // Scale mismatch surfaces as a value.
+        let b = {
+            let pt = h.encode(&[1.0], SCALE * 2.0);
+            h.encrypt(&pt)
+        };
+        assert!(matches!(h.try_add(&a, &b), Err(HisaError::ScaleMismatch { .. })));
+
+        // Missing rotation key.
+        let mut params =
+            EncryptionParams::ckks(1024, 120).with_security(SecurityLevel::Insecure);
+        params.modulus = ModulusSpec::PowerOfTwo { log_q: 120, log_special: 140 };
+        let policy = RotationKeyPolicy::Exact([4usize].into_iter().collect());
+        let mut h = BigCkks::new(&params, &policy, 777);
+        let ct = enc(&mut h, &[1.0]);
+        assert!(matches!(
+            h.try_rot_left(&ct, 3),
+            Err(HisaError::MissingRotationKey { step: 3, .. })
+        ));
     }
 }

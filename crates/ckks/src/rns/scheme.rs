@@ -12,7 +12,7 @@ use super::context::RnsContext;
 use super::poly::{centered_switch, RnsPoly};
 use chet_hisa::keys::{normalize_rotation, plan_rotation, RotationKeyPolicy};
 use chet_hisa::params::EncryptionParams;
-use chet_hisa::Hisa;
+use chet_hisa::{Hisa, HisaError};
 use chet_math::crt::CrtBasis;
 use chet_math::modint::{mul_mod, sub_mod};
 use rand::rngs::StdRng;
@@ -321,11 +321,12 @@ impl RnsCkks {
         out
     }
 
-    fn assert_scales_match(a: f64, b: f64) {
-        assert!(
-            (a / b - 1.0).abs() < 1e-6,
-            "operand scales must match (got {a} vs {b}); rescale first"
-        );
+    fn check_scales(a: f64, b: f64) -> Result<(), HisaError> {
+        if (a / b - 1.0).abs() < 1e-6 {
+            Ok(())
+        } else {
+            Err(HisaError::ScaleMismatch { left: a, right: b })
+        }
     }
 
     /// Rescales by exactly one chain prime (the last active one).
@@ -361,13 +362,16 @@ impl RnsCkks {
     }
 
     /// Applies one elementary rotation (a step with a dedicated key).
-    fn rotate_step(&mut self, ct: &RnsCiphertext, step: usize) -> RnsCiphertext {
+    fn rotate_step(&mut self, ct: &RnsCiphertext, step: usize) -> Result<RnsCiphertext, HisaError> {
         let ctx = self.ctx.clone();
         let g = ctx.encoder().galois_element(step);
         let key = self
             .galois
             .get(&step)
-            .unwrap_or_else(|| panic!("missing rotation key for step {step}"))
+            .ok_or_else(|| HisaError::MissingRotationKey {
+                step,
+                available: self.key_steps.iter().copied().collect(),
+            })?
             .clone();
         let mut c0 = ct.c0.clone();
         let mut c1 = ct.c1.clone();
@@ -379,7 +383,7 @@ impl RnsCkks {
         let (ks0, ks1) = self.switch_key(&c1g, &key);
         let mut out0 = c0g;
         out0.add_assign(&ctx, &ks0);
-        RnsCiphertext { c0: out0, c1: ks1, scale: ct.scale }
+        Ok(RnsCiphertext { c0: out0, c1: ks1, scale: ct.scale })
     }
 }
 
@@ -392,11 +396,21 @@ impl Hisa for RnsCkks {
     }
 
     fn encode(&mut self, values: &[f64], scale: f64) -> RnsPlaintext {
+        self.try_encode(values, scale).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_encode(&mut self, values: &[f64], scale: f64) -> Result<RnsPlaintext, HisaError> {
+        if values.len() > self.ctx.slots() {
+            return Err(HisaError::SlotOverflow {
+                len: values.len(),
+                slots: self.ctx.slots(),
+            });
+        }
         let int_coeffs = self.ctx.encoder().encode(values, scale);
         let mut poly = RnsPoly::from_signed(&self.ctx, &int_coeffs, self.ctx.max_level(), false);
         poly.ntt_forward(&self.ctx);
         let coeffs = int_coeffs.iter().map(|&c| c as f64).collect();
-        RnsPlaintext { poly, scale, coeffs }
+        Ok(RnsPlaintext { poly, scale, coeffs })
     }
 
     fn decode(&mut self, p: &RnsPlaintext) -> Vec<f64> {
@@ -464,43 +478,71 @@ impl Hisa for RnsCkks {
     }
 
     fn rot_left(&mut self, c: &RnsCiphertext, x: usize) -> RnsCiphertext {
+        self.try_rot_left(c, x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_rot_left(&mut self, c: &RnsCiphertext, x: usize) -> Result<RnsCiphertext, HisaError> {
         let slots = self.slots();
         let step = normalize_rotation(x as i64, slots);
         if step == 0 {
-            return c.clone();
+            return Ok(c.clone());
         }
-        let plan = plan_rotation(step, &self.key_steps, slots)
-            .unwrap_or_else(|| panic!("no rotation-key plan for step {step}"));
+        let plan = plan_rotation(step, &self.key_steps, slots).ok_or_else(|| {
+            HisaError::MissingRotationKey {
+                step,
+                available: self.key_steps.iter().copied().collect(),
+            }
+        })?;
         let mut out = c.clone();
         for s in plan {
-            out = self.rotate_step(&out, s);
+            out = self.rotate_step(&out, s)?;
         }
-        out
+        Ok(out)
     }
 
     fn rot_right(&mut self, c: &RnsCiphertext, x: usize) -> RnsCiphertext {
+        self.try_rot_right(c, x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_rot_right(&mut self, c: &RnsCiphertext, x: usize) -> Result<RnsCiphertext, HisaError> {
         let slots = self.slots();
         let step = normalize_rotation(-(x as i64), slots);
-        self.rot_left(c, step)
+        self.try_rot_left(c, step)
     }
 
     fn add(&mut self, a: &RnsCiphertext, b: &RnsCiphertext) -> RnsCiphertext {
-        Self::assert_scales_match(a.scale, b.scale);
+        self.try_add(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_add(
+        &mut self,
+        a: &RnsCiphertext,
+        b: &RnsCiphertext,
+    ) -> Result<RnsCiphertext, HisaError> {
+        Self::check_scales(a.scale, b.scale)?;
         let level = a.level().min(b.level());
         let mut x = self.align_level(a, level);
         let y = self.align_level(b, level);
         x.c0.add_assign(&self.ctx, &y.c0);
         x.c1.add_assign(&self.ctx, &y.c1);
-        x
+        Ok(x)
     }
 
     fn add_plain(&mut self, a: &RnsCiphertext, p: &RnsPlaintext) -> RnsCiphertext {
-        Self::assert_scales_match(a.scale, p.scale);
+        self.try_add_plain(a, p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_add_plain(
+        &mut self,
+        a: &RnsCiphertext,
+        p: &RnsPlaintext,
+    ) -> Result<RnsCiphertext, HisaError> {
+        Self::check_scales(a.scale, p.scale)?;
         let mut pt = p.poly.clone();
         pt.drop_to_level(a.level());
         let mut out = a.clone();
         out.c0.add_assign(&self.ctx, &pt);
-        out
+        Ok(out)
     }
 
     fn add_scalar(&mut self, a: &RnsCiphertext, x: f64) -> RnsCiphertext {
@@ -511,22 +553,38 @@ impl Hisa for RnsCkks {
     }
 
     fn sub(&mut self, a: &RnsCiphertext, b: &RnsCiphertext) -> RnsCiphertext {
-        Self::assert_scales_match(a.scale, b.scale);
+        self.try_sub(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_sub(
+        &mut self,
+        a: &RnsCiphertext,
+        b: &RnsCiphertext,
+    ) -> Result<RnsCiphertext, HisaError> {
+        Self::check_scales(a.scale, b.scale)?;
         let level = a.level().min(b.level());
         let mut x = self.align_level(a, level);
         let y = self.align_level(b, level);
         x.c0.sub_assign(&self.ctx, &y.c0);
         x.c1.sub_assign(&self.ctx, &y.c1);
-        x
+        Ok(x)
     }
 
     fn sub_plain(&mut self, a: &RnsCiphertext, p: &RnsPlaintext) -> RnsCiphertext {
-        Self::assert_scales_match(a.scale, p.scale);
+        self.try_sub_plain(a, p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_sub_plain(
+        &mut self,
+        a: &RnsCiphertext,
+        p: &RnsPlaintext,
+    ) -> Result<RnsCiphertext, HisaError> {
+        Self::check_scales(a.scale, p.scale)?;
         let mut pt = p.poly.clone();
         pt.drop_to_level(a.level());
         let mut out = a.clone();
         out.c0.sub_assign(&self.ctx, &pt);
-        out
+        Ok(out)
     }
 
     fn sub_scalar(&mut self, a: &RnsCiphertext, x: f64) -> RnsCiphertext {
@@ -573,21 +631,39 @@ impl Hisa for RnsCkks {
     }
 
     fn rescale(&mut self, c: &RnsCiphertext, divisor: f64) -> RnsCiphertext {
+        self.try_rescale(c, divisor).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_rescale(
+        &mut self,
+        c: &RnsCiphertext,
+        divisor: f64,
+    ) -> Result<RnsCiphertext, HisaError> {
         if divisor <= 1.0 {
-            return c.clone();
+            return Ok(c.clone());
         }
         let mut out = c.clone();
         let mut d = divisor;
+        let mut consumed = 0usize;
         while d > 1.5 {
+            if out.level() <= 1 {
+                return Err(HisaError::LevelExhausted {
+                    remaining: (c.level() - 1) as f64,
+                    requested: (consumed + 1) as f64,
+                });
+            }
             let q_last = self.ctx.modulus(out.level() - 1) as f64;
             self.rescale_one(&mut out);
+            consumed += 1;
             d /= q_last;
         }
-        assert!(
-            (d - 1.0).abs() < 1e-6,
-            "divisor {divisor} is not a product of the next chain primes"
-        );
-        out
+        if (d - 1.0).abs() >= 1e-6 {
+            return Err(HisaError::InvalidRescale {
+                divisor,
+                reason: "not a product of the next chain primes".into(),
+            });
+        }
+        Ok(out)
     }
 
     fn max_rescale(&mut self, c: &RnsCiphertext, ub: f64) -> f64 {
@@ -609,6 +685,10 @@ impl Hisa for RnsCkks {
 
     fn scale_of(&self, c: &RnsCiphertext) -> f64 {
         c.scale
+    }
+
+    fn available_rotations(&self) -> Option<BTreeSet<usize>> {
+        Some(self.key_steps.clone())
     }
 }
 

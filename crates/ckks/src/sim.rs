@@ -24,7 +24,7 @@
 use chet_hisa::cost::HisaOp;
 use chet_hisa::keys::{normalize_rotation, plan_rotation, RotationKeyPolicy};
 use chet_hisa::params::{EncryptionParams, ModulusSpec};
-use chet_hisa::Hisa;
+use chet_hisa::{Hisa, HisaError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeSet, HashMap};
@@ -154,11 +154,12 @@ impl SimCkks {
         }
     }
 
-    fn assert_scales_match(a: f64, b: f64) {
-        assert!(
-            (a / b - 1.0).abs() < 1e-6,
-            "operand scales must match (got {a} vs {b}); rescale first"
-        );
+    fn check_scales(a: f64, b: f64) -> Result<(), HisaError> {
+        if (a / b - 1.0).abs() < 1e-6 {
+            Ok(())
+        } else {
+            Err(HisaError::ScaleMismatch { left: a, right: b })
+        }
     }
 }
 
@@ -171,7 +172,13 @@ impl Hisa for SimCkks {
     }
 
     fn encode(&mut self, values: &[f64], scale: f64) -> SimPt {
-        assert!(values.len() <= self.slots, "too many values for the slot count");
+        self.try_encode(values, scale).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_encode(&mut self, values: &[f64], scale: f64) -> Result<SimPt, HisaError> {
+        if values.len() > self.slots {
+            return Err(HisaError::SlotOverflow { len: values.len(), slots: self.slots });
+        }
         assert!(scale >= 1.0, "scale must be >= 1");
         let mut v = values.to_vec();
         v.resize(self.slots, 0.0);
@@ -187,7 +194,7 @@ impl Hisa for SimCkks {
                 *x += e;
             }
         }
-        SimPt { values: v, scale }
+        Ok(SimPt { values: v, scale })
     }
 
     fn decode(&mut self, p: &SimPt) -> Vec<f64> {
@@ -207,12 +214,17 @@ impl Hisa for SimCkks {
     }
 
     fn rot_left(&mut self, c: &SimCt, x: usize) -> SimCt {
+        self.try_rot_left(c, x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_rot_left(&mut self, c: &SimCt, x: usize) -> Result<SimCt, HisaError> {
         let step = normalize_rotation(x as i64, self.slots);
         if step == 0 {
-            return c.clone();
+            return Ok(c.clone());
         }
-        let plan = plan_rotation(step, &self.keys, self.slots)
-            .unwrap_or_else(|| panic!("no rotation-key plan for step {step}"));
+        let plan = plan_rotation(step, &self.keys, self.slots).ok_or_else(|| {
+            HisaError::MissingRotationKey { step, available: self.keys.iter().copied().collect() }
+        })?;
         let mut out = c.clone();
         for s in plan {
             self.bump(HisaOp::Rotate);
@@ -221,26 +233,38 @@ impl Hisa for SimCkks {
             let scale = out.scale;
             self.inject_noise(&mut out.values, units, scale);
         }
-        out
+        Ok(out)
     }
 
     fn rot_right(&mut self, c: &SimCt, x: usize) -> SimCt {
+        self.try_rot_right(c, x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_rot_right(&mut self, c: &SimCt, x: usize) -> Result<SimCt, HisaError> {
         let step = normalize_rotation(-(x as i64), self.slots);
-        self.rot_left(c, step)
+        self.try_rot_left(c, step)
     }
 
     fn add(&mut self, a: &SimCt, b: &SimCt) -> SimCt {
+        self.try_add(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_add(&mut self, a: &SimCt, b: &SimCt) -> Result<SimCt, HisaError> {
         self.bump(HisaOp::Add);
-        Self::assert_scales_match(a.scale, b.scale);
+        Self::check_scales(a.scale, b.scale)?;
         let values = a.values.iter().zip(&b.values).map(|(x, y)| x + y).collect();
-        SimCt { values, scale: a.scale, remaining: self.meet(&a.remaining, &b.remaining) }
+        Ok(SimCt { values, scale: a.scale, remaining: self.meet(&a.remaining, &b.remaining) })
     }
 
     fn add_plain(&mut self, a: &SimCt, p: &SimPt) -> SimCt {
+        self.try_add_plain(a, p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_add_plain(&mut self, a: &SimCt, p: &SimPt) -> Result<SimCt, HisaError> {
         self.bump(HisaOp::Add);
-        Self::assert_scales_match(a.scale, p.scale);
+        Self::check_scales(a.scale, p.scale)?;
         let values = a.values.iter().zip(&p.values).map(|(x, y)| x + y).collect();
-        SimCt { values, scale: a.scale, remaining: a.remaining.clone() }
+        Ok(SimCt { values, scale: a.scale, remaining: a.remaining.clone() })
     }
 
     fn add_scalar(&mut self, a: &SimCt, x: f64) -> SimCt {
@@ -251,17 +275,25 @@ impl Hisa for SimCkks {
     }
 
     fn sub(&mut self, a: &SimCt, b: &SimCt) -> SimCt {
+        self.try_sub(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_sub(&mut self, a: &SimCt, b: &SimCt) -> Result<SimCt, HisaError> {
         self.bump(HisaOp::Add);
-        Self::assert_scales_match(a.scale, b.scale);
+        Self::check_scales(a.scale, b.scale)?;
         let values = a.values.iter().zip(&b.values).map(|(x, y)| x - y).collect();
-        SimCt { values, scale: a.scale, remaining: self.meet(&a.remaining, &b.remaining) }
+        Ok(SimCt { values, scale: a.scale, remaining: self.meet(&a.remaining, &b.remaining) })
     }
 
     fn sub_plain(&mut self, a: &SimCt, p: &SimPt) -> SimCt {
+        self.try_sub_plain(a, p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_sub_plain(&mut self, a: &SimCt, p: &SimPt) -> Result<SimCt, HisaError> {
         self.bump(HisaOp::Add);
-        Self::assert_scales_match(a.scale, p.scale);
+        Self::check_scales(a.scale, p.scale)?;
         let values = a.values.iter().zip(&p.values).map(|(x, y)| x - y).collect();
-        SimCt { values, scale: a.scale, remaining: a.remaining.clone() }
+        Ok(SimCt { values, scale: a.scale, remaining: a.remaining.clone() })
     }
 
     fn sub_scalar(&mut self, a: &SimCt, x: f64) -> SimCt {
@@ -294,8 +326,12 @@ impl Hisa for SimCkks {
     }
 
     fn rescale(&mut self, c: &SimCt, divisor: f64) -> SimCt {
+        self.try_rescale(c, divisor).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_rescale(&mut self, c: &SimCt, divisor: f64) -> Result<SimCt, HisaError> {
         if divisor <= 1.0 {
-            return c.clone();
+            return Ok(c.clone());
         }
         self.bump(HisaOp::Rescale);
         let mut out = c.clone();
@@ -304,17 +340,24 @@ impl Hisa for SimCkks {
             Remaining::Pow2 { log_q } => {
                 let consumed = divisor.log2();
                 let left = log_q - consumed;
-                assert!(
-                    left >= 1.0,
-                    "modulus exhausted: rescaling by {divisor} leaves {left:.1} bits"
-                );
+                if left < 1.0 {
+                    return Err(HisaError::LevelExhausted {
+                        remaining: log_q - 1.0,
+                        requested: consumed,
+                    });
+                }
                 Remaining::Pow2 { log_q: left }
             }
             Remaining::Chain { level } => {
                 let mut lvl = *level;
                 let mut d = divisor;
                 while d > 1.5 {
-                    assert!(lvl > 1, "modulus chain exhausted");
+                    if lvl <= 1 {
+                        return Err(HisaError::LevelExhausted {
+                            remaining: (*level - 1) as f64,
+                            requested: (*level - lvl + 1) as f64,
+                        });
+                    }
                     lvl -= 1;
                     d /= self.chain[lvl] as f64;
                 }
@@ -324,7 +367,7 @@ impl Hisa for SimCkks {
         let units = self.noise_stddev;
         let scale = out.scale;
         self.inject_noise(&mut out.values, units, scale);
-        out
+        Ok(out)
     }
 
     fn max_rescale(&mut self, c: &SimCt, ub: f64) -> f64 {
@@ -359,6 +402,10 @@ impl Hisa for SimCkks {
 
     fn scale_of(&self, c: &SimCt) -> f64 {
         c.scale
+    }
+
+    fn available_rotations(&self) -> Option<std::collections::BTreeSet<usize>> {
+        Some(self.keys.clone())
     }
 }
 
@@ -503,6 +550,61 @@ mod tests {
         let c = h.add_scalar(&b, 1.0);
         let out = dec(&mut h, &c);
         assert!((out[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fallible_surface_returns_errors_instead_of_panicking() {
+        use chet_hisa::HisaError;
+
+        // Slot overflow on encode.
+        let mut h = sim(2);
+        let too_many = vec![0.0; h.slots() + 1];
+        assert!(matches!(
+            h.try_encode(&too_many, S),
+            Err(HisaError::SlotOverflow { len, slots }) if len == slots + 1
+        ));
+
+        // Missing rotation key.
+        let params = EncryptionParams::rns_ckks(8192, 40, 2);
+        let policy = RotationKeyPolicy::Exact([4usize].into_iter().collect());
+        let mut h = SimCkks::new(&params, &policy, 1);
+        let ct = enc(&mut h, &[0.0], S);
+        assert!(matches!(
+            h.try_rot_left(&ct, 3),
+            Err(HisaError::MissingRotationKey { step: 3, .. })
+        ));
+
+        // Scale mismatch on add.
+        let mut h = sim(2);
+        let a = enc(&mut h, &[1.0], S);
+        let b = enc(&mut h, &[1.0], S * 2.0);
+        assert!(matches!(h.try_add(&a, &b), Err(HisaError::ScaleMismatch { .. })));
+
+        // Level exhaustion on rescale (both modulus models).
+        let mut h = sim_pow2(60);
+        let a = enc(&mut h, &[1.0], S);
+        let a = h.try_rescale(&a, 2f64.powi(30)).unwrap();
+        assert!(matches!(
+            h.try_rescale(&a, 2f64.powi(30)),
+            Err(HisaError::LevelExhausted { .. })
+        ));
+        let mut h = sim(2);
+        let a = enc(&mut h, &[1.0], S);
+        let d1 = h.max_rescale(&a, 2f64.powi(45));
+        let a = h.try_rescale(&a, d1).unwrap();
+        assert!(matches!(
+            h.try_rescale(&a, 2f64.powi(40)),
+            Err(HisaError::LevelExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn available_rotations_reports_key_steps() {
+        let params = EncryptionParams::rns_ckks(8192, 40, 2);
+        let policy = RotationKeyPolicy::Exact([5usize, 9].into_iter().collect());
+        let h = SimCkks::new(&params, &policy, 1);
+        let avail = h.available_rotations().expect("sim has a key set");
+        assert_eq!(avail, [5usize, 9].into_iter().collect());
     }
 
     #[test]

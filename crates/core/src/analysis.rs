@@ -226,6 +226,9 @@ impl Hisa for Analyzer {
         if let RescaleModel::Chain(primes) = &self.model {
             let mut d = divisor;
             while d > 1.5 {
+                // Invariant: `candidate_primes` sizes the list well beyond
+                // any circuit depth parameter selection accepts.
+                #[allow(clippy::expect_used)]
                 let p = *primes
                     .get(out.chain_idx)
                     .expect("candidate prime list exhausted; enlarge it");

@@ -6,17 +6,18 @@
 //! (layout plan), the encryption parameters for the encryptor/decryptor,
 //! and the rotation-key configuration the client must generate.
 
-use crate::layout::{select_data_layout, LayoutChoice, LayoutPolicy};
+use crate::layout::{select_data_layout_with_margin, LayoutChoice, LayoutPolicy};
 use crate::params::{AnalysisOutcome, SelectError};
 use crate::rotations::select_rotation_keys;
 use crate::scales::{select_scales, ScaleSearch};
+use crate::validate::{validate_compiled, ProbeFailure};
 use chet_hisa::cost::CostModel;
 use chet_hisa::params::{EncryptionParams, SchemeKind};
 use chet_hisa::security::SecurityLevel;
 use chet_hisa::RotationKeyPolicy;
 use chet_runtime::exec::ExecPlan;
 use chet_runtime::kernels::ScaleConfig;
-use chet_tensor::circuit::Circuit;
+use chet_tensor::circuit::{Circuit, Op};
 use chet_tensor::Tensor;
 
 /// Compiler configuration.
@@ -26,6 +27,8 @@ pub struct Compiler {
     security: SecurityLevel,
     output_precision: f64,
     cost_model: CostModel,
+    margin_levels: usize,
+    repair_tolerance: f64,
 }
 
 /// The compiler's output: everything needed to run the circuit
@@ -47,6 +50,48 @@ pub struct CompiledCircuit {
     pub outcome: AnalysisOutcome,
 }
 
+/// One adjustment made by [`Compiler::compile_checked`]'s repair loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairAction {
+    /// 1-based attempt that observed the failure.
+    pub attempt: usize,
+    /// The probe failure that triggered the repair.
+    pub reason: String,
+    /// What the repair changed.
+    pub adjustment: String,
+}
+
+/// The outcome of [`Compiler::compile_checked`]'s validate-and-repair loop.
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    /// Compile attempts spent (1 = validated on the first try).
+    pub attempts: usize,
+    /// Adjustments applied, in order.
+    pub actions: Vec<RepairAction>,
+    /// The scales the validated artifact was compiled with.
+    pub final_scales: ScaleConfig,
+    /// Spare rescaling levels added beyond the compiler's configuration.
+    pub extra_levels: usize,
+}
+
+impl RepairReport {
+    /// Whether any repair was needed.
+    pub fn repaired(&self) -> bool {
+        !self.actions.is_empty()
+    }
+}
+
+/// The precision repair: more fractional bits everywhere, weighted toward
+/// the input scale (which dominates output noise).
+fn bump_scales(s: &ScaleConfig) -> ScaleConfig {
+    ScaleConfig {
+        input: s.input * 2f64.powi(6),
+        weight_plain: s.weight_plain * 2f64.powi(4),
+        weight_scalar: s.weight_scalar * 2f64.powi(4),
+        mask: s.mask * 2f64.powi(3),
+    }
+}
+
 impl Compiler {
     /// A compiler targeting the given scheme variant with CHET's defaults:
     /// 128-bit security and output precision `2^30`.
@@ -56,6 +101,8 @@ impl Compiler {
             security: SecurityLevel::Bits128,
             output_precision: 2f64.powi(30),
             cost_model: CostModel::for_scheme(kind),
+            margin_levels: 0,
+            repair_tolerance: 0.05,
         }
     }
 
@@ -74,6 +121,21 @@ impl Compiler {
     /// Overrides the cost model (e.g. after microbenchmark calibration).
     pub fn with_cost_model(mut self, model: CostModel) -> Self {
         self.cost_model = model;
+        self
+    }
+
+    /// Reserves `levels` spare rescaling levels beyond what the static
+    /// analysis measured (insurance against modulus exhaustion at run time;
+    /// [`Compiler::compile_checked`] bumps this automatically).
+    pub fn with_margin_levels(mut self, levels: usize) -> Self {
+        self.margin_levels = levels;
+        self
+    }
+
+    /// Overrides the output tolerance the post-compile probe enforces in
+    /// [`Compiler::compile_checked`] (default `0.05`).
+    pub fn with_repair_tolerance(mut self, tolerance: f64) -> Self {
+        self.repair_tolerance = tolerance;
         self
     }
 
@@ -105,21 +167,119 @@ impl Compiler {
     ///
     /// # Errors
     ///
-    /// Fails when no supported ring degree can hold the circuit.
+    /// Fails when the circuit shape is unsupported (multiple encrypted
+    /// inputs) or no supported ring degree can hold the circuit.
     pub fn compile(
         &self,
         circuit: &Circuit,
         scales: &ScaleConfig,
     ) -> Result<CompiledCircuit, SelectError> {
-        let choice = select_data_layout(
+        let inputs =
+            circuit.ops().iter().filter(|op| matches!(op, Op::Input { .. })).count();
+        if inputs > 1 {
+            // Rejecting here keeps the executor's run-time check from ever
+            // firing on compiler-produced plans.
+            return Err(SelectError::UnsupportedCircuit {
+                reason: "circuits with multiple encrypted inputs are unsupported".into(),
+            });
+        }
+        let choice = select_data_layout_with_margin(
             circuit,
             scales,
             self.kind,
             self.security,
             self.output_precision,
             &self.cost_model,
+            self.margin_levels,
         )?;
         Ok(self.finish(choice))
+    }
+
+    /// Compiles, then *validates* the artifact by replaying it on the
+    /// noise-modelling simulator with the emitted rotation keys (see
+    /// `validate::validate_compiled`), repairing and recompiling on failure:
+    /// precision loss raises the fixed-point scales, level exhaustion adds a
+    /// spare rescaling level. At most three repair attempts follow the
+    /// initial compile; every adjustment is logged in the returned
+    /// [`RepairReport`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first compile failure unchanged; returns
+    /// [`SelectError::RepairFailed`] when the retry budget is exhausted or
+    /// the probe hits a failure no repair addresses.
+    pub fn compile_checked(
+        &self,
+        circuit: &Circuit,
+        scales: &ScaleConfig,
+    ) -> Result<(CompiledCircuit, RepairReport), SelectError> {
+        const MAX_RETRIES: usize = 3;
+        let mut compiler = self.clone();
+        let mut scales = *scales;
+        let mut actions: Vec<RepairAction> = Vec::new();
+        for attempt in 0..=MAX_RETRIES {
+            let compiled = match compiler.compile(circuit, &scales) {
+                Ok(c) => c,
+                Err(e) if attempt == 0 => return Err(e),
+                Err(e) => {
+                    return Err(SelectError::RepairFailed {
+                        attempts: attempt + 1,
+                        last_error: e.to_string(),
+                    })
+                }
+            };
+            let failure = match validate_compiled(circuit, &compiled, compiler.repair_tolerance)
+            {
+                Ok(()) => {
+                    return Ok((
+                        compiled,
+                        RepairReport {
+                            attempts: attempt + 1,
+                            actions,
+                            final_scales: scales,
+                            extra_levels: compiler.margin_levels - self.margin_levels,
+                        },
+                    ))
+                }
+                Err(f) => f,
+            };
+            if attempt == MAX_RETRIES {
+                return Err(SelectError::RepairFailed {
+                    attempts: attempt + 1,
+                    last_error: failure.to_string(),
+                });
+            }
+            let adjustment = match &failure {
+                ProbeFailure::LevelExhausted { .. } => {
+                    compiler.margin_levels += 1;
+                    format!("reserved a spare rescaling level ({} total)", compiler.margin_levels)
+                }
+                ProbeFailure::PrecisionLoss { .. } => {
+                    scales = bump_scales(&scales);
+                    format!(
+                        "raised scales to log2 ({:.0}, {:.0}, {:.0}, {:.0})",
+                        scales.input.log2(),
+                        scales.weight_plain.log2(),
+                        scales.weight_scalar.log2(),
+                        scales.mask.log2(),
+                    )
+                }
+                ProbeFailure::Execution { detail } => {
+                    // Missing keys / scale mismatches are compiler bugs, not
+                    // parameter shortfalls: no adjustment would help.
+                    return Err(SelectError::RepairFailed {
+                        attempts: attempt + 1,
+                        last_error: detail.clone(),
+                    });
+                }
+            };
+            actions.push(RepairAction {
+                attempt: attempt + 1,
+                reason: failure.to_string(),
+                adjustment,
+            });
+        }
+        unreachable!("repair loop returns within MAX_RETRIES + 1 attempts")
     }
 
     /// Compiles with profile-guided scale selection (paper §5.5): first

@@ -5,7 +5,9 @@
 //! the cheapest.
 
 use crate::analysis::{Analyzer, RescaleModel};
-use crate::params::{candidate_primes, select_parameters, AnalysisOutcome, SelectError};
+use crate::params::{
+    candidate_primes, select_parameters_with_margin, AnalysisOutcome, SelectError,
+};
 use chet_hisa::cost::{CostModel, LevelInfo};
 use chet_hisa::params::SchemeKind;
 use chet_hisa::security::SecurityLevel;
@@ -113,6 +115,8 @@ pub fn estimate_cost(
     };
     let mut az =
         Analyzer::new(slots, model).with_cost(cost_model.clone(), params.degree, initial);
+    // Invariant: CircuitBuilder cannot produce an input-free circuit.
+    #[allow(clippy::expect_used)]
     let input_shape = circuit
         .ops()
         .iter()
@@ -142,22 +146,54 @@ pub fn enumerate_layouts(
     output_precision: f64,
     cost_model: &CostModel,
 ) -> Result<Vec<LayoutChoice>, SelectError> {
+    enumerate_layouts_with_margin(
+        circuit,
+        scales,
+        kind,
+        security,
+        output_precision,
+        cost_model,
+        0,
+    )
+}
+
+/// [`enumerate_layouts`] with `extra_levels` spare rescaling levels per
+/// candidate (see `select_parameters_with_margin`).
+#[allow(clippy::too_many_arguments)]
+pub fn enumerate_layouts_with_margin(
+    circuit: &Circuit,
+    scales: &ScaleConfig,
+    kind: SchemeKind,
+    security: SecurityLevel,
+    output_precision: f64,
+    cost_model: &CostModel,
+    extra_levels: usize,
+) -> Result<Vec<LayoutChoice>, SelectError> {
     let margin = required_margin_for(circuit);
     let mut choices = Vec::new();
     for policy in ALL_POLICIES {
         let layouts = policy_layouts(circuit, policy);
-        let outcome =
-            match select_parameters(circuit, &layouts, scales, kind, security, output_precision) {
-                Ok(o) => o,
-                Err(_) => continue,
-            };
+        let outcome = match select_parameters_with_margin(
+            circuit,
+            &layouts,
+            scales,
+            kind,
+            security,
+            output_precision,
+            extra_levels,
+        ) {
+            Ok(o) => o,
+            Err(_) => continue,
+        };
         let plan = ExecPlan { layouts, scales: *scales, margin };
         let estimated_cost = estimate_cost(circuit, &plan, &outcome, cost_model);
         choices.push(LayoutChoice { policy, plan, outcome, estimated_cost });
     }
     if choices.is_empty() {
-        return Err(SelectError("no layout policy admits valid parameters".into()));
+        return Err(SelectError::NoLayout);
     }
+    // Invariant: cost estimates are sums of finite model constants.
+    #[allow(clippy::expect_used)]
     choices.sort_by(|a, b| {
         a.estimated_cost.partial_cmp(&b.estimated_cost).expect("costs are finite")
     });
@@ -177,8 +213,39 @@ pub fn select_data_layout(
     output_precision: f64,
     cost_model: &CostModel,
 ) -> Result<LayoutChoice, SelectError> {
-    Ok(enumerate_layouts(circuit, scales, kind, security, output_precision, cost_model)?
-        .remove(0))
+    select_data_layout_with_margin(
+        circuit,
+        scales,
+        kind,
+        security,
+        output_precision,
+        cost_model,
+        0,
+    )
+}
+
+/// [`select_data_layout`] with `extra_levels` spare rescaling levels (the
+/// repair loop's level-exhaustion knob).
+#[allow(clippy::too_many_arguments)]
+pub fn select_data_layout_with_margin(
+    circuit: &Circuit,
+    scales: &ScaleConfig,
+    kind: SchemeKind,
+    security: SecurityLevel,
+    output_precision: f64,
+    cost_model: &CostModel,
+    extra_levels: usize,
+) -> Result<LayoutChoice, SelectError> {
+    Ok(enumerate_layouts_with_margin(
+        circuit,
+        scales,
+        kind,
+        security,
+        output_precision,
+        cost_model,
+        extra_levels,
+    )?
+    .remove(0))
 }
 
 #[cfg(test)]

@@ -47,15 +47,23 @@
 //! );
 //! ```
 
+// Failure-model gate (enforced by `ci.sh` via clippy): non-test compiler
+// code must not unwrap/expect — selection failures are `SelectError`
+// values. Tests may unwrap freely. Deliberate panics on internal
+// invariants use `#[allow]` with a justification at the site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod analysis;
 pub mod compiler;
 pub mod layout;
 pub mod params;
 pub mod rotations;
 pub mod scales;
+pub mod validate;
 
-pub use compiler::{CompiledCircuit, Compiler};
+pub use compiler::{CompiledCircuit, Compiler, RepairAction, RepairReport};
 pub use layout::{LayoutPolicy, ALL_POLICIES};
 pub use params::{select_parameters, AnalysisOutcome, SelectError};
 pub use rotations::select_rotation_keys;
 pub use scales::{select_scales, ScaleSearch};
+pub use validate::{validate_compiled, ProbeFailure};

@@ -36,13 +36,56 @@ pub struct AnalysisOutcome {
     pub op_counts: HashMap<HisaOp, u64>,
 }
 
-/// Error when no supported ring degree can hold the circuit.
+/// Why compilation (parameter / layout / scale selection, or the
+/// post-compile validation loop) failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SelectError(pub String);
+pub enum SelectError {
+    /// No supported ring degree can hold the circuit.
+    NoParameters {
+        /// Scheme/security context of the failed search.
+        detail: String,
+    },
+    /// The circuit uses a shape the toolchain cannot compile (e.g. multiple
+    /// encrypted inputs) — rejected up front, before any analysis runs.
+    UnsupportedCircuit {
+        /// What made the circuit unsupported.
+        reason: String,
+    },
+    /// No layout policy admits valid encryption parameters.
+    NoLayout,
+    /// Profile-guided scale selection could not meet the tolerance.
+    ScaleSearchFailed {
+        /// What the search could not achieve.
+        detail: String,
+    },
+    /// `compile_checked`'s bounded repair loop ran out of attempts.
+    RepairFailed {
+        /// Attempts spent (initial compile + retries).
+        attempts: usize,
+        /// The failure observed on the last attempt.
+        last_error: String,
+    },
+}
 
 impl std::fmt::Display for SelectError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parameter selection failed: {}", self.0)
+        match self {
+            SelectError::NoParameters { detail } => {
+                write!(f, "parameter selection failed: {detail}")
+            }
+            SelectError::UnsupportedCircuit { reason } => {
+                write!(f, "unsupported circuit: {reason}")
+            }
+            SelectError::NoLayout => {
+                write!(f, "parameter selection failed: no layout policy admits valid parameters")
+            }
+            SelectError::ScaleSearchFailed { detail } => {
+                write!(f, "parameter selection failed: {detail}")
+            }
+            SelectError::RepairFailed { attempts, last_error } => {
+                write!(f, "automatic repair failed after {attempts} attempts: {last_error}")
+            }
+        }
     }
 }
 
@@ -92,6 +135,8 @@ fn analyze(
 ) -> Analyzer {
     let mut az = Analyzer::new(slots, model);
     let plan = ExecPlan { layouts: layouts.to_vec(), scales: *scales, margin };
+    // Invariant: CircuitBuilder cannot produce an input-free circuit.
+    #[allow(clippy::expect_used)]
     let input_shape = circuit
         .ops()
         .iter()
@@ -125,6 +170,23 @@ pub fn select_parameters(
     security: SecurityLevel,
     output_precision: f64,
 ) -> Result<AnalysisOutcome, SelectError> {
+    select_parameters_with_margin(circuit, layouts, scales, kind, security, output_precision, 0)
+}
+
+/// [`select_parameters`] with `extra_levels` spare rescaling levels beyond
+/// what the analysis measured — the knob `compile_checked`'s repair loop
+/// turns when the simulated probe exhausts the modulus early (e.g. noise or
+/// scheduling effects the static analysis underestimates).
+#[allow(clippy::too_many_arguments)]
+pub fn select_parameters_with_margin(
+    circuit: &Circuit,
+    layouts: &[LayoutKind],
+    scales: &ScaleConfig,
+    kind: SchemeKind,
+    security: SecurityLevel,
+    output_precision: f64,
+    extra_levels: usize,
+) -> Result<AnalysisOutcome, SelectError> {
     let margin = chet_runtime::exec::required_margin_for(circuit);
     let candidates = match kind {
         SchemeKind::RnsCkks => Some(candidate_primes(scales)),
@@ -146,8 +208,9 @@ pub fn select_parameters(
         let residual_bits = az.last_scale.log2().max(output_precision.log2());
         let params = match kind {
             SchemeKind::Ckks => {
-                let log_q =
-                    (az.max_consumed_log2 + residual_bits + HEADROOM_BITS).ceil() as u32;
+                let margin_bits = extra_levels as f64 * scales.input.log2().ceil();
+                let log_q = (az.max_consumed_log2 + residual_bits + HEADROOM_BITS + margin_bits)
+                    .ceil() as u32;
                 if log_q > max_log_q(n, security) {
                     continue;
                 }
@@ -158,6 +221,9 @@ pub fn select_parameters(
                 p
             }
             SchemeKind::RnsCkks => {
+                // Invariant: `candidates` is `Some` exactly for RnsCkks —
+                // constructed a few lines above from the same `kind`.
+                #[allow(clippy::expect_used)]
                 let cands = candidates.as_ref().expect("chain candidates");
                 // Base primes cover the residual value.
                 let base_bits = 60u32;
@@ -168,8 +234,8 @@ pub fn select_parameters(
                 // Chain order: rescaling pops from the back, so the first-
                 // consumed candidate goes last.
                 let mut primes = pool;
-                let consumed: Vec<u64> =
-                    cands[..az.max_chain_idx].iter().rev().copied().collect();
+                let take = (az.max_chain_idx + extra_levels).min(cands.len());
+                let consumed: Vec<u64> = cands[..take].iter().rev().copied().collect();
                 primes.extend(consumed);
                 let spec = ModulusSpec::PrimeChain { primes, special };
                 if spec.total_log_q() > max_log_q(n, security) as f64 {
@@ -191,9 +257,11 @@ pub fn select_parameters(
             op_counts: az.op_counts,
         });
     }
-    Err(SelectError(format!(
-        "no supported ring degree admits this circuit under {kind} at {security:?}"
-    )))
+    Err(SelectError::NoParameters {
+        detail: format!(
+            "no supported ring degree admits this circuit under {kind} at {security:?}"
+        ),
+    })
 }
 
 #[cfg(test)]

@@ -118,9 +118,9 @@ pub fn select_scales(
         images,
         search.tolerance,
     ) {
-        return Err(SelectError(
-            "starting scales do not reach the requested output tolerance".into(),
-        ));
+        return Err(SelectError::ScaleSearchFailed {
+            detail: "starting scales do not reach the requested output tolerance".into(),
+        });
     }
 
     // Round-robin descent: drop each exponent in turn while acceptable.

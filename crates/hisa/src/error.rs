@@ -1,0 +1,119 @@
+//! Typed failure modes of HISA instructions.
+//!
+//! Backends historically panicked on contract violations (missing rotation
+//! keys, exhausted modulus chains, mismatched operand scales). [`HisaError`]
+//! names those failure modes so the runtime's fallible execution pipeline
+//! (`chet_runtime::exec::try_infer`) can surface them as values instead of
+//! aborting, and so the compiler's self-repair loop
+//! (`chet_compiler::Compiler::compile_checked`) can dispatch on them.
+
+use std::fmt;
+
+/// A recoverable failure of a single HISA instruction.
+///
+/// Every variant carries enough context to diagnose the failing operation
+/// without a backtrace: the offending value and the limit it violated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HisaError {
+    /// A rotation step has no key and cannot be decomposed into the
+    /// available key steps.
+    MissingRotationKey {
+        /// The (normalized, left) rotation step that was requested.
+        step: usize,
+        /// The rotation steps that do have keys.
+        available: Vec<usize>,
+    },
+    /// A rescale was requested but the modulus chain (or modulus budget)
+    /// cannot absorb it.
+    LevelExhausted {
+        /// Rescale capacity still available (chain levels for RNS-CKKS,
+        /// modulus bits for power-of-two CKKS).
+        remaining: f64,
+        /// Capacity the operation needed, in the same unit as `remaining`.
+        requested: f64,
+    },
+    /// A binary operation was applied to operands with different scales.
+    ScaleMismatch {
+        /// Scale of the left operand.
+        left: f64,
+        /// Scale of the right operand.
+        right: f64,
+    },
+    /// An encode was given more values than the scheme has slots.
+    SlotOverflow {
+        /// Number of values supplied.
+        len: usize,
+        /// Slot capacity of the scheme.
+        slots: usize,
+    },
+    /// A rescale divisor violated the backend's contract (not a power of
+    /// two for CKKS, not a product of the next chain primes for RNS-CKKS).
+    InvalidRescale {
+        /// The offending divisor.
+        divisor: f64,
+        /// Backend-specific description of the violated contract.
+        reason: String,
+    },
+}
+
+impl fmt::Display for HisaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HisaError::MissingRotationKey { step, available } => write!(
+                f,
+                "no rotation-key plan for step {step} (available key steps: {available:?})"
+            ),
+            HisaError::LevelExhausted { remaining, requested } => write!(
+                f,
+                "modulus exhausted: rescale needs {requested:.1} but only {remaining:.1} remain"
+            ),
+            HisaError::ScaleMismatch { left, right } => write!(
+                f,
+                "operand scales must match (got {left} vs {right}); rescale first"
+            ),
+            HisaError::SlotOverflow { len, slots } => {
+                write!(f, "too many values for the slot count ({len} > {slots})")
+            }
+            HisaError::InvalidRescale { divisor, reason } => {
+                write!(f, "invalid rescale divisor {divisor}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HisaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_legacy_panic_phrases() {
+        // The fallible surface replaces panic sites whose messages existing
+        // tests (and users) match on; the Display strings keep the phrases.
+        let e = HisaError::MissingRotationKey { step: 3, available: vec![1, 2, 4] };
+        assert!(e.to_string().contains("no rotation-key plan"));
+
+        let e = HisaError::LevelExhausted { remaining: 0.0, requested: 1.0 };
+        assert!(e.to_string().contains("modulus exhausted"));
+
+        let e = HisaError::ScaleMismatch { left: 2.0, right: 4.0 };
+        assert!(e.to_string().contains("scales must match"));
+
+        let e = HisaError::SlotOverflow { len: 9, slots: 8 };
+        assert!(e.to_string().contains("too many values"));
+
+        let e = HisaError::InvalidRescale {
+            divisor: 3.0,
+            reason: "CKKS rescale divisor must be a power of two".into(),
+        };
+        assert!(e.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn error_carries_offending_values() {
+        let e = HisaError::SlotOverflow { len: 100, slots: 64 };
+        let msg = e.to_string();
+        assert!(msg.contains("100") && msg.contains("64"), "{msg}");
+    }
+}

@@ -75,8 +75,11 @@ impl RotationKeyPolicy {
 ///
 /// Strategy mirrors the FHE libraries: use the key directly when present,
 /// otherwise greedily compose from the largest available steps (which always
-/// succeeds for the power-of-two key set). Returns `None` when the step
-/// cannot be composed from the available keys.
+/// succeeds for the power-of-two key set). When the greedy pass fails — e.g.
+/// an exact key set whose steps only reach the target *with* wrap-around —
+/// a breadth-first search over residues modulo `slots` finds a shortest
+/// composition if one exists. Returns `None` when the step cannot be
+/// composed from the available keys at all.
 pub fn plan_rotation(step: usize, available: &BTreeSet<usize>, slots: usize) -> Option<Vec<usize>> {
     let step = normalize_rotation(step as i64, slots);
     if step == 0 {
@@ -85,7 +88,12 @@ pub fn plan_rotation(step: usize, available: &BTreeSet<usize>, slots: usize) -> 
     if available.contains(&step) {
         return Some(vec![step]);
     }
-    // Greedy: repeatedly take the largest available step <= remaining.
+    greedy_plan(step, available, slots).or_else(|| bfs_plan(step, available, slots))
+}
+
+/// Greedy composition: repeatedly take the largest available step
+/// `<= remaining`. Fast and optimal for power-of-two key sets.
+fn greedy_plan(step: usize, available: &BTreeSet<usize>, slots: usize) -> Option<Vec<usize>> {
     let mut remaining = step;
     let mut plan = Vec::new();
     while remaining > 0 {
@@ -99,6 +107,38 @@ pub fn plan_rotation(step: usize, available: &BTreeSet<usize>, slots: usize) -> 
         }
     }
     Some(plan)
+}
+
+/// Shortest composition of available steps reaching `step` modulo `slots`,
+/// or `None` if `step` lies outside the subgroup the steps generate.
+fn bfs_plan(step: usize, available: &BTreeSet<usize>, slots: usize) -> Option<Vec<usize>> {
+    if available.is_empty() {
+        return None;
+    }
+    // predecessor[r] = (previous residue, step taken); usize::MAX = unvisited.
+    let mut pred: Vec<(usize, usize)> = vec![(usize::MAX, 0); slots];
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    while let Some(at) = queue.pop_front() {
+        for &s in available {
+            let next = (at + s) % slots;
+            if next != 0 && pred[next].0 == usize::MAX {
+                pred[next] = (at, s);
+                if next == step {
+                    let mut plan = Vec::new();
+                    let mut r = step;
+                    while r != 0 {
+                        let (prev, taken) = pred[r];
+                        plan.push(taken);
+                        r = prev;
+                    }
+                    plan.reverse();
+                    return Some(plan);
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -152,6 +192,18 @@ mod tests {
     fn plan_fails_when_unspannable() {
         let avail: BTreeSet<usize> = [4usize].into_iter().collect();
         assert_eq!(plan_rotation(3, &avail, 16), None);
+    }
+
+    #[test]
+    fn plan_falls_back_to_wraparound_composition() {
+        // Greedy fails (no step <= 8), but 12 + 12 ≡ 8 (mod 16).
+        let avail: BTreeSet<usize> = [12usize].into_iter().collect();
+        assert_eq!(plan_rotation(8, &avail, 16), Some(vec![12, 12]));
+
+        // A generator of the full group reaches any residue eventually.
+        let avail: BTreeSet<usize> = [3usize].into_iter().collect();
+        let plan = plan_rotation(2, &avail, 16).expect("3 generates Z/16");
+        assert_eq!(plan.iter().sum::<usize>() % 16, 2);
     }
 
     #[test]

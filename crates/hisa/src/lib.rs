@@ -34,14 +34,18 @@
 //! ```
 
 pub mod cost;
+pub mod error;
 pub mod keys;
 pub mod params;
 pub mod security;
 
 pub use cost::{CostModel, HisaOp, LevelInfo};
+pub use error::HisaError;
 pub use keys::{normalize_rotation, RotationKeyPolicy};
 pub use params::{EncryptionParams, ModulusSpec, SchemeKind};
 pub use security::SecurityLevel;
+
+use std::collections::BTreeSet;
 
 /// The Homomorphic Instruction Set Architecture (paper Table 2).
 ///
@@ -185,5 +189,98 @@ pub trait Hisa {
     /// In-place [`Hisa::rescale`].
     fn rescale_assign(&mut self, c: &mut Self::Ct, divisor: f64) {
         *c = self.rescale(c, divisor);
+    }
+
+    // ---- Fallible surface ----------------------------------------------
+    //
+    // Every instruction that can violate a backend contract has a `try_*`
+    // twin returning `Result<_, HisaError>`. The defaults delegate to the
+    // panicking methods, so interpretations that cannot fail (the compiler
+    // analyses) need no changes; real backends override the `try_*` methods
+    // with checked logic and implement the panicking methods on top of them
+    // (`.unwrap_or_else(|e| panic!("{e}"))`), preserving the historical
+    // panic messages while making every failure observable as a value.
+
+    /// Fallible [`Hisa::encode`]: [`HisaError::SlotOverflow`] when
+    /// `values.len() > self.slots()`.
+    fn try_encode(&mut self, values: &[f64], scale: f64) -> Result<Self::Pt, HisaError> {
+        Ok(self.encode(values, scale))
+    }
+
+    /// Fallible [`Hisa::rot_left`]: [`HisaError::MissingRotationKey`] when
+    /// the step cannot be planned from the available keys.
+    fn try_rot_left(&mut self, c: &Self::Ct, x: usize) -> Result<Self::Ct, HisaError> {
+        Ok(self.rot_left(c, x))
+    }
+
+    /// Fallible [`Hisa::rot_right`].
+    fn try_rot_right(&mut self, c: &Self::Ct, x: usize) -> Result<Self::Ct, HisaError> {
+        Ok(self.rot_right(c, x))
+    }
+
+    /// Fallible [`Hisa::add`]: [`HisaError::ScaleMismatch`] on diverged
+    /// operand scales.
+    fn try_add(&mut self, a: &Self::Ct, b: &Self::Ct) -> Result<Self::Ct, HisaError> {
+        Ok(self.add(a, b))
+    }
+
+    /// Fallible [`Hisa::add_plain`].
+    fn try_add_plain(&mut self, a: &Self::Ct, p: &Self::Pt) -> Result<Self::Ct, HisaError> {
+        Ok(self.add_plain(a, p))
+    }
+
+    /// Fallible [`Hisa::add_scalar`].
+    fn try_add_scalar(&mut self, a: &Self::Ct, x: f64) -> Result<Self::Ct, HisaError> {
+        Ok(self.add_scalar(a, x))
+    }
+
+    /// Fallible [`Hisa::sub`].
+    fn try_sub(&mut self, a: &Self::Ct, b: &Self::Ct) -> Result<Self::Ct, HisaError> {
+        Ok(self.sub(a, b))
+    }
+
+    /// Fallible [`Hisa::sub_plain`].
+    fn try_sub_plain(&mut self, a: &Self::Ct, p: &Self::Pt) -> Result<Self::Ct, HisaError> {
+        Ok(self.sub_plain(a, p))
+    }
+
+    /// Fallible [`Hisa::sub_scalar`].
+    fn try_sub_scalar(&mut self, a: &Self::Ct, x: f64) -> Result<Self::Ct, HisaError> {
+        Ok(self.sub_scalar(a, x))
+    }
+
+    /// Fallible [`Hisa::mul`].
+    fn try_mul(&mut self, a: &Self::Ct, b: &Self::Ct) -> Result<Self::Ct, HisaError> {
+        Ok(self.mul(a, b))
+    }
+
+    /// Fallible [`Hisa::mul_plain`].
+    fn try_mul_plain(&mut self, a: &Self::Ct, p: &Self::Pt) -> Result<Self::Ct, HisaError> {
+        Ok(self.mul_plain(a, p))
+    }
+
+    /// Fallible [`Hisa::mul_scalar`].
+    fn try_mul_scalar(
+        &mut self,
+        a: &Self::Ct,
+        x: f64,
+        scale: f64,
+    ) -> Result<Self::Ct, HisaError> {
+        Ok(self.mul_scalar(a, x, scale))
+    }
+
+    /// Fallible [`Hisa::rescale`]: [`HisaError::LevelExhausted`] when the
+    /// modulus cannot absorb the rescale, [`HisaError::InvalidRescale`] when
+    /// the divisor violates the backend's contract.
+    fn try_rescale(&mut self, c: &Self::Ct, divisor: f64) -> Result<Self::Ct, HisaError> {
+        Ok(self.rescale(c, divisor))
+    }
+
+    /// The rotation steps this backend holds keys for, or `None` when the
+    /// backend rotates freely (simulated/analysis interpretations without a
+    /// key set). The runtime uses this to detect *degraded* rotations —
+    /// steps served by composing several keyed rotations instead of one.
+    fn available_rotations(&self) -> Option<BTreeSet<usize>> {
+        None
     }
 }

@@ -96,13 +96,54 @@ pub struct EncryptionParams {
     pub error_stddev: f64,
 }
 
-/// Error from [`EncryptionParams::validate`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParamsError(pub String);
+/// Error from [`EncryptionParams::validate`]. Each variant carries the
+/// offending value and the limit it violated so callers (and the compiler's
+/// repair loop) can act on it without parsing strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamsError {
+    /// The ring degree is not a supported power of two.
+    BadDegree {
+        /// The rejected degree.
+        got: usize,
+        /// Smallest supported degree.
+        min: usize,
+        /// Largest supported degree.
+        max: usize,
+    },
+    /// The coefficient modulus has (essentially) no bits.
+    EmptyModulus {
+        /// `log2 Q` of the rejected modulus.
+        got_log_q: f64,
+    },
+    /// The total modulus exceeds the security table's budget.
+    OverBudget {
+        /// Total `log2 (Q·P)` of the rejected parameters, in bits.
+        got_bits: f64,
+        /// The security table's budget for this degree and level, in bits.
+        limit_bits: u32,
+        /// Ring degree the budget was looked up for.
+        degree: usize,
+        /// Security level the budget was looked up for.
+        security: SecurityLevel,
+    },
+}
 
 impl std::fmt::Display for ParamsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid encryption parameters: {}", self.0)
+        write!(f, "invalid encryption parameters: ")?;
+        match self {
+            ParamsError::BadDegree { got, min, max } => {
+                write!(f, "ring degree {got} must be a power of two in [{min}, {max}]")
+            }
+            ParamsError::EmptyModulus { got_log_q } => {
+                write!(f, "coefficient modulus is empty ({got_log_q:.2} bits)")
+            }
+            ParamsError::OverBudget { got_bits, limit_bits, degree, security } => write!(
+                f,
+                "total modulus {got_bits:.0} bits exceeds the {limit_bits}-bit budget \
+                 for N = {degree} at {security:?}"
+            ),
+        }
     }
 }
 
@@ -180,23 +221,21 @@ impl EncryptionParams {
     /// table's budget for the chosen level.
     pub fn validate(&self) -> Result<(), ParamsError> {
         if !self.degree.is_power_of_two() || !(1024..=32768).contains(&self.degree) {
-            return Err(ParamsError(format!(
-                "ring degree {} must be a power of two in [1024, 32768]",
-                self.degree
-            )));
+            return Err(ParamsError::BadDegree { got: self.degree, min: 1024, max: 32768 });
         }
         if self.modulus.log_q() < 1.0 {
-            return Err(ParamsError("coefficient modulus is empty".into()));
+            return Err(ParamsError::EmptyModulus { got_log_q: self.modulus.log_q() });
         }
         if self.security != SecurityLevel::Insecure {
             let budget = max_log_q(self.degree, self.security);
             let total = self.modulus.total_log_q();
             if total > budget as f64 {
-                return Err(ParamsError(format!(
-                    "total modulus {total:.0} bits exceeds the {budget}-bit budget \
-                     for N = {} at {:?}",
-                    self.degree, self.security
-                )));
+                return Err(ParamsError::OverBudget {
+                    got_bits: total,
+                    limit_bits: budget,
+                    degree: self.degree,
+                    security: self.security,
+                });
             }
         }
         Ok(())
@@ -255,5 +294,38 @@ mod tests {
     fn bad_degree_rejected() {
         assert!(EncryptionParams::ckks(3000, 40).validate().is_err());
         assert!(EncryptionParams::ckks(512, 20).validate().is_err());
+    }
+
+    #[test]
+    fn bad_degree_error_carries_got_and_limits() {
+        let err = EncryptionParams::ckks(3000, 40).validate().unwrap_err();
+        assert_eq!(err, ParamsError::BadDegree { got: 3000, min: 1024, max: 32768 });
+        let msg = err.to_string();
+        assert!(msg.contains("3000") && msg.contains("1024") && msg.contains("32768"), "{msg}");
+    }
+
+    #[test]
+    fn empty_modulus_error_carries_bits() {
+        let p = EncryptionParams::ckks(1024, 0);
+        match p.validate().unwrap_err() {
+            ParamsError::EmptyModulus { got_log_q } => assert_eq!(got_log_q, 0.0),
+            other => panic!("expected EmptyModulus, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn over_budget_error_carries_got_and_limit() {
+        let p = EncryptionParams::ckks(1024, 200);
+        match p.validate().unwrap_err() {
+            ParamsError::OverBudget { got_bits, limit_bits, degree, security } => {
+                assert_eq!(got_bits, 400.0); // log_q + log_special
+                assert!(limit_bits < 400);
+                assert_eq!(degree, 1024);
+                assert_eq!(security, SecurityLevel::Bits128);
+                let msg = p.validate().unwrap_err().to_string();
+                assert!(msg.contains("400") && msg.contains(&limit_bits.to_string()), "{msg}");
+            }
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
     }
 }

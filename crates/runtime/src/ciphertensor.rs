@@ -1,7 +1,7 @@
 //! Encrypted tensors: the HTC's `CipherTensor` datatype (paper §4.2).
 
 use crate::layout::Layout;
-use chet_hisa::Hisa;
+use chet_hisa::{Hisa, HisaError};
 use chet_tensor::Tensor;
 
 /// An encrypted CHW tensor: layout metadata (plain integers — leaks nothing
@@ -68,15 +68,24 @@ pub fn encrypt_tensor<H: Hisa>(
     layout: &Layout,
     scale: f64,
 ) -> CipherTensor<H::Ct> {
+    try_encrypt_tensor(h, tensor, layout, scale).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`encrypt_tensor`]: surfaces encode failures (slot overflow)
+/// as values instead of panicking.
+pub fn try_encrypt_tensor<H: Hisa>(
+    h: &mut H,
+    tensor: &Tensor,
+    layout: &Layout,
+    scale: f64,
+) -> Result<CipherTensor<H::Ct>, HisaError> {
     assert_eq!(layout.slots, h.slots(), "layout slot width must match the scheme");
-    let cts = pack_tensor(tensor, layout)
-        .into_iter()
-        .map(|v| {
-            let pt = h.encode(&v, scale);
-            h.encrypt(&pt)
-        })
-        .collect();
-    CipherTensor { layout: layout.clone(), cts }
+    let mut cts = Vec::with_capacity(layout.num_cts());
+    for v in pack_tensor(tensor, layout) {
+        let pt = h.try_encode(&v, scale)?;
+        cts.push(h.encrypt(&pt));
+    }
+    Ok(CipherTensor { layout: layout.clone(), cts })
 }
 
 /// Decrypts a [`CipherTensor`] back into a plain tensor.

@@ -6,7 +6,7 @@
 //! Because kernels are generic over [`Hisa`], the same executor performs
 //! real encrypted inference *and* the compiler's data-flow analyses.
 
-use crate::ciphertensor::{decrypt_tensor, encrypt_tensor, CipherTensor};
+use crate::ciphertensor::{decrypt_tensor, encrypt_tensor, try_encrypt_tensor, CipherTensor};
 use crate::kernels::concat::hconcat;
 use crate::kernels::conv::hconv2d_with_mask;
 use crate::kernels::convert::convert_layout;
@@ -15,9 +15,91 @@ use crate::kernels::matmul::hmatmul;
 use crate::kernels::pool::{havg_pool2d_with_mask, hglobal_avg_pool};
 use crate::kernels::ScaleConfig;
 use crate::layout::{Layout, LayoutKind};
-use chet_hisa::Hisa;
+use crate::pipeline::FalliblePipeline;
+use chet_hisa::{Hisa, HisaError};
 use chet_tensor::circuit::{Circuit, Op};
 use chet_tensor::Tensor;
+use std::fmt;
+
+/// A fatal failure of the fallible execution pipeline, attributed to the
+/// circuit node at which it occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The circuit's shape is outside what the executor supports.
+    UnsupportedCircuit {
+        /// What made the circuit unsupported.
+        reason: String,
+    },
+    /// A HISA instruction failed while executing the given node.
+    Hisa {
+        /// Index of the circuit node being executed.
+        op_index: usize,
+        /// Human-readable name of the node's operation.
+        op: String,
+        /// The underlying instruction failure.
+        source: HisaError,
+    },
+    /// The result decrypted, but its values are numerically unusable.
+    PrecisionLoss {
+        /// Index of the circuit node the values came from (the output).
+        op_index: usize,
+        /// Human-readable name of the node's operation.
+        op: String,
+        /// What was wrong with the values.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnsupportedCircuit { reason } => {
+                write!(f, "unsupported circuit: {reason}")
+            }
+            ExecError::Hisa { op_index, op, source } => {
+                write!(f, "op #{op_index} ({op}): {source}")
+            }
+            ExecError::PrecisionLoss { op_index, op, detail } => {
+                write!(f, "op #{op_index} ({op}): precision loss: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Hisa { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Execution statistics from a fallible run — chiefly the graceful-
+/// degradation log: how many rotations had to be composed from several
+/// keyed rotations because their exact key was missing, and what that cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Rotations served by key composition instead of a dedicated key.
+    pub degraded_rotations: usize,
+    /// Extra elementary rotations those compositions cost.
+    pub extra_rotation_ops: usize,
+}
+
+/// Display name of a circuit operation, for error attribution.
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Input { .. } => "input",
+        Op::Conv2d { .. } => "conv2d",
+        Op::MatMul { .. } => "matmul",
+        Op::AvgPool2d { .. } => "avg_pool2d",
+        Op::GlobalAvgPool { .. } => "global_avg_pool",
+        Op::Activation { .. } => "activation",
+        Op::BatchNorm { .. } => "batch_norm",
+        Op::Concat { .. } => "concat",
+        Op::Flatten { .. } => "flatten",
+    }
+}
 
 /// All policy decisions needed to execute a circuit homomorphically: this
 /// is the reproduction's Homomorphic Tensor Circuit metadata.
@@ -139,6 +221,9 @@ pub fn clean_output_required(circuit: &Circuit, plan: &ExecPlan) -> Vec<bool> {
 /// # Panics
 ///
 /// Panics if the circuit has no input op.
+// A circuit without an input op is unconstructible via CircuitBuilder, so
+// this is an internal invariant, not a recoverable failure.
+#[allow(clippy::expect_used)]
 pub fn input_layout<H: Hisa>(h: &H, circuit: &Circuit, plan: &ExecPlan) -> Layout {
     let (idx, shape) = circuit
         .ops()
@@ -167,19 +252,77 @@ pub fn encrypt_input<H: Hisa>(
     encrypt_tensor(h, image, &layout, plan.scales.input)
 }
 
+/// Fallible [`encrypt_input`]: encode failures come back as
+/// [`ExecError::Hisa`] attributed to the input node.
+pub fn try_encrypt_input<H: Hisa>(
+    h: &mut H,
+    circuit: &Circuit,
+    plan: &ExecPlan,
+    image: &Tensor,
+) -> Result<CipherTensor<H::Ct>, ExecError> {
+    let layout = input_layout(h, circuit, plan);
+    let op_index = circuit
+        .ops()
+        .iter()
+        .position(|op| matches!(op, Op::Input { .. }))
+        .unwrap_or(0);
+    try_encrypt_tensor(h, image, &layout, plan.scales.input)
+        .map_err(|source| ExecError::Hisa { op_index, op: "input".into(), source })
+}
+
 /// Server-side step: execute the homomorphic tensor circuit on an
 /// encrypted input, returning the encrypted prediction.
 ///
 /// # Panics
 ///
-/// Panics on unsupported circuits (multiple encrypted inputs) or shape
-/// mismatches.
+/// Panics on unsupported circuits (multiple encrypted inputs) or any
+/// backend failure — this is the panicking shim over
+/// [`try_run_encrypted`], which reports the same conditions as values.
 pub fn run_encrypted<H: Hisa>(
     h: &mut H,
     circuit: &Circuit,
     plan: &ExecPlan,
     input: CipherTensor<H::Ct>,
 ) -> CipherTensor<H::Ct> {
+    try_run_encrypted(h, circuit, plan, input)
+        .map(|(out, _)| out)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_encrypted`]: executes the circuit through a
+/// [`FalliblePipeline`], so the first backend failure aborts the run with
+/// an [`ExecError`] naming the op index and operation, instead of
+/// panicking. Also returns the [`ExecReport`] with the degraded-rotation
+/// log (rotations composed from available keys because the exact key was
+/// missing — the graceful-degradation cost penalty).
+pub fn try_run_encrypted<H: Hisa>(
+    h: &mut H,
+    circuit: &Circuit,
+    plan: &ExecPlan,
+    input: CipherTensor<H::Ct>,
+) -> Result<(CipherTensor<H::Ct>, ExecReport), ExecError> {
+    let mut p = FalliblePipeline::new(h);
+    let out = run_nodes(&mut p, circuit, plan, input)?;
+    let report = ExecReport {
+        degraded_rotations: p.degraded_rotations(),
+        extra_rotation_ops: p.extra_rotation_ops(),
+    };
+    Ok((out, report))
+}
+
+/// The executor core: walks the node list, dispatching to kernels through
+/// the error-latching pipeline, and checks the latch after every node so
+/// failures are attributed precisely.
+// The `expect("dep computed")` calls assert topological order — ops only
+// reference earlier nodes, which CircuitBuilder guarantees by construction.
+// Backend failures (the recoverable class) flow through the pipeline latch.
+#[allow(clippy::expect_used)]
+fn run_nodes<H: Hisa>(
+    p: &mut FalliblePipeline<'_, H>,
+    circuit: &Circuit,
+    plan: &ExecPlan,
+    input: CipherTensor<H::Ct>,
+) -> Result<CipherTensor<H::Ct>, ExecError> {
     let n = circuit.ops().len();
     assert_eq!(plan.layouts.len(), n, "plan must assign a layout per node");
     // Free intermediate tensors after their last consumer.
@@ -219,13 +362,15 @@ pub fn run_encrypted<H: Hisa>(
     }
     for (i, op) in circuit.ops().iter().enumerate() {
         let v = match op {
-            Op::Input { .. } => input_slot
-                .take()
-                .expect("circuits with multiple encrypted inputs are unsupported"),
+            Op::Input { .. } => input_slot.take().ok_or_else(|| {
+                ExecError::UnsupportedCircuit {
+                    reason: "circuits with multiple encrypted inputs are unsupported".into(),
+                }
+            })?,
             Op::Conv2d { input, weights, bias, stride, padding } => {
                 let x = values[*input].as_ref().expect("dep computed");
                 hconv2d_with_mask(
-                    h,
+                    p,
                     x,
                     weights,
                     bias.as_deref(),
@@ -238,41 +383,46 @@ pub fn run_encrypted<H: Hisa>(
             }
             Op::MatMul { input, weights, bias } => {
                 let x = values[*input].as_ref().expect("dep computed");
-                hmatmul(h, x, weights, bias.as_deref(), scales)
+                hmatmul(p, x, weights, bias.as_deref(), scales)
             }
             Op::AvgPool2d { input, kernel, stride } => {
-                let x = fetch(h, &mut values, *input, plan.layouts[i], scales);
+                let x = fetch(p, &mut values, *input, plan.layouts[i], scales);
                 let x = x.clone();
-                havg_pool2d_with_mask(h, &x, *kernel, *stride, scales, need_clean[i])
+                havg_pool2d_with_mask(p, &x, *kernel, *stride, scales, need_clean[i])
             }
             Op::GlobalAvgPool { input } => {
-                let x = fetch(h, &mut values, *input, plan.layouts[i], scales);
+                let x = fetch(p, &mut values, *input, plan.layouts[i], scales);
                 let x = x.clone();
-                hglobal_avg_pool(h, &x, scales)
+                hglobal_avg_pool(p, &x, scales)
             }
             Op::Activation { input, a, b } => {
-                let x = fetch(h, &mut values, *input, plan.layouts[i], scales);
+                let x = fetch(p, &mut values, *input, plan.layouts[i], scales);
                 let x = x.clone();
-                hactivation(h, &x, *a, *b, scales)
+                hactivation(p, &x, *a, *b, scales)
             }
             Op::BatchNorm { input, scale, shift } => {
-                let x = fetch(h, &mut values, *input, plan.layouts[i], scales);
+                let x = fetch(p, &mut values, *input, plan.layouts[i], scales);
                 let x = x.clone();
-                hbatch_norm(h, &x, scale, shift, scales)
+                hbatch_norm(p, &x, scale, shift, scales)
             }
             Op::Concat { inputs } => {
                 for &j in inputs {
-                    fetch(h, &mut values, j, plan.layouts[i], scales);
+                    fetch(p, &mut values, j, plan.layouts[i], scales);
                 }
                 let xs: Vec<&CipherTensor<H::Ct>> =
                     inputs.iter().map(|&j| values[j].as_ref().expect("dep computed")).collect();
-                hconcat(h, &xs, scales)
+                hconcat(p, &xs, scales)
             }
             Op::Flatten { input } => {
                 // Metadata-only: the dense kernel enumerates any layout.
                 values[*input].as_ref().expect("dep computed").clone()
             }
         };
+        // A latched error means node i's kernel produced garbage: abort
+        // here with precise attribution.
+        if let Some(source) = p.take_error() {
+            return Err(ExecError::Hisa { op_index: i, op: op_name(op).into(), source });
+        }
         values[i] = Some(v);
         // Drop tensors that will not be used again.
         for dep in op.inputs() {
@@ -281,7 +431,7 @@ pub fn run_encrypted<H: Hisa>(
             }
         }
     }
-    values[circuit.output()].take().expect("output computed")
+    Ok(values[circuit.output()].take().expect("output computed"))
 }
 
 /// End-to-end convenience: encrypt, run, decrypt (the full Figure 3 flow on
@@ -290,8 +440,46 @@ pub fn infer<H: Hisa>(h: &mut H, circuit: &Circuit, plan: &ExecPlan, image: &Ten
     let enc = encrypt_input(h, circuit, plan, image);
     let out = run_encrypted(h, circuit, plan, enc);
     let dec = decrypt_tensor(h, &out);
-    // Dense outputs come back as [len, 1, 1]; flatten to [len] to match the
-    // reference evaluator.
+    reshape_output(circuit, dec)
+}
+
+/// Fallible [`infer`]: returns the decrypted prediction or the precise
+/// [`ExecError`]. Unlike [`infer`], the decrypted output is also checked
+/// for non-finite slots (NaN/∞), which surface as
+/// [`ExecError::PrecisionLoss`].
+pub fn try_infer<H: Hisa>(
+    h: &mut H,
+    circuit: &Circuit,
+    plan: &ExecPlan,
+    image: &Tensor,
+) -> Result<Tensor, ExecError> {
+    try_infer_with_report(h, circuit, plan, image).map(|(t, _)| t)
+}
+
+/// [`try_infer`] plus the [`ExecReport`] (degraded-rotation log).
+pub fn try_infer_with_report<H: Hisa>(
+    h: &mut H,
+    circuit: &Circuit,
+    plan: &ExecPlan,
+    image: &Tensor,
+) -> Result<(Tensor, ExecReport), ExecError> {
+    let enc = try_encrypt_input(h, circuit, plan, image)?;
+    let (out, report) = try_run_encrypted(h, circuit, plan, enc)?;
+    let dec = decrypt_tensor(h, &out);
+    if dec.data().iter().any(|v| !v.is_finite()) {
+        let out_idx = circuit.output();
+        return Err(ExecError::PrecisionLoss {
+            op_index: out_idx,
+            op: op_name(&circuit.ops()[out_idx]).into(),
+            detail: "decrypted output contains non-finite slots".into(),
+        });
+    }
+    Ok((reshape_output(circuit, dec), report))
+}
+
+/// Dense outputs come back as `[len, 1, 1]`; flatten to `[len]` to match
+/// the reference evaluator.
+fn reshape_output(circuit: &Circuit, dec: Tensor) -> Tensor {
     let shapes = circuit.shapes();
     let want = &shapes[circuit.output()];
     if want.len() == 1 && dec.shape() != &want[..] {

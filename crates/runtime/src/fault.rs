@@ -1,0 +1,454 @@
+//! Deterministic fault injection for the fallible execution pipeline.
+//!
+//! [`FaultInjector`] wraps any [`Hisa`] backend and probabilistically turns
+//! healthy `try_*` instructions into the failures a production FHE service
+//! actually sees: rotation keys missing from the key bundle, operand scales
+//! that drifted apart, a modulus chain exhausted earlier than the plan
+//! assumed, and NaN-poisoned decrypted slots. Which faults can fire and how
+//! often is configured by [`FaultPlan`]; *when* they fire is a pure function
+//! of the seed and the instruction counter (splitmix64 — no wall clock, no
+//! global RNG), so every run with the same seed injects the same faults at
+//! the same instructions. That determinism is what makes the robustness
+//! property tests reproducible: `try_infer` must return `Err`, never panic,
+//! for **every** seed.
+//!
+//! The panicking [`Hisa`] methods delegate to the wrapped backend
+//! *uninjected* — faults only surface through the `try_*` path (and
+//! [`Hisa::decode`] for NaN poisoning), mirroring how real failures surface
+//! through fallible APIs while leaving analysis interpretations untouched.
+
+use chet_hisa::{Hisa, HisaError};
+use std::collections::BTreeSet;
+
+/// Which fault classes the injector may fire, and how often.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Rotations fail with [`HisaError::MissingRotationKey`].
+    pub drop_rotation_keys: bool,
+    /// Binary adds/subs fail with [`HisaError::ScaleMismatch`] as if one
+    /// operand's scale had drifted.
+    pub scale_drift: bool,
+    /// Rescales fail with [`HisaError::LevelExhausted`] as if the modulus
+    /// chain ran out early.
+    pub exhaust_levels: bool,
+    /// Decoded vectors get one slot poisoned to NaN (models catastrophic
+    /// noise growth flipping a slot).
+    pub nan_slots: bool,
+    /// Encodes fail with [`HisaError::SlotOverflow`].
+    pub slot_overflow: bool,
+    /// Rescales fail with [`HisaError::InvalidRescale`].
+    pub invalid_rescale: bool,
+    /// Per-eligible-instruction probability in `[0, 1]` that a fault fires.
+    pub rate: f64,
+}
+
+impl FaultPlan {
+    /// No faults enabled; `with_*` builders switch classes on.
+    pub fn none(rate: f64) -> Self {
+        FaultPlan {
+            drop_rotation_keys: false,
+            scale_drift: false,
+            exhaust_levels: false,
+            nan_slots: false,
+            slot_overflow: false,
+            invalid_rescale: false,
+            rate,
+        }
+    }
+
+    /// Every fault class enabled at the given rate.
+    pub fn all(rate: f64) -> Self {
+        FaultPlan {
+            drop_rotation_keys: true,
+            scale_drift: true,
+            exhaust_levels: true,
+            nan_slots: true,
+            slot_overflow: true,
+            invalid_rescale: true,
+            rate,
+        }
+    }
+
+    /// Enables dropped-rotation-key faults.
+    pub fn with_dropped_rotation_keys(mut self) -> Self {
+        self.drop_rotation_keys = true;
+        self
+    }
+
+    /// Enables scale-drift faults.
+    pub fn with_scale_drift(mut self) -> Self {
+        self.scale_drift = true;
+        self
+    }
+
+    /// Enables premature level-exhaustion faults.
+    pub fn with_exhausted_levels(mut self) -> Self {
+        self.exhaust_levels = true;
+        self
+    }
+
+    /// Enables NaN slot poisoning on decode.
+    pub fn with_nan_slots(mut self) -> Self {
+        self.nan_slots = true;
+        self
+    }
+
+    /// Enables slot-overflow faults on encode.
+    pub fn with_slot_overflow(mut self) -> Self {
+        self.slot_overflow = true;
+        self
+    }
+
+    /// Enables invalid-rescale-divisor faults.
+    pub fn with_invalid_rescale(mut self) -> Self {
+        self.invalid_rescale = true;
+        self
+    }
+}
+
+/// A [`Hisa`] backend wrapper that injects deterministic faults. See the
+/// module docs.
+pub struct FaultInjector<H: Hisa> {
+    inner: H,
+    plan: FaultPlan,
+    state: u64,
+    injected: Vec<String>,
+}
+
+impl<H: Hisa> FaultInjector<H> {
+    /// Wraps a backend; `seed` fully determines the fault schedule.
+    pub fn new(inner: H, plan: FaultPlan, seed: u64) -> Self {
+        FaultInjector { inner, plan, state: seed, injected: Vec::new() }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &H {
+        &self.inner
+    }
+
+    /// The wrapped backend, mutably (e.g. to decrypt results out-of-band).
+    pub fn inner_mut(&mut self) -> &mut H {
+        &mut self.inner
+    }
+
+    /// Unwraps the injector, returning the backend.
+    pub fn into_inner(self) -> H {
+        self.inner
+    }
+
+    /// Log of faults injected so far, in instruction order.
+    pub fn injected(&self) -> &[String] {
+        &self.injected
+    }
+
+    /// splitmix64 step: counter-mode, so the schedule depends only on the
+    /// seed and how many rolls preceded this one.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Rolls one fault decision for an enabled class.
+    fn roll(&mut self, enabled: bool) -> bool {
+        if !enabled {
+            return false;
+        }
+        // Always advance the counter when the class is enabled so toggling
+        // the rate doesn't reshuffle later decisions for the same seed.
+        let r = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        r < self.plan.rate
+    }
+
+    fn log(&mut self, what: String) {
+        self.injected.push(what);
+    }
+}
+
+impl<H: Hisa> Hisa for FaultInjector<H> {
+    type Ct = H::Ct;
+    type Pt = H::Pt;
+
+    fn slots(&self) -> usize {
+        self.inner.slots()
+    }
+
+    fn encode(&mut self, values: &[f64], scale: f64) -> H::Pt {
+        self.inner.encode(values, scale)
+    }
+
+    fn decode(&mut self, p: &H::Pt) -> Vec<f64> {
+        let mut v = self.inner.decode(p);
+        if self.roll(self.plan.nan_slots) && !v.is_empty() {
+            // Poison the whole vector: a corrupted ciphertext ruins every
+            // slot, and partial poisoning could hide in unused layout slots.
+            for x in v.iter_mut() {
+                *x = f64::NAN;
+            }
+            self.log("nan-poisoned decode".into());
+        }
+        v
+    }
+
+    fn encrypt(&mut self, p: &H::Pt) -> H::Ct {
+        self.inner.encrypt(p)
+    }
+
+    fn decrypt(&mut self, c: &H::Ct) -> H::Pt {
+        self.inner.decrypt(c)
+    }
+
+    fn copy(&mut self, c: &H::Ct) -> H::Ct {
+        self.inner.copy(c)
+    }
+
+    fn rot_left(&mut self, c: &H::Ct, x: usize) -> H::Ct {
+        self.inner.rot_left(c, x)
+    }
+
+    fn rot_right(&mut self, c: &H::Ct, x: usize) -> H::Ct {
+        self.inner.rot_right(c, x)
+    }
+
+    fn add(&mut self, a: &H::Ct, b: &H::Ct) -> H::Ct {
+        self.inner.add(a, b)
+    }
+
+    fn add_plain(&mut self, a: &H::Ct, p: &H::Pt) -> H::Ct {
+        self.inner.add_plain(a, p)
+    }
+
+    fn add_scalar(&mut self, a: &H::Ct, x: f64) -> H::Ct {
+        self.inner.add_scalar(a, x)
+    }
+
+    fn sub(&mut self, a: &H::Ct, b: &H::Ct) -> H::Ct {
+        self.inner.sub(a, b)
+    }
+
+    fn sub_plain(&mut self, a: &H::Ct, p: &H::Pt) -> H::Ct {
+        self.inner.sub_plain(a, p)
+    }
+
+    fn sub_scalar(&mut self, a: &H::Ct, x: f64) -> H::Ct {
+        self.inner.sub_scalar(a, x)
+    }
+
+    fn mul(&mut self, a: &H::Ct, b: &H::Ct) -> H::Ct {
+        self.inner.mul(a, b)
+    }
+
+    fn mul_plain(&mut self, a: &H::Ct, p: &H::Pt) -> H::Ct {
+        self.inner.mul_plain(a, p)
+    }
+
+    fn mul_scalar(&mut self, a: &H::Ct, x: f64, scale: f64) -> H::Ct {
+        self.inner.mul_scalar(a, x, scale)
+    }
+
+    fn rescale(&mut self, c: &H::Ct, divisor: f64) -> H::Ct {
+        self.inner.rescale(c, divisor)
+    }
+
+    fn max_rescale(&mut self, c: &H::Ct, ub: f64) -> f64 {
+        self.inner.max_rescale(c, ub)
+    }
+
+    fn scale_of(&self, c: &H::Ct) -> f64 {
+        self.inner.scale_of(c)
+    }
+
+    fn try_encode(&mut self, values: &[f64], scale: f64) -> Result<H::Pt, HisaError> {
+        if self.roll(self.plan.slot_overflow) {
+            let slots = self.inner.slots();
+            self.log(format!("slot overflow on encode of {} values", values.len()));
+            return Err(HisaError::SlotOverflow { len: slots + values.len().max(1), slots });
+        }
+        self.inner.try_encode(values, scale)
+    }
+
+    fn try_rot_left(&mut self, c: &H::Ct, x: usize) -> Result<H::Ct, HisaError> {
+        if self.roll(self.plan.drop_rotation_keys) {
+            self.log(format!("dropped rotation key for left step {x}"));
+            return Err(HisaError::MissingRotationKey { step: x, available: Vec::new() });
+        }
+        self.inner.try_rot_left(c, x)
+    }
+
+    fn try_rot_right(&mut self, c: &H::Ct, x: usize) -> Result<H::Ct, HisaError> {
+        if self.roll(self.plan.drop_rotation_keys) {
+            self.log(format!("dropped rotation key for right step {x}"));
+            return Err(HisaError::MissingRotationKey { step: x, available: Vec::new() });
+        }
+        self.inner.try_rot_right(c, x)
+    }
+
+    fn try_add(&mut self, a: &H::Ct, b: &H::Ct) -> Result<H::Ct, HisaError> {
+        if self.roll(self.plan.scale_drift) {
+            let s = self.inner.scale_of(a);
+            self.log("scale drift on add".into());
+            return Err(HisaError::ScaleMismatch { left: s, right: s * 1.5 });
+        }
+        self.inner.try_add(a, b)
+    }
+
+    fn try_add_plain(&mut self, a: &H::Ct, p: &H::Pt) -> Result<H::Ct, HisaError> {
+        if self.roll(self.plan.scale_drift) {
+            let s = self.inner.scale_of(a);
+            self.log("scale drift on add_plain".into());
+            return Err(HisaError::ScaleMismatch { left: s, right: s * 1.5 });
+        }
+        self.inner.try_add_plain(a, p)
+    }
+
+    fn try_add_scalar(&mut self, a: &H::Ct, x: f64) -> Result<H::Ct, HisaError> {
+        self.inner.try_add_scalar(a, x)
+    }
+
+    fn try_sub(&mut self, a: &H::Ct, b: &H::Ct) -> Result<H::Ct, HisaError> {
+        if self.roll(self.plan.scale_drift) {
+            let s = self.inner.scale_of(a);
+            self.log("scale drift on sub".into());
+            return Err(HisaError::ScaleMismatch { left: s, right: s * 1.5 });
+        }
+        self.inner.try_sub(a, b)
+    }
+
+    fn try_sub_plain(&mut self, a: &H::Ct, p: &H::Pt) -> Result<H::Ct, HisaError> {
+        if self.roll(self.plan.scale_drift) {
+            let s = self.inner.scale_of(a);
+            self.log("scale drift on sub_plain".into());
+            return Err(HisaError::ScaleMismatch { left: s, right: s * 1.5 });
+        }
+        self.inner.try_sub_plain(a, p)
+    }
+
+    fn try_sub_scalar(&mut self, a: &H::Ct, x: f64) -> Result<H::Ct, HisaError> {
+        self.inner.try_sub_scalar(a, x)
+    }
+
+    fn try_mul(&mut self, a: &H::Ct, b: &H::Ct) -> Result<H::Ct, HisaError> {
+        self.inner.try_mul(a, b)
+    }
+
+    fn try_mul_plain(&mut self, a: &H::Ct, p: &H::Pt) -> Result<H::Ct, HisaError> {
+        self.inner.try_mul_plain(a, p)
+    }
+
+    fn try_mul_scalar(&mut self, a: &H::Ct, x: f64, scale: f64) -> Result<H::Ct, HisaError> {
+        self.inner.try_mul_scalar(a, x, scale)
+    }
+
+    fn try_rescale(&mut self, c: &H::Ct, divisor: f64) -> Result<H::Ct, HisaError> {
+        if self.roll(self.plan.exhaust_levels) {
+            self.log(format!("premature level exhaustion on rescale by {divisor}"));
+            return Err(HisaError::LevelExhausted {
+                remaining: 0.0,
+                requested: divisor.max(2.0).log2(),
+            });
+        }
+        if self.roll(self.plan.invalid_rescale) {
+            self.log(format!("invalid rescale divisor {divisor}"));
+            return Err(HisaError::InvalidRescale {
+                divisor,
+                reason: "injected fault: divisor rejected by backend".into(),
+            });
+        }
+        self.inner.try_rescale(c, divisor)
+    }
+
+    fn available_rotations(&self) -> Option<BTreeSet<usize>> {
+        self.inner.available_rotations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chet_ckks::sim::SimCkks;
+    use chet_hisa::{EncryptionParams, RotationKeyPolicy};
+
+    const S: f64 = (1u64 << 30) as f64;
+
+    fn sim() -> SimCkks {
+        let params = EncryptionParams::rns_ckks(8192, 40, 4);
+        SimCkks::new(&params, &RotationKeyPolicy::PowersOfTwo, 1).without_noise()
+    }
+
+    #[test]
+    fn same_seed_injects_identical_fault_schedule() {
+        let run = |seed: u64| {
+            let mut f = FaultInjector::new(sim(), FaultPlan::all(0.5), seed);
+            let pt = f.try_encode(&[1.0, 2.0], S).ok();
+            let mut errs = Vec::new();
+            if let Some(pt) = pt {
+                let ct = f.encrypt(&pt);
+                for step in [1usize, 2, 4, 8] {
+                    errs.push(f.try_rot_left(&ct, step).is_err());
+                    errs.push(f.try_add(&ct, &ct).is_err());
+                }
+            }
+            (f.injected().to_vec(), errs)
+        };
+        assert_eq!(run(42), run(42));
+        // A different seed produces a different schedule for this plan.
+        assert_ne!(run(42).0, run(43).0);
+    }
+
+    #[test]
+    fn rate_one_always_fires_and_rate_zero_never_does() {
+        let mut hot = FaultInjector::new(sim(), FaultPlan::all(1.0), 7);
+        assert!(matches!(
+            hot.try_encode(&[1.0], S),
+            Err(HisaError::SlotOverflow { .. })
+        ));
+        let pt = hot.inner_mut().encode(&[1.0, 2.0], S);
+        let ct = hot.inner_mut().encrypt(&pt);
+        assert!(matches!(
+            hot.try_rot_left(&ct, 1),
+            Err(HisaError::MissingRotationKey { step: 1, .. })
+        ));
+        assert!(matches!(hot.try_add(&ct, &ct), Err(HisaError::ScaleMismatch { .. })));
+        assert!(matches!(
+            hot.try_rescale(&ct, 2f64.powi(40)),
+            Err(HisaError::LevelExhausted { .. })
+        ));
+        assert_eq!(hot.injected().len(), 4);
+
+        let mut cold = FaultInjector::new(sim(), FaultPlan::all(0.0), 7);
+        assert!(cold.try_encode(&[1.0], S).is_ok());
+        assert!(cold.try_rot_left(&ct, 1).is_ok());
+        assert!(cold.try_add(&ct, &ct).is_ok());
+        assert!(cold.injected().is_empty());
+    }
+
+    #[test]
+    fn nan_poisoning_hits_decode() {
+        let mut f = FaultInjector::new(
+            sim(),
+            FaultPlan::none(1.0).with_nan_slots(),
+            11,
+        );
+        let pt = f.encode(&[1.0, 2.0, 3.0], S);
+        let v = f.decode(&pt);
+        assert!(v.iter().any(|x| x.is_nan()), "decode should poison a slot");
+        assert_eq!(f.injected().len(), 1);
+    }
+
+    #[test]
+    fn invalid_rescale_fault_is_reachable() {
+        let mut f = FaultInjector::new(
+            sim(),
+            FaultPlan::none(1.0).with_invalid_rescale(),
+            3,
+        );
+        let pt = f.encode(&[1.0], S);
+        let ct = f.encrypt(&pt);
+        assert!(matches!(
+            f.try_rescale(&ct, 2f64.powi(40)),
+            Err(HisaError::InvalidRescale { .. })
+        ));
+    }
+}

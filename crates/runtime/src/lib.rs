@@ -39,12 +39,26 @@
 //! assert_eq!(out.shape(), &[1, 2, 2]);
 //! ```
 
+// Failure-model gate (enforced by `ci.sh` via clippy): non-test runtime
+// code must not unwrap/expect — contract violations flow through the
+// fallible `try_*` surface as `HisaError`/`ExecError` values. Tests may
+// unwrap freely. Deliberate panics on internal invariants use
+// `#[allow]` with a justification at the site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ciphertensor;
 pub mod exec;
+pub mod fault;
 pub mod kernels;
 pub mod layout;
+pub mod pipeline;
 
-pub use ciphertensor::{decrypt_tensor, encrypt_tensor, CipherTensor};
-pub use exec::{infer, run_encrypted, ExecPlan};
+pub use ciphertensor::{decrypt_tensor, encrypt_tensor, try_encrypt_tensor, CipherTensor};
+pub use exec::{
+    infer, run_encrypted, try_infer, try_infer_with_report, try_run_encrypted, ExecError,
+    ExecPlan, ExecReport,
+};
+pub use fault::{FaultInjector, FaultPlan};
 pub use kernels::ScaleConfig;
 pub use layout::{Layout, LayoutKind};
+pub use pipeline::FalliblePipeline;

@@ -1,0 +1,350 @@
+//! The fallible execution pipeline: a [`Hisa`] interpretation that turns
+//! backend contract violations into latched [`HisaError`] values instead of
+//! panics.
+//!
+//! [`FalliblePipeline`] wraps any backend and routes every failable
+//! instruction through the backend's `try_*` surface. The first error is
+//! *latched*; from then on every instruction short-circuits (returning its
+//! input unchanged, without touching the backend), so the executor can keep
+//! walking the node list safely and attribute the failure to the exact
+//! circuit op at which it occurred — see `exec::try_run_encrypted`.
+//!
+//! The pipeline also implements the paper-faithful *graceful degradation*
+//! bookkeeping: when a rotation step has no dedicated key but can be
+//! decomposed into available keys (e.g. power-of-two composition), the
+//! rotation still executes, and the pipeline records the cost penalty in
+//! [`FalliblePipeline::degraded_rotations`] / `extra_rotation_ops` so the
+//! caller can log it. Only when no decomposition exists does the rotation
+//! fail with [`HisaError::MissingRotationKey`].
+
+use chet_hisa::keys::{normalize_rotation, plan_rotation};
+use chet_hisa::{Hisa, HisaError};
+use std::collections::BTreeSet;
+
+/// Error-latching [`Hisa`] wrapper. See the module docs.
+pub struct FalliblePipeline<'a, H: Hisa> {
+    inner: &'a mut H,
+    error: Option<HisaError>,
+    degraded_rotations: usize,
+    extra_rotation_ops: usize,
+    available: Option<BTreeSet<usize>>,
+    slots: usize,
+}
+
+impl<'a, H: Hisa> FalliblePipeline<'a, H> {
+    /// Wraps a backend. The backend's rotation-key set (if it reports one)
+    /// is captured once for degradation accounting.
+    pub fn new(inner: &'a mut H) -> Self {
+        let available = inner.available_rotations();
+        let slots = inner.slots();
+        FalliblePipeline {
+            inner,
+            error: None,
+            degraded_rotations: 0,
+            extra_rotation_ops: 0,
+            available,
+            slots,
+        }
+    }
+
+    /// The latched error, if any instruction has failed so far.
+    pub fn error(&self) -> Option<&HisaError> {
+        self.error.as_ref()
+    }
+
+    /// Takes the latched error, resetting the pipeline to a live state.
+    pub fn take_error(&mut self) -> Option<HisaError> {
+        self.error.take()
+    }
+
+    /// Rotations served by composing several keyed rotations because the
+    /// exact key was missing.
+    pub fn degraded_rotations(&self) -> usize {
+        self.degraded_rotations
+    }
+
+    /// Extra elementary rotations spent on degraded rotations (the cost
+    /// penalty relative to having exact keys).
+    pub fn extra_rotation_ops(&self) -> usize {
+        self.extra_rotation_ops
+    }
+
+    fn latch(&mut self, e: HisaError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    fn note_rotation(&mut self, step: usize) {
+        if step == 0 {
+            return;
+        }
+        if let Some(avail) = &self.available {
+            if !avail.contains(&step) {
+                if let Some(plan) = plan_rotation(step, avail, self.slots) {
+                    self.degraded_rotations += 1;
+                    self.extra_rotation_ops += plan.len().saturating_sub(1);
+                }
+            }
+        }
+    }
+}
+
+impl<H: Hisa> Hisa for FalliblePipeline<'_, H> {
+    type Ct = H::Ct;
+    type Pt = H::Pt;
+
+    fn slots(&self) -> usize {
+        self.slots
+    }
+
+    fn encode(&mut self, values: &[f64], scale: f64) -> H::Pt {
+        match self.inner.try_encode(values, scale) {
+            Ok(p) => p,
+            Err(e) => {
+                self.latch(e);
+                // Still produce a plaintext so execution can limp to the
+                // next error check: encode what fits.
+                let n = values.len().min(self.slots);
+                self.inner.encode(&values[..n], scale)
+            }
+        }
+    }
+
+    fn decode(&mut self, p: &H::Pt) -> Vec<f64> {
+        self.inner.decode(p)
+    }
+
+    fn encrypt(&mut self, p: &H::Pt) -> H::Ct {
+        self.inner.encrypt(p)
+    }
+
+    fn decrypt(&mut self, c: &H::Ct) -> H::Pt {
+        self.inner.decrypt(c)
+    }
+
+    fn copy(&mut self, c: &H::Ct) -> H::Ct {
+        self.inner.copy(c)
+    }
+
+    fn rot_left(&mut self, c: &H::Ct, x: usize) -> H::Ct {
+        if self.error.is_some() {
+            return c.clone();
+        }
+        self.note_rotation(normalize_rotation(x as i64, self.slots));
+        match self.inner.try_rot_left(c, x) {
+            Ok(v) => v,
+            Err(e) => {
+                self.latch(e);
+                c.clone()
+            }
+        }
+    }
+
+    fn rot_right(&mut self, c: &H::Ct, x: usize) -> H::Ct {
+        if self.error.is_some() {
+            return c.clone();
+        }
+        self.note_rotation(normalize_rotation(-(x as i64), self.slots));
+        match self.inner.try_rot_right(c, x) {
+            Ok(v) => v,
+            Err(e) => {
+                self.latch(e);
+                c.clone()
+            }
+        }
+    }
+
+    fn add(&mut self, a: &H::Ct, b: &H::Ct) -> H::Ct {
+        if self.error.is_some() {
+            return a.clone();
+        }
+        match self.inner.try_add(a, b) {
+            Ok(v) => v,
+            Err(e) => {
+                self.latch(e);
+                a.clone()
+            }
+        }
+    }
+
+    fn add_plain(&mut self, a: &H::Ct, p: &H::Pt) -> H::Ct {
+        if self.error.is_some() {
+            return a.clone();
+        }
+        match self.inner.try_add_plain(a, p) {
+            Ok(v) => v,
+            Err(e) => {
+                self.latch(e);
+                a.clone()
+            }
+        }
+    }
+
+    fn add_scalar(&mut self, a: &H::Ct, x: f64) -> H::Ct {
+        if self.error.is_some() {
+            return a.clone();
+        }
+        match self.inner.try_add_scalar(a, x) {
+            Ok(v) => v,
+            Err(e) => {
+                self.latch(e);
+                a.clone()
+            }
+        }
+    }
+
+    fn sub(&mut self, a: &H::Ct, b: &H::Ct) -> H::Ct {
+        if self.error.is_some() {
+            return a.clone();
+        }
+        match self.inner.try_sub(a, b) {
+            Ok(v) => v,
+            Err(e) => {
+                self.latch(e);
+                a.clone()
+            }
+        }
+    }
+
+    fn sub_plain(&mut self, a: &H::Ct, p: &H::Pt) -> H::Ct {
+        if self.error.is_some() {
+            return a.clone();
+        }
+        match self.inner.try_sub_plain(a, p) {
+            Ok(v) => v,
+            Err(e) => {
+                self.latch(e);
+                a.clone()
+            }
+        }
+    }
+
+    fn sub_scalar(&mut self, a: &H::Ct, x: f64) -> H::Ct {
+        if self.error.is_some() {
+            return a.clone();
+        }
+        match self.inner.try_sub_scalar(a, x) {
+            Ok(v) => v,
+            Err(e) => {
+                self.latch(e);
+                a.clone()
+            }
+        }
+    }
+
+    fn mul(&mut self, a: &H::Ct, b: &H::Ct) -> H::Ct {
+        if self.error.is_some() {
+            return a.clone();
+        }
+        match self.inner.try_mul(a, b) {
+            Ok(v) => v,
+            Err(e) => {
+                self.latch(e);
+                a.clone()
+            }
+        }
+    }
+
+    fn mul_plain(&mut self, a: &H::Ct, p: &H::Pt) -> H::Ct {
+        if self.error.is_some() {
+            return a.clone();
+        }
+        match self.inner.try_mul_plain(a, p) {
+            Ok(v) => v,
+            Err(e) => {
+                self.latch(e);
+                a.clone()
+            }
+        }
+    }
+
+    fn mul_scalar(&mut self, a: &H::Ct, x: f64, scale: f64) -> H::Ct {
+        if self.error.is_some() {
+            return a.clone();
+        }
+        match self.inner.try_mul_scalar(a, x, scale) {
+            Ok(v) => v,
+            Err(e) => {
+                self.latch(e);
+                a.clone()
+            }
+        }
+    }
+
+    fn rescale(&mut self, c: &H::Ct, divisor: f64) -> H::Ct {
+        if self.error.is_some() {
+            return c.clone();
+        }
+        match self.inner.try_rescale(c, divisor) {
+            Ok(v) => v,
+            Err(e) => {
+                self.latch(e);
+                c.clone()
+            }
+        }
+    }
+
+    fn max_rescale(&mut self, c: &H::Ct, ub: f64) -> f64 {
+        if self.error.is_some() {
+            return 1.0;
+        }
+        self.inner.max_rescale(c, ub)
+    }
+
+    fn scale_of(&self, c: &H::Ct) -> f64 {
+        self.inner.scale_of(c)
+    }
+
+    fn available_rotations(&self) -> Option<BTreeSet<usize>> {
+        self.available.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chet_ckks::sim::SimCkks;
+    use chet_hisa::{EncryptionParams, RotationKeyPolicy};
+
+    const S: f64 = (1u64 << 30) as f64;
+
+    #[test]
+    fn latches_first_error_and_short_circuits() {
+        let params = EncryptionParams::rns_ckks(8192, 40, 2);
+        let policy = RotationKeyPolicy::Exact([4usize].into_iter().collect());
+        let mut h = SimCkks::new(&params, &policy, 1).without_noise();
+        let mut p = FalliblePipeline::new(&mut h);
+        let pt = p.encode(&[1.0, 2.0], S);
+        let ct = p.encrypt(&pt);
+        // Step 3 is unreachable from {4}: latches MissingRotationKey.
+        let r = p.rot_left(&ct, 3);
+        assert!(matches!(p.error(), Some(HisaError::MissingRotationKey { step: 3, .. })));
+        // Subsequent ops short-circuit without touching the backend.
+        let _ = p.add(&r, &ct);
+        let _ = p.rescale(&r, 2f64.powi(40));
+        assert!(matches!(
+            p.take_error(),
+            Some(HisaError::MissingRotationKey { step: 3, .. })
+        ));
+        assert!(p.error().is_none());
+    }
+
+    #[test]
+    fn counts_degraded_rotations() {
+        let params = EncryptionParams::rns_ckks(8192, 40, 2);
+        let mut h =
+            SimCkks::new(&params, &RotationKeyPolicy::PowersOfTwo, 1).without_noise();
+        let mut p = FalliblePipeline::new(&mut h);
+        let pt = p.encode(&[1.0; 8], S);
+        let ct = p.encrypt(&pt);
+        // 7 = 4 + 2 + 1 under power-of-two keys: degraded, 2 extra ops.
+        let _ = p.rot_left(&ct, 7);
+        assert_eq!(p.degraded_rotations(), 1);
+        assert_eq!(p.extra_rotation_ops(), 2);
+        // A direct key is not degraded.
+        let _ = p.rot_left(&ct, 4);
+        assert_eq!(p.degraded_rotations(), 1);
+        assert!(p.error().is_none());
+    }
+}

@@ -156,6 +156,46 @@ proptest! {
     }
 
     #[test]
+    fn try_infer_never_panics_under_fault_injection(seed in 0u64..10_000, which in 0usize..7) {
+        use chet::runtime::exec::{try_infer, ExecPlan};
+        use chet::runtime::fault::{FaultInjector, FaultPlan};
+        use chet::runtime::kernels::ScaleConfig;
+        use chet::runtime::layout::LayoutKind;
+        use chet::tensor::circuit::CircuitBuilder;
+        use chet::tensor::ops::Padding;
+
+        let mut b = CircuitBuilder::new();
+        let x = b.input(vec![1, 5, 5]);
+        let w = Tensor::from_fn(vec![2, 1, 3, 3], |i| (i[2] + i[3]) as f64 * 0.1 - 0.1);
+        let c = b.conv2d(x, w, None, 1, Padding::Valid);
+        let a = b.activation(c, 0.2, 0.9);
+        let g = b.global_avg_pool(a);
+        let circuit = b.build(g);
+
+        let fault = match which {
+            0 => FaultPlan::none(0.4).with_dropped_rotation_keys(),
+            1 => FaultPlan::none(0.4).with_scale_drift(),
+            2 => FaultPlan::none(0.4).with_exhausted_levels(),
+            3 => FaultPlan::none(0.4).with_nan_slots(),
+            4 => FaultPlan::none(0.4).with_slot_overflow(),
+            5 => FaultPlan::none(0.4).with_invalid_rescale(),
+            _ => FaultPlan::all(0.2),
+        };
+        let sim = chet_ckks::sim::SimCkks::new(
+            &EncryptionParams::rns_ckks(8192, 40, 6),
+            &RotationKeyPolicy::PowersOfTwo,
+            5,
+        )
+        .without_noise();
+        let mut h = FaultInjector::new(sim, fault, seed);
+        let plan = ExecPlan::uniform(&circuit, LayoutKind::CHW, ScaleConfig::from_log2(26, 16, 16, 16));
+        let image = Tensor::random(vec![1, 5, 5], 1.0, seed % 97);
+        // The property: for every seed and fault class, inference returns a
+        // value — Ok or a typed error — and never panics.
+        let _ = try_infer(&mut h, &circuit, &plan, &image);
+    }
+
+    #[test]
     fn activation_kernel_matches_reference_property(
         a in -0.5f64..0.5,
         b in 0.5f64..1.5,
@@ -178,5 +218,37 @@ proptest! {
         let got = decrypt_tensor(&mut h, &out);
         let want = chet::tensor::ops::activation(&t, a, b);
         prop_assert!(got.max_abs_diff(&want) < 1e-3);
+    }
+}
+
+proptest! {
+    // compile_checked runs a full compile + simulated probe per attempt:
+    // keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn compile_checked_repair_converges(input_bits in 14u32..18, weight_bits in 6u32..9) {
+        use chet::compiler::Compiler;
+        use chet::hisa::params::SchemeKind;
+        use chet::runtime::kernels::ScaleConfig;
+        use chet::tensor::circuit::CircuitBuilder;
+        use chet::tensor::ops::Padding;
+
+        let mut b = CircuitBuilder::new();
+        let x = b.input(vec![1, 6, 6]);
+        let w = Tensor::from_fn(vec![2, 1, 3, 3], |i| (i[2] * 3 + i[3]) as f64 * 0.05 - 0.1);
+        let c = b.conv2d(x, w, Some(vec![0.1, -0.1]), 1, Padding::Valid);
+        let a = b.activation(c, 0.2, 0.9);
+        let g = b.global_avg_pool(a);
+        let circuit = b.build(g);
+
+        let starved = ScaleConfig::from_log2(input_bits, weight_bits, weight_bits, 4);
+        let (compiled, report) = Compiler::new(SchemeKind::RnsCkks)
+            .with_output_precision(2f64.powi(20))
+            .compile_checked(&circuit, &starved)
+            .expect("repair loop converges from any starved start");
+        prop_assert!(report.attempts <= 4, "attempts: {}", report.attempts);
+        prop_assert!(compiled.params.validate().is_ok());
+        prop_assert!(report.final_scales.input >= starved.input);
     }
 }
