@@ -2,24 +2,26 @@
 # Tier-1 CI gate: build, test, and the failure-model lint.
 #
 # The lint step enforces the repo's failure model (DESIGN.md "Failure model
-# & graceful degradation"): non-test code in chet-runtime and chet-compiler
-# must not unwrap/expect — backend contract violations travel as
-# `HisaError`/`ExecError`/`SelectError` values through the fallible
-# surfaces (`try_*`, `try_infer`, `compile_checked`). The deny attributes
-# live in the two crates' lib.rs (`clippy::unwrap_used`,
+# & graceful degradation" and "Serving & resilience"): non-test code in
+# chet-runtime, chet-compiler and chet-serve must not unwrap/expect —
+# backend contract violations travel as `HisaError`/`ExecError`/
+# `KernelError`/`SelectError`/`ServeError` values through the fallible
+# surfaces (`try_*`, `try_infer`, `compile_checked`, `submit`/`wait`). The
+# deny attributes live in the crates' lib.rs (`clippy::unwrap_used`,
 # `clippy::expect_used`, non-test only); clippy turns any regression into a
 # hard error. Deliberate invariant panics carry a justified `#[allow]` at
-# the site.
+# the site. `--all-targets` keeps examples and integration tests (including
+# the chet-serve soak test) warning-clean too.
 set -eu
 cd "$(dirname "$0")"
 
 echo "=== build (release) ==="
 cargo build --release
 
-echo "=== tests ==="
+echo "=== tests (includes the chet-serve soak suite) ==="
 cargo test -q
 
-echo "=== failure-model lint (no unwrap/expect in runtime/compiler) ==="
-cargo clippy -q -p chet-runtime -p chet-compiler --lib
+echo "=== failure-model lint (no unwrap/expect in runtime/compiler/serve) ==="
+cargo clippy -q -p chet-runtime -p chet-compiler -p chet-serve --all-targets
 
 echo "CI gate passed."

@@ -1,0 +1,144 @@
+//! Cooperative cancellation for long homomorphic runs.
+//!
+//! FHE inference is orders of magnitude slower than plaintext inference, so
+//! a serving layer cannot afford to let a request run to completion after
+//! its caller has given up. [`CancelToken`] is the cooperative signal: the
+//! executor checks it *between* tensor ops (the natural preemption points —
+//! individual HISA instructions are short compared to a conv node), and a
+//! tripped token aborts the run with `ExecError::Cancelled` instead of
+//! wasting the remaining ciphertext work.
+//!
+//! A token trips for one of two reasons:
+//!
+//! * **Explicit cancellation** — any clone calls [`CancelToken::cancel`]
+//!   (e.g. the client disconnected, the service is draining).
+//! * **Deadline expiry** — the token was built with
+//!   [`CancelToken::with_deadline`] and the wall clock passed it.
+//!
+//! Clones share the cancellation flag, so the serving layer keeps one clone
+//! per request and hands another to the worker thread executing it.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a [`CancelToken`] tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called on the token or one of its clones.
+    Cancelled,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelReason::Cancelled => write!(f, "cancelled"),
+            CancelReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+/// A cloneable cancellation signal checked between tensor ops. See the
+/// module docs.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only trips on explicit [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that additionally trips once `budget` has elapsed from now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken { flag: Arc::new(AtomicBool::new(false)), deadline: Some(Instant::now() + budget) }
+    }
+
+    /// A token tripping at an absolute instant (shared-epoch deadlines).
+    pub fn at(deadline: Instant) -> Self {
+        CancelToken { flag: Arc::new(AtomicBool::new(false)), deadline: Some(deadline) }
+    }
+
+    /// Trips the token (and every clone sharing its flag).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// The deadline, if this token carries one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Time remaining until the deadline (`None` when no deadline is set,
+    /// `Some(ZERO)` once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Returns the trip reason if the token has tripped. Explicit
+    /// cancellation wins over deadline expiry when both hold.
+    pub fn check(&self) -> Result<(), CancelReason> {
+        if self.flag.load(Ordering::Acquire) {
+            return Err(CancelReason::Cancelled);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(CancelReason::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the token has tripped (either reason).
+    pub fn is_cancelled(&self) -> bool {
+        self.check().is_err()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert_eq!(t.check(), Ok(()));
+        assert!(!t.is_cancelled());
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert_eq!(c.check(), Err(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_trips() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(t.check(), Err(CancelReason::DeadlineExceeded));
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_deadline_stays_live() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert_eq!(t.check(), Ok(()));
+        assert!(t.remaining().unwrap() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn explicit_cancel_wins_over_deadline() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        t.cancel();
+        assert_eq!(t.check(), Err(CancelReason::Cancelled));
+    }
+}

@@ -6,14 +6,15 @@
 //! Because kernels are generic over [`Hisa`], the same executor performs
 //! real encrypted inference *and* the compiler's data-flow analyses.
 
+use crate::cancel::{CancelReason, CancelToken};
 use crate::ciphertensor::{decrypt_tensor, encrypt_tensor, try_encrypt_tensor, CipherTensor};
 use crate::kernels::concat::hconcat;
-use crate::kernels::conv::hconv2d_with_mask;
+use crate::kernels::conv::try_hconv2d_with_mask;
 use crate::kernels::convert::convert_layout;
 use crate::kernels::elementwise::{hactivation, hbatch_norm};
-use crate::kernels::matmul::hmatmul;
+use crate::kernels::matmul::try_hmatmul;
 use crate::kernels::pool::{havg_pool2d_with_mask, hglobal_avg_pool};
-use crate::kernels::ScaleConfig;
+use crate::kernels::{KernelError, ScaleConfig};
 use crate::layout::{Layout, LayoutKind};
 use crate::pipeline::FalliblePipeline;
 use chet_hisa::{Hisa, HisaError};
@@ -48,6 +49,24 @@ pub enum ExecError {
         /// What was wrong with the values.
         detail: String,
     },
+    /// A kernel rejected the node's inputs (malformed shapes or layouts).
+    Kernel {
+        /// Index of the circuit node being executed.
+        op_index: usize,
+        /// Human-readable name of the node's operation.
+        op: String,
+        /// The kernel's contract violation.
+        source: KernelError,
+    },
+    /// The run was cancelled cooperatively between tensor ops.
+    Cancelled {
+        /// Index of the circuit node at which the token was found tripped.
+        op_index: usize,
+        /// Human-readable name of the node's operation.
+        op: String,
+        /// Why the token tripped (explicit cancel or deadline expiry).
+        reason: CancelReason,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -62,6 +81,12 @@ impl fmt::Display for ExecError {
             ExecError::PrecisionLoss { op_index, op, detail } => {
                 write!(f, "op #{op_index} ({op}): precision loss: {detail}")
             }
+            ExecError::Kernel { op_index, op, source } => {
+                write!(f, "op #{op_index} ({op}): {source}")
+            }
+            ExecError::Cancelled { op_index, op, reason } => {
+                write!(f, "op #{op_index} ({op}): run aborted: {reason}")
+            }
         }
     }
 }
@@ -70,6 +95,7 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExecError::Hisa { source, .. } => Some(source),
+            ExecError::Kernel { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -84,6 +110,41 @@ pub struct ExecReport {
     pub degraded_rotations: usize,
     /// Extra elementary rotations those compositions cost.
     pub extra_rotation_ops: usize,
+}
+
+/// Per-node progress hook: the executor calls [`ExecObserver::on_op`] right
+/// before each circuit node runs. A serving layer uses it to count executed
+/// ops or time nodes without instrumenting kernel code.
+pub trait ExecObserver {
+    /// Called before node `op_index` (display name `op`) executes.
+    fn on_op(&mut self, op_index: usize, op: &str);
+}
+
+/// Controls threaded through a fallible run: a cooperative [`CancelToken`]
+/// checked between tensor ops (a tripped token aborts the run with
+/// [`ExecError::Cancelled`]) and an optional [`ExecObserver`].
+///
+/// Tensor ops are the preemption granularity: individual HISA instructions
+/// are short compared to a conv/matmul node, so checking between nodes
+/// bounds the overrun past a deadline to one node's work.
+#[derive(Default)]
+pub struct ExecControl<'a> {
+    /// Checked before every node.
+    pub cancel: Option<&'a CancelToken>,
+    /// Notified before every node executes.
+    pub observer: Option<&'a mut dyn ExecObserver>,
+}
+
+impl<'a> ExecControl<'a> {
+    /// No cancellation, no observer.
+    pub fn none() -> Self {
+        ExecControl::default()
+    }
+
+    /// Cancellation only.
+    pub fn cancelled_by(token: &'a CancelToken) -> Self {
+        ExecControl { cancel: Some(token), observer: None }
+    }
 }
 
 /// Display name of a circuit operation, for error attribution.
@@ -301,8 +362,22 @@ pub fn try_run_encrypted<H: Hisa>(
     plan: &ExecPlan,
     input: CipherTensor<H::Ct>,
 ) -> Result<(CipherTensor<H::Ct>, ExecReport), ExecError> {
+    try_run_encrypted_with(h, circuit, plan, input, &mut ExecControl::none())
+}
+
+/// [`try_run_encrypted`] with an [`ExecControl`]: the serving layer's entry
+/// point. The cancel token is checked between tensor ops, so a request whose
+/// deadline passes mid-circuit aborts with [`ExecError::Cancelled`] instead
+/// of burning the remaining ciphertext work.
+pub fn try_run_encrypted_with<H: Hisa>(
+    h: &mut H,
+    circuit: &Circuit,
+    plan: &ExecPlan,
+    input: CipherTensor<H::Ct>,
+    ctrl: &mut ExecControl<'_>,
+) -> Result<(CipherTensor<H::Ct>, ExecReport), ExecError> {
     let mut p = FalliblePipeline::new(h);
-    let out = run_nodes(&mut p, circuit, plan, input)?;
+    let out = run_nodes(&mut p, circuit, plan, input, ctrl)?;
     let report = ExecReport {
         degraded_rotations: p.degraded_rotations(),
         extra_rotation_ops: p.extra_rotation_ops(),
@@ -322,6 +397,7 @@ fn run_nodes<H: Hisa>(
     circuit: &Circuit,
     plan: &ExecPlan,
     input: CipherTensor<H::Ct>,
+    ctrl: &mut ExecControl<'_>,
 ) -> Result<CipherTensor<H::Ct>, ExecError> {
     let n = circuit.ops().len();
     assert_eq!(plan.layouts.len(), n, "plan must assign a layout per node");
@@ -361,6 +437,16 @@ fn run_nodes<H: Hisa>(
         values[dep].as_ref().expect("dep computed")
     }
     for (i, op) in circuit.ops().iter().enumerate() {
+        // Cooperative preemption point: deadline/cancel checks and progress
+        // observation happen between nodes, never inside a kernel.
+        if let Some(token) = ctrl.cancel {
+            if let Err(reason) = token.check() {
+                return Err(ExecError::Cancelled { op_index: i, op: op_name(op).into(), reason });
+            }
+        }
+        if let Some(obs) = ctrl.observer.as_deref_mut() {
+            obs.on_op(i, op_name(op));
+        }
         let v = match op {
             Op::Input { .. } => input_slot.take().ok_or_else(|| {
                 ExecError::UnsupportedCircuit {
@@ -369,7 +455,7 @@ fn run_nodes<H: Hisa>(
             })?,
             Op::Conv2d { input, weights, bias, stride, padding } => {
                 let x = values[*input].as_ref().expect("dep computed");
-                hconv2d_with_mask(
+                try_hconv2d_with_mask(
                     p,
                     x,
                     weights,
@@ -380,10 +466,17 @@ fn run_nodes<H: Hisa>(
                     scales,
                     need_clean[i],
                 )
+                .map_err(|source| ExecError::Kernel {
+                    op_index: i,
+                    op: op_name(op).into(),
+                    source,
+                })?
             }
             Op::MatMul { input, weights, bias } => {
                 let x = values[*input].as_ref().expect("dep computed");
-                hmatmul(p, x, weights, bias.as_deref(), scales)
+                try_hmatmul(p, x, weights, bias.as_deref(), scales).map_err(|source| {
+                    ExecError::Kernel { op_index: i, op: op_name(op).into(), source }
+                })?
             }
             Op::AvgPool2d { input, kernel, stride } => {
                 let x = fetch(p, &mut values, *input, plan.layouts[i], scales);
@@ -463,8 +556,21 @@ pub fn try_infer_with_report<H: Hisa>(
     plan: &ExecPlan,
     image: &Tensor,
 ) -> Result<(Tensor, ExecReport), ExecError> {
+    try_infer_with_control(h, circuit, plan, image, &mut ExecControl::none())
+}
+
+/// [`try_infer_with_report`] under an [`ExecControl`]: cooperative
+/// cancellation (deadlines) plus per-op observation — the full fallible
+/// surface the serving layer runs requests through.
+pub fn try_infer_with_control<H: Hisa>(
+    h: &mut H,
+    circuit: &Circuit,
+    plan: &ExecPlan,
+    image: &Tensor,
+    ctrl: &mut ExecControl<'_>,
+) -> Result<(Tensor, ExecReport), ExecError> {
     let enc = try_encrypt_input(h, circuit, plan, image)?;
-    let (out, report) = try_run_encrypted(h, circuit, plan, enc)?;
+    let (out, report) = try_run_encrypted_with(h, circuit, plan, enc, ctrl)?;
     let dec = decrypt_tensor(h, &out);
     if dec.data().iter().any(|v| !v.is_finite()) {
         let out_idx = circuit.output();
@@ -548,6 +654,88 @@ mod tests {
         }
         let got = infer(&mut h, &circuit, &plan, &image);
         assert!(got.max_abs_diff(&want) < 1e-4, "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn tripped_cancel_token_aborts_at_first_op() {
+        let circuit = small_cnn();
+        let plan = ExecPlan::uniform(&circuit, LayoutKind::CHW, ScaleConfig::default());
+        let image = Tensor::zeros(vec![1, 8, 8]);
+        let mut h = sim(8);
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let mut ctrl = ExecControl::cancelled_by(&token);
+        match try_infer_with_control(&mut h, &circuit, &plan, &image, &mut ctrl) {
+            Err(ExecError::Cancelled { op_index, reason, .. }) => {
+                assert_eq!(op_index, 0);
+                assert_eq!(reason, crate::cancel::CancelReason::Cancelled);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_deadline_reason() {
+        let circuit = small_cnn();
+        let plan = ExecPlan::uniform(&circuit, LayoutKind::CHW, ScaleConfig::default());
+        let image = Tensor::zeros(vec![1, 8, 8]);
+        let mut h = sim(8);
+        let token = crate::cancel::CancelToken::with_deadline(std::time::Duration::ZERO);
+        let mut ctrl = ExecControl::cancelled_by(&token);
+        let err = try_infer_with_control(&mut h, &circuit, &plan, &image, &mut ctrl)
+            .expect_err("expired deadline must abort");
+        assert!(
+            matches!(
+                err,
+                ExecError::Cancelled {
+                    reason: crate::cancel::CancelReason::DeadlineExceeded,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn observer_sees_every_node_of_a_healthy_run() {
+        struct Counter(Vec<String>);
+        impl ExecObserver for Counter {
+            fn on_op(&mut self, _op_index: usize, op: &str) {
+                self.0.push(op.to_string());
+            }
+        }
+        let circuit = small_cnn();
+        let plan = ExecPlan::uniform(&circuit, LayoutKind::CHW, ScaleConfig::default());
+        let image = Tensor::zeros(vec![1, 8, 8]);
+        let mut h = sim(8);
+        let mut counter = Counter(Vec::new());
+        let mut ctrl = ExecControl { cancel: None, observer: Some(&mut counter) };
+        try_infer_with_control(&mut h, &circuit, &plan, &image, &mut ctrl).expect("healthy run");
+        assert_eq!(counter.0.len(), circuit.ops().len());
+        assert_eq!(counter.0[0], "input");
+    }
+
+    #[test]
+    fn malformed_matmul_surfaces_as_kernel_error() {
+        // A circuit whose dense layer cannot fit one ciphertext: the
+        // executor must reject it as a value, not a panic.
+        let mut b = CircuitBuilder::new();
+        let x = b.input(vec![1, 4, 4]);
+        let f = b.flatten(x);
+        let w = Tensor::zeros(vec![8192, 16]); // 8192 rows > 4096 slots
+        let m = b.matmul(f, w, None);
+        let circuit = b.build(m);
+        let plan = ExecPlan::uniform(&circuit, LayoutKind::CHW, ScaleConfig::default());
+        let mut h = sim(8);
+        let err = try_infer(&mut h, &circuit, &plan, &Tensor::zeros(vec![1, 4, 4]))
+            .expect_err("oversized dense layer must be rejected");
+        match err {
+            ExecError::Kernel { op, source, .. } => {
+                assert_eq!(op, "matmul");
+                assert!(source.to_string().contains("fit one ciphertext"), "{source}");
+            }
+            other => panic!("expected Kernel error, got {other:?}"),
+        }
     }
 
     #[test]

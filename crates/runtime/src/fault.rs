@@ -40,6 +40,10 @@ pub struct FaultPlan {
     pub invalid_rescale: bool,
     /// Per-eligible-instruction probability in `[0, 1]` that a fault fires.
     pub rate: f64,
+    /// Transient-fault window: when `Some(n)`, faults only fire within the
+    /// first `n` eligible instructions, then the backend behaves healthily
+    /// (see [`FaultPlan::transient`]). `None` = faults never clear.
+    pub transient_after: Option<u64>,
 }
 
 impl FaultPlan {
@@ -53,6 +57,7 @@ impl FaultPlan {
             slot_overflow: false,
             invalid_rescale: false,
             rate,
+            transient_after: None,
         }
     }
 
@@ -66,6 +71,7 @@ impl FaultPlan {
             slot_overflow: true,
             invalid_rescale: true,
             rate,
+            transient_after: None,
         }
     }
 
@@ -99,9 +105,24 @@ impl FaultPlan {
         self
     }
 
+    /// Whether the plan still injects at eligible-instruction index `seen`.
+    fn active_at(&self, seen: u64) -> bool {
+        self.transient_after.is_none_or(|n| seen < n)
+    }
+
     /// Enables invalid-rescale-divisor faults.
     pub fn with_invalid_rescale(mut self) -> Self {
         self.invalid_rescale = true;
+        self
+    }
+
+    /// Makes the faults *transient*: injection stops after the first `n`
+    /// eligible instructions, modelling a backend that recovers (a key
+    /// bundle re-fetched, a flaky node restarted). Retry/backoff paths can
+    /// then be exercised deterministically — the first attempts fail, a
+    /// later retry against the same injector succeeds.
+    pub fn transient(mut self, n: u64) -> Self {
+        self.transient_after = Some(n);
         self
     }
 }
@@ -112,13 +133,14 @@ pub struct FaultInjector<H: Hisa> {
     inner: H,
     plan: FaultPlan,
     state: u64,
+    rolls: u64,
     injected: Vec<String>,
 }
 
 impl<H: Hisa> FaultInjector<H> {
     /// Wraps a backend; `seed` fully determines the fault schedule.
     pub fn new(inner: H, plan: FaultPlan, seed: u64) -> Self {
-        FaultInjector { inner, plan, state: seed, injected: Vec::new() }
+        FaultInjector { inner, plan, state: seed, rolls: 0, injected: Vec::new() }
     }
 
     /// The wrapped backend.
@@ -156,10 +178,13 @@ impl<H: Hisa> FaultInjector<H> {
         if !enabled {
             return false;
         }
-        // Always advance the counter when the class is enabled so toggling
-        // the rate doesn't reshuffle later decisions for the same seed.
+        // Always advance the counter when the class is enabled so a
+        // transient window (or rate change) doesn't reshuffle later
+        // decisions for the same seed.
+        let seen = self.rolls;
+        self.rolls += 1;
         let r = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-        r < self.plan.rate
+        self.plan.active_at(seen) && r < self.plan.rate
     }
 
     fn log(&mut self, what: String) {
@@ -435,6 +460,54 @@ mod tests {
         let v = f.decode(&pt);
         assert!(v.iter().any(|x| x.is_nan()), "decode should poison a slot");
         assert_eq!(f.injected().len(), 1);
+    }
+
+    #[test]
+    fn transient_faults_clear_after_the_window() {
+        // Rate 1.0, but only the first 3 eligible instructions may fault:
+        // rotations fail exactly 3 times, then the same injector heals.
+        let mut f = FaultInjector::new(
+            sim(),
+            FaultPlan::none(1.0).with_dropped_rotation_keys().transient(3),
+            9,
+        );
+        let pt = f.encode(&[1.0, 2.0], S);
+        let ct = f.encrypt(&pt);
+        let outcomes: Vec<bool> =
+            (0..6).map(|_| f.try_rot_left(&ct, 1).is_err()).collect();
+        assert_eq!(outcomes, [true, true, true, false, false, false]);
+        assert_eq!(f.injected().len(), 3);
+    }
+
+    #[test]
+    fn transient_zero_window_never_fires() {
+        let mut f = FaultInjector::new(sim(), FaultPlan::all(1.0).transient(0), 5);
+        assert!(f.try_encode(&[1.0], S).is_ok());
+        let pt = f.encode(&[1.0], S);
+        let ct = f.encrypt(&pt);
+        assert!(f.try_rot_left(&ct, 1).is_ok());
+        assert!(f.try_add(&ct, &ct).is_ok());
+        assert!(f.injected().is_empty());
+    }
+
+    #[test]
+    fn transient_window_masks_late_faults_without_reshuffling_the_rng() {
+        // In-window decisions match a permanent plan at the same seed (the
+        // window masks faults, it doesn't advance the RNG differently), and
+        // after the window the injector is quiet even where the permanent
+        // plan keeps firing.
+        let schedule = |plan: FaultPlan| {
+            let mut f = FaultInjector::new(sim(), plan, 21);
+            let pt = f.encode(&[1.0], S);
+            let ct = f.encrypt(&pt);
+            (0..16).map(|_| f.try_rot_left(&ct, 2).is_err()).collect::<Vec<_>>()
+        };
+        let base = FaultPlan::none(0.5).with_dropped_rotation_keys();
+        let permanent = schedule(base.clone());
+        let transient = schedule(base.transient(4));
+        assert_eq!(permanent[..4], transient[..4]);
+        assert!(transient[4..].iter().all(|&e| !e), "faults must clear after the window");
+        assert!(permanent[4..].iter().any(|&e| e), "permanent plan should keep firing");
     }
 
     #[test]

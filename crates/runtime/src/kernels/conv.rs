@@ -15,7 +15,7 @@
 //! valid positions (the paper's `B = B' · Mask` step) and rotated into its
 //! destination block.
 
-use super::{apply_mask, rot_signed, ScaleConfig};
+use super::{apply_mask, rot_signed, KernelError, ScaleConfig};
 use crate::ciphertensor::CipherTensor;
 use crate::layout::{Layout, LayoutKind};
 use chet_hisa::Hisa;
@@ -69,6 +69,11 @@ pub fn hconv2d<H: Hisa>(
 /// channel block per ciphertext — CHW placement must isolate each block —
 /// and when no consumer needs zeroed junk slots (the executor's backward
 /// analysis decides).
+///
+/// # Panics
+///
+/// Panics on any contract violation [`try_hconv2d_with_mask`] reports as a
+/// [`KernelError`].
 #[allow(clippy::too_many_arguments)]
 pub fn hconv2d_with_mask<H: Hisa>(
     h: &mut H,
@@ -81,18 +86,89 @@ pub fn hconv2d_with_mask<H: Hisa>(
     scales: &ScaleConfig,
     mask_output: bool,
 ) -> CipherTensor<H::Ct> {
-    let lin = &input.layout;
-    let [k_out, c_in, r, s] = *weights.shape() else { panic!("conv weights must be KCRS") };
-    assert_eq!(c_in, lin.channels, "weight channels must match input channels");
-    let (oh, pad_h) = conv_output_dim(lin.height, r, stride, padding);
-    let (ow, pad_w) = conv_output_dim(lin.width, s, stride, padding);
+    try_hconv2d_with_mask(h, input, weights, bias, stride, padding, out_kind, scales, mask_output)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Validates the convolution's input contract — the checks that used to be
+/// panic sites. A malformed network must not crash a serving worker.
+fn validate_conv(
+    lin: &Layout,
+    weights: &Tensor,
+    bias: Option<&[f64]>,
+    stride: usize,
+    padding: Padding,
+) -> Result<[usize; 4], KernelError> {
+    let &[k_out, c_in, r, s] = weights.shape() else {
+        return Err(KernelError::new(
+            "conv2d",
+            format!("conv weights must be KCRS (got a {}-D tensor)", weights.shape().len()),
+        ));
+    };
+    if k_out == 0 || r == 0 || s == 0 {
+        return Err(KernelError::new(
+            "conv2d",
+            format!("conv weights must be non-empty (got {:?})", weights.shape()),
+        ));
+    }
+    if c_in != lin.channels {
+        return Err(KernelError::new(
+            "conv2d",
+            format!("weight channels ({c_in}) must match input channels ({})", lin.channels),
+        ));
+    }
+    if stride == 0 {
+        return Err(KernelError::new("conv2d", "stride must be >= 1"));
+    }
+    if r > lin.height || s > lin.width {
+        return Err(KernelError::new(
+            "conv2d",
+            format!(
+                "kernel {r}x{s} larger than the {}x{} input frame",
+                lin.height, lin.width
+            ),
+        ));
+    }
+    if let Some(b) = bias {
+        if b.len() != k_out {
+            return Err(KernelError::new(
+                "conv2d",
+                format!("bias length {} must equal output channels {k_out}", b.len()),
+            ));
+        }
+    }
     if padding == Padding::Same {
         let margin = lin.h_stride / lin.w_stride.max(1) - lin.width;
-        assert!(
-            margin + 1 >= r,
-            "input layout margin {margin} too small for a {r}x{s} Same-padded kernel"
-        );
+        if margin + 1 < r {
+            return Err(KernelError::new(
+                "conv2d",
+                format!("input layout margin {margin} too small for a {r}x{s} Same-padded kernel"),
+            ));
+        }
     }
+    Ok([k_out, c_in, r, s])
+}
+
+/// Fallible [`hconv2d_with_mask`]: input-contract violations come back as
+/// [`KernelError`] values instead of panics, so the executor (and the
+/// serving layer's worker threads) can reject a malformed layer without
+/// dying.
+#[allow(clippy::too_many_arguments)]
+pub fn try_hconv2d_with_mask<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    weights: &Tensor,
+    bias: Option<&[f64]>,
+    stride: usize,
+    padding: Padding,
+    out_kind: LayoutKind,
+    scales: &ScaleConfig,
+    mask_output: bool,
+) -> Result<CipherTensor<H::Ct>, KernelError> {
+    let lin = &input.layout;
+    let [k_out, _c_in, r, s] = validate_conv(lin, weights, bias, stride, padding)?;
+    let (oh, pad_h) = conv_output_dim(lin.height, r, stride, padding);
+    let (ow, pad_w) = conv_output_dim(lin.width, s, stride, padding);
 
     // Phase A: per-output-channel accumulation at the origin block.
     let accs: Vec<H::Ct> = match lin.kind {
@@ -136,7 +212,6 @@ pub fn hconv2d_with_mask<H: Hisa>(
 
     // Bias: a plaintext with bias[k] at each valid position of channel k.
     if let Some(b) = bias {
-        assert_eq!(b.len(), k_out, "bias length must equal output channels");
         let layout = out.layout.clone();
         for (ct_idx, ct) in out.cts.iter_mut().enumerate() {
             let mut vec = vec![0.0; layout.slots];
@@ -156,7 +231,7 @@ pub fn hconv2d_with_mask<H: Hisa>(
             *ct = h.add_plain(ct, &pt);
         }
     }
-    out
+    Ok(out)
 }
 
 /// HW-input accumulation: rotations shared across output channels, scalar
@@ -194,16 +269,11 @@ fn conv_accumulate_hw<H: Hisa>(
             }
         }
     }
-    let zero_scale = h.scale_of(accs.iter().flatten().next().expect("nonzero filter"));
+    // All-zero filters (possibly every filter) get an encrypt-free zero via
+    // 0 × input, which lands at the same scale as any real accumulator
+    // (input_scale · weight_scalar either way).
     accs.into_iter()
-        .map(|a| {
-            a.unwrap_or_else(|| {
-                // All-zero filter: encrypt-free zero via 0 × input.
-                let z = h.mul_scalar(&input.cts[0], 0.0, scales.weight_scalar);
-                debug_assert_eq!(h.scale_of(&z), zero_scale);
-                z
-            })
-        })
+        .map(|a| a.unwrap_or_else(|| h.mul_scalar(&input.cts[0], 0.0, scales.weight_scalar)))
         .collect()
 }
 
@@ -257,8 +327,7 @@ fn conv_accumulate_chw<H: Hisa>(
         }
     }
     accs.into_iter()
-        .enumerate()
-        .map(|(_k, a)| {
+        .map(|a| {
             let acc = a.unwrap_or_else(|| {
                 let pt = h.encode(&vec![0.0; lin.slots], scales.weight_plain);
                 h.mul_plain(&input.cts[0], &pt)
@@ -359,6 +428,61 @@ mod tests {
     #[test]
     fn one_by_one_conv() {
         check_conv([4, 4, 4], [8, 4, 1, 1], 1, Padding::Valid, LayoutKind::CHW, LayoutKind::CHW);
+    }
+
+    #[test]
+    fn malformed_shapes_surface_as_kernel_errors() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let input = Tensor::zeros(vec![2, 4, 4]);
+        let layout = Layout::chw(2, 4, 4, 0, h.slots());
+        let enc = encrypt_tensor(&mut h, &input, &layout, scales.input);
+
+        // 3-D weights instead of KCRS.
+        let w = Tensor::zeros(vec![2, 3, 3]);
+        let e = try_hconv2d_with_mask(
+            &mut h, &enc, &w, None, 1, Padding::Valid, LayoutKind::CHW, &scales, true,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("KCRS"), "{e}");
+
+        // Channel mismatch.
+        let w = Tensor::zeros(vec![2, 3, 2, 2]);
+        let e = try_hconv2d_with_mask(
+            &mut h, &enc, &w, None, 1, Padding::Valid, LayoutKind::CHW, &scales, true,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("match input channels"), "{e}");
+
+        // Same padding without margin headroom.
+        let w = Tensor::zeros(vec![1, 2, 3, 3]);
+        let e = try_hconv2d_with_mask(
+            &mut h, &enc, &w, None, 1, Padding::Same, LayoutKind::CHW, &scales, true,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("margin"), "{e}");
+
+        // Bias length mismatch.
+        let w = Tensor::zeros(vec![2, 2, 2, 2]);
+        let e = try_hconv2d_with_mask(
+            &mut h, &enc, &w, Some(&[0.5]), 1, Padding::Valid, LayoutKind::CHW, &scales, true,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("bias length"), "{e}");
+    }
+
+    #[test]
+    fn all_zero_filters_produce_zero_channels() {
+        // Every filter zero: must not panic, output must be all zeros.
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let input = Tensor::from_fn(vec![1, 4, 4], |i| (i[1] + i[2]) as f64 * 0.1);
+        let layout = Layout::hw(1, 4, 4, 0, h.slots());
+        let enc = encrypt_tensor(&mut h, &input, &layout, scales.input);
+        let w = Tensor::zeros(vec![2, 1, 2, 2]);
+        let out = hconv2d(&mut h, &enc, &w, None, 1, Padding::Valid, LayoutKind::HW, &scales);
+        let got = decrypt_tensor(&mut h, &out);
+        assert!(got.data().iter().all(|&v| v.abs() < 1e-9));
     }
 
     #[test]

@@ -1,11 +1,46 @@
 //! Homomorphic dense (fully connected) layers — the paper's Figure 1
 //! workload, generalized to arbitrary input layouts.
 
-use super::{apply_mask, reduce_groups, ScaleConfig};
+use super::{apply_mask, reduce_groups, KernelError, ScaleConfig};
 use crate::ciphertensor::CipherTensor;
 use crate::layout::Layout;
 use chet_hisa::Hisa;
 use chet_tensor::Tensor;
+
+/// Shared dense-layer contract checks: 2-D weights matching the flattened
+/// input size, a bias matching the output rows.
+fn validate_dense(
+    kernel: &'static str,
+    lin: &Layout,
+    weights: &Tensor,
+    bias: Option<&[f64]>,
+) -> Result<[usize; 2], KernelError> {
+    let &[out_dim, in_dim] = weights.shape() else {
+        return Err(KernelError::new(
+            kernel,
+            format!("matmul weights must be 2-D (got a {}-D tensor)", weights.shape().len()),
+        ));
+    };
+    let numel = lin.channels * lin.height * lin.width;
+    if in_dim != numel {
+        return Err(KernelError::new(
+            kernel,
+            format!("weight columns ({in_dim}) must match flattened input size ({numel})"),
+        ));
+    }
+    if out_dim == 0 {
+        return Err(KernelError::new(kernel, "weights must have at least one output row"));
+    }
+    if let Some(b) = bias {
+        if b.len() != out_dim {
+            return Err(KernelError::new(
+                kernel,
+                format!("bias length {} must equal output rows {out_dim}", b.len()),
+            ));
+        }
+    }
+    Ok([out_dim, in_dim])
+}
 
 /// Homomorphic `y = W·x + b` over a flattened [`CipherTensor`].
 ///
@@ -16,7 +51,8 @@ use chet_tensor::Tensor;
 ///
 /// # Panics
 ///
-/// Panics if dimensions mismatch or the output does not fit one ciphertext.
+/// Panics if dimensions mismatch or the output does not fit one ciphertext
+/// — the panicking shim over [`try_hmatmul`].
 pub fn hmatmul<H: Hisa>(
     h: &mut H,
     input: &CipherTensor<H::Ct>,
@@ -24,13 +60,25 @@ pub fn hmatmul<H: Hisa>(
     bias: Option<&[f64]>,
     scales: &ScaleConfig,
 ) -> CipherTensor<H::Ct> {
+    try_hmatmul(h, input, weights, bias, scales).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`hmatmul`]: dimension mismatches come back as [`KernelError`]
+/// values instead of panics.
+pub fn try_hmatmul<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    weights: &Tensor,
+    bias: Option<&[f64]>,
+    scales: &ScaleConfig,
+) -> Result<CipherTensor<H::Ct>, KernelError> {
     let lin = &input.layout;
-    let [out_dim, in_dim] = *weights.shape() else { panic!("matmul weights must be 2-D") };
-    let numel = lin.channels * lin.height * lin.width;
-    assert_eq!(in_dim, numel, "weight columns must match flattened input size");
-    assert!(out_dim <= lin.slots, "output vector must fit one ciphertext");
-    if let Some(b) = bias {
-        assert_eq!(b.len(), out_dim, "bias length must equal output rows");
+    let [out_dim, _in_dim] = validate_dense("matmul", lin, weights, bias)?;
+    if out_dim > lin.slots {
+        return Err(KernelError::new(
+            "matmul",
+            format!("output vector ({out_dim}) must fit one ciphertext ({} slots)", lin.slots),
+        ));
     }
 
     // Used span for the reduction tree.
@@ -39,7 +87,15 @@ pub fn hmatmul<H: Hisa>(
         + (lin.width - 1) * lin.w_stride
         + 1;
     let span_p2 = span.next_power_of_two();
-    assert!(span_p2 <= lin.slots, "input span must fit a power-of-two region");
+    if span_p2 > lin.slots {
+        return Err(KernelError::new(
+            "matmul",
+            format!(
+                "input span ({span}) must fit a power-of-two region within {} slots",
+                lin.slots
+            ),
+        ));
+    }
 
     let mut unit_mask = vec![0.0; lin.slots];
     unit_mask[0] = 1.0;
@@ -96,7 +152,7 @@ pub fn hmatmul<H: Hisa>(
         });
     }
 
-    let mut result = out_ct.expect("out_dim >= 1");
+    let mut result = out_ct.expect("out_dim >= 1 was validated");
     if let Some(b) = bias {
         let mut vec = vec![0.0; lin.slots];
         vec[..out_dim].copy_from_slice(b);
@@ -104,7 +160,7 @@ pub fn hmatmul<H: Hisa>(
         let pt = h.encode(&vec, scale);
         result = h.add_plain(&result, &pt);
     }
-    CipherTensor { layout: Layout::dense_vector(out_dim, lin.slots), cts: vec![result] }
+    Ok(CipherTensor { layout: Layout::dense_vector(out_dim, lin.slots), cts: vec![result] })
 }
 
 
@@ -119,7 +175,8 @@ pub fn hmatmul<H: Hisa>(
 /// # Panics
 ///
 /// Panics unless the input layout is a contiguous vector (`slot(e) = e`)
-/// and `2·n` slots are available for `n = next_pow2(max(in, out))`.
+/// and `2·n` slots are available for `n = next_pow2(max(in, out))` — the
+/// panicking shim over [`try_hmatmul_bsgs`].
 pub fn hmatmul_bsgs<H: Hisa>(
     h: &mut H,
     input: &CipherTensor<H::Ct>,
@@ -127,17 +184,36 @@ pub fn hmatmul_bsgs<H: Hisa>(
     bias: Option<&[f64]>,
     scales: &ScaleConfig,
 ) -> CipherTensor<H::Ct> {
+    try_hmatmul_bsgs(h, input, weights, bias, scales).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`hmatmul_bsgs`]: contract violations come back as
+/// [`KernelError`] values instead of panics.
+pub fn try_hmatmul_bsgs<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    weights: &Tensor,
+    bias: Option<&[f64]>,
+    scales: &ScaleConfig,
+) -> Result<CipherTensor<H::Ct>, KernelError> {
     let lin = &input.layout;
-    let [out_dim, in_dim] = *weights.shape() else { panic!("matmul weights must be 2-D") };
-    let numel = lin.channels * lin.height * lin.width;
-    assert_eq!(in_dim, numel, "weight columns must match flattened input size");
-    assert_eq!(input.num_cts(), 1, "BSGS needs a single-ciphertext input");
-    assert!(
-        lin.height == 1 && lin.width == 1 && lin.c_stride == 1,
-        "BSGS needs a contiguous dense-vector layout"
-    );
+    let [out_dim, in_dim] = validate_dense("matmul_bsgs", lin, weights, bias)?;
+    if input.num_cts() != 1 {
+        return Err(KernelError::new(
+            "matmul_bsgs",
+            format!("BSGS needs a single-ciphertext input (got {})", input.num_cts()),
+        ));
+    }
+    if lin.height != 1 || lin.width != 1 || lin.c_stride != 1 {
+        return Err(KernelError::new("matmul_bsgs", "BSGS needs a contiguous dense-vector layout"));
+    }
     let n = in_dim.max(out_dim).next_power_of_two();
-    assert!(2 * n <= lin.slots, "BSGS needs 2·n slots of headroom");
+    if 2 * n > lin.slots {
+        return Err(KernelError::new(
+            "matmul_bsgs",
+            format!("BSGS needs 2·n slots of headroom (n = {n}, slots = {})", lin.slots),
+        ));
+    }
 
     // x_ext: the input replicated with period n.
     let x = &input.cts[0];
@@ -206,14 +282,13 @@ pub fn hmatmul_bsgs<H: Hisa>(
     };
     let mut result = acc;
     if let Some(bv) = bias {
-        assert_eq!(bv.len(), out_dim, "bias length must equal output rows");
         let mut vec = vec![0.0; lin.slots];
         vec[..out_dim].copy_from_slice(bv);
         let scale = h.scale_of(&result);
         let pt = h.encode(&vec, scale);
         result = h.add_plain(&result, &pt);
     }
-    CipherTensor { layout: Layout::dense_vector(out_dim, lin.slots), cts: vec![result] }
+    Ok(CipherTensor { layout: Layout::dense_vector(out_dim, lin.slots), cts: vec![result] })
 }
 
 #[cfg(test)]
@@ -329,6 +404,35 @@ mod tests {
             bsgs_rots * 2 < standard_rots,
             "BSGS ({bsgs_rots}) should use far fewer rotations than standard ({standard_rots})"
         );
+    }
+
+    #[test]
+    fn malformed_shapes_surface_as_kernel_errors() {
+        let mut h = sim();
+        let scales = ScaleConfig::default();
+        let x = Tensor::zeros(vec![2, 2, 2]);
+        let layout = Layout::hw(2, 2, 2, 0, h.slots());
+        let enc = encrypt_tensor(&mut h, &x, &layout, scales.input);
+
+        // 1-D weights.
+        let w = Tensor::zeros(vec![8]);
+        let e = try_hmatmul(&mut h, &enc, &w, None, &scales).unwrap_err();
+        assert!(e.to_string().contains("2-D"), "{e}");
+
+        // Column mismatch.
+        let w = Tensor::zeros(vec![3, 9]);
+        let e = try_hmatmul(&mut h, &enc, &w, None, &scales).unwrap_err();
+        assert!(e.to_string().contains("flattened input size"), "{e}");
+
+        // Bias length mismatch.
+        let w = Tensor::zeros(vec![3, 8]);
+        let e = try_hmatmul(&mut h, &enc, &w, Some(&[1.0]), &scales).unwrap_err();
+        assert!(e.to_string().contains("bias length"), "{e}");
+
+        // BSGS on a multi-ciphertext input (HW layout packs one ct per
+        // channel, so this 2-channel tensor arrives as 2 cts).
+        let e = try_hmatmul_bsgs(&mut h, &enc, &w, None, &scales).unwrap_err();
+        assert!(e.to_string().contains("single-ciphertext"), "{e}");
     }
 
     #[test]

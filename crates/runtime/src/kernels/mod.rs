@@ -31,6 +31,38 @@ pub mod pool;
 
 use chet_hisa::Hisa;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A kernel input-contract violation: malformed weight shapes, mismatched
+/// dimensions, or a layout the kernel cannot enumerate.
+///
+/// Historically these were `panic!`/`assert!` sites inside the kernels —
+/// acceptable in a single-shot compiler run, fatal in a serving worker
+/// thread. The `try_*` kernel entry points ([`conv::try_hconv2d_with_mask`],
+/// [`matmul::try_hmatmul`]) validate their inputs up front and return this
+/// error instead, and the executor surfaces it as `ExecError::Kernel` with
+/// op attribution. The panicking entry points remain as thin shims.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelError {
+    /// The kernel that rejected its inputs.
+    pub kernel: &'static str,
+    /// What was malformed.
+    pub reason: String,
+}
+
+impl KernelError {
+    pub(crate) fn new(kernel: &'static str, reason: impl Into<String>) -> Self {
+        KernelError { kernel, reason: reason.into() }
+    }
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kernel, self.reason)
+    }
+}
+
+impl std::error::Error for KernelError {}
 
 /// The four fixed-point scales CHET exposes (paper §5.5, Table 4):
 /// image (`P_c`), plaintext-vector weights (`P_w`), scalar weights (`P_u`)

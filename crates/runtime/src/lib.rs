@@ -46,6 +46,7 @@
 // `#[allow]` with a justification at the site.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cancel;
 pub mod ciphertensor;
 pub mod exec;
 pub mod fault;
@@ -53,12 +54,14 @@ pub mod kernels;
 pub mod layout;
 pub mod pipeline;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use ciphertensor::{decrypt_tensor, encrypt_tensor, try_encrypt_tensor, CipherTensor};
 pub use exec::{
-    infer, run_encrypted, try_infer, try_infer_with_report, try_run_encrypted, ExecError,
-    ExecPlan, ExecReport,
+    infer, run_encrypted, try_infer, try_infer_with_control, try_infer_with_report,
+    try_run_encrypted, try_run_encrypted_with, ExecControl, ExecError, ExecObserver, ExecPlan,
+    ExecReport,
 };
 pub use fault::{FaultInjector, FaultPlan};
-pub use kernels::ScaleConfig;
+pub use kernels::{KernelError, ScaleConfig};
 pub use layout::{Layout, LayoutKind};
 pub use pipeline::FalliblePipeline;

@@ -1,0 +1,302 @@
+//! A three-state circuit breaker guarding the primary FHE backend.
+//!
+//! FHE backends fail in bursts: a stale rotation-key bundle or an
+//! exhausted modulus chain makes *every* request fail until the artifact
+//! is repaired, and each failed attempt still burns ciphertext compute.
+//! The breaker cuts that waste: after `failure_threshold` consecutive
+//! backend failures it **opens**, and routed requests degrade to the
+//! plaintext simulator instead of hammering the broken backend. After
+//! `open_requests` degraded routes it moves to **half-open** and lets a
+//! single probe request through; `half_open_successes` successful probes
+//! close it again, one failed probe re-opens it.
+//!
+//! Cooldown is counted in *requests routed*, not wall-clock seconds, so
+//! breaker trajectories are deterministic under test and independent of
+//! machine speed.
+
+use std::fmt;
+use std::sync::Mutex;
+
+/// Breaker state machine position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests go to the primary backend.
+    Closed,
+    /// Tripped: requests degrade to the fallback until the cooldown
+    /// (counted in routed requests) elapses.
+    Open,
+    /// Probing: one request at a time tries the primary; the rest degrade.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// Breaker tuning.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive primary failures that trip the breaker.
+    pub failure_threshold: usize,
+    /// Requests routed degraded while [`BreakerState::Open`] before the
+    /// breaker half-opens for a probe.
+    pub open_requests: usize,
+    /// Successful probes needed to close a half-open breaker.
+    pub half_open_successes: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 3, open_requests: 2, half_open_successes: 1 }
+    }
+}
+
+/// One recorded state change, for stats and deterministic assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// State before the change.
+    pub from: BreakerState,
+    /// State after the change.
+    pub to: BreakerState,
+    /// Human-readable cause ("3 consecutive failures", "probe succeeded").
+    pub reason: String,
+}
+
+/// Routing decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Run on the primary backend.
+    Primary,
+    /// Run on the primary backend as a half-open probe; report the outcome
+    /// with `probe = true`.
+    Probe,
+    /// Skip the primary; run degraded on the fallback.
+    Degraded,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: usize,
+    open_routed: usize,
+    probe_in_flight: bool,
+    probe_successes: usize,
+    transitions: Vec<BreakerTransition>,
+}
+
+impl Inner {
+    fn transition(&mut self, to: BreakerState, reason: impl Into<String>) {
+        let from = self.state;
+        self.state = to;
+        self.transitions.push(BreakerTransition { from, to, reason: reason.into() });
+    }
+}
+
+/// Point-in-time view of the breaker, exposed through service stats.
+#[derive(Debug, Clone)]
+pub struct BreakerSnapshot {
+    /// Current state.
+    pub state: BreakerState,
+    /// Consecutive primary failures observed in the current closed phase.
+    pub consecutive_failures: usize,
+    /// Full transition history since construction.
+    pub transitions: Vec<BreakerTransition>,
+}
+
+/// Thread-safe three-state circuit breaker. See the module docs.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                open_routed: 0,
+                probe_in_flight: false,
+                probe_successes: 0,
+                transitions: Vec::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned breaker lock means a worker panicked mid-update; the
+        // counters are still sound (every update is a single assignment),
+        // so recover rather than wedge the service.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Routes one request, advancing the open-cooldown / probe machinery.
+    pub fn route(&self) -> Route {
+        let mut g = self.lock();
+        match g.state {
+            BreakerState::Closed => Route::Primary,
+            BreakerState::Open => {
+                if g.open_routed >= self.config.open_requests {
+                    g.transition(BreakerState::HalfOpen, "cooldown elapsed; probing");
+                    g.probe_in_flight = true;
+                    g.probe_successes = 0;
+                    Route::Probe
+                } else {
+                    g.open_routed += 1;
+                    Route::Degraded
+                }
+            }
+            BreakerState::HalfOpen => {
+                if g.probe_in_flight {
+                    Route::Degraded
+                } else {
+                    g.probe_in_flight = true;
+                    Route::Probe
+                }
+            }
+        }
+    }
+
+    /// Records a successful primary attempt (`probe` if it was routed as
+    /// [`Route::Probe`]).
+    pub fn record_success(&self, probe: bool) {
+        let mut g = self.lock();
+        g.consecutive_failures = 0;
+        if probe && g.state == BreakerState::HalfOpen {
+            g.probe_in_flight = false;
+            g.probe_successes += 1;
+            if g.probe_successes >= self.config.half_open_successes.max(1) {
+                g.transition(BreakerState::Closed, "probe succeeded");
+                g.open_routed = 0;
+                g.probe_successes = 0;
+            }
+        }
+    }
+
+    /// Records a failed primary attempt.
+    pub fn record_failure(&self, probe: bool) {
+        let mut g = self.lock();
+        match g.state {
+            BreakerState::Closed => {
+                g.consecutive_failures += 1;
+                if g.consecutive_failures >= self.config.failure_threshold.max(1) {
+                    let n = g.consecutive_failures;
+                    g.transition(BreakerState::Open, format!("{n} consecutive failures"));
+                    g.open_routed = 0;
+                }
+            }
+            BreakerState::HalfOpen => {
+                if probe {
+                    g.probe_in_flight = false;
+                }
+                g.transition(BreakerState::Open, "probe failed");
+                g.open_routed = 0;
+                g.probe_successes = 0;
+            }
+            BreakerState::Open => {
+                // A non-probe failure while open (e.g. an attempt that was
+                // already in flight when the breaker tripped): stay open.
+            }
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Point-in-time snapshot for stats.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        let g = self.lock();
+        BreakerSnapshot {
+            state: g.state,
+            consecutive_failures: g.consecutive_failures,
+            transitions: g.transitions.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            open_requests: 2,
+            half_open_successes: 1,
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let b = breaker();
+        b.record_failure(false);
+        b.record_failure(false);
+        b.record_success(false); // resets the streak
+        b.record_failure(false);
+        b.record_failure(false);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(false);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn open_degrades_then_probes_then_closes() {
+        let b = breaker();
+        for _ in 0..3 {
+            b.record_failure(false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown: two degraded routes.
+        assert_eq!(b.route(), Route::Degraded);
+        assert_eq!(b.route(), Route::Degraded);
+        // Then a probe; concurrent requests still degrade.
+        assert_eq!(b.route(), Route::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.route(), Route::Degraded);
+        b.record_success(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.route(), Route::Primary);
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_cooldown_restarts() {
+        let b = breaker();
+        for _ in 0..3 {
+            b.record_failure(false);
+        }
+        assert_eq!(b.route(), Route::Degraded);
+        assert_eq!(b.route(), Route::Degraded);
+        assert_eq!(b.route(), Route::Probe);
+        b.record_failure(true);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Fresh cooldown before the next probe.
+        assert_eq!(b.route(), Route::Degraded);
+        assert_eq!(b.route(), Route::Degraded);
+        assert_eq!(b.route(), Route::Probe);
+        b.record_success(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        let trans: Vec<(BreakerState, BreakerState)> =
+            b.snapshot().transitions.iter().map(|t| (t.from, t.to)).collect();
+        assert_eq!(
+            trans,
+            vec![
+                (BreakerState::Closed, BreakerState::Open),
+                (BreakerState::Open, BreakerState::HalfOpen),
+                (BreakerState::HalfOpen, BreakerState::Open),
+                (BreakerState::Open, BreakerState::HalfOpen),
+                (BreakerState::HalfOpen, BreakerState::Closed),
+            ]
+        );
+    }
+}

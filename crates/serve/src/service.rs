@@ -1,0 +1,633 @@
+//! The resilient inference service: worker pool, admission queue,
+//! deadlines, retries, repair escalation and graceful degradation.
+//!
+//! # Request lifecycle
+//!
+//! [`InferenceService::submit`] places a job on a **bounded** queue — a
+//! full queue sheds the request immediately with
+//! [`ServeError::Overloaded`] rather than blocking the caller (FHE
+//! latencies are so long that an unbounded queue just converts overload
+//! into timeout storms). A worker thread picks the job up, consults the
+//! per-backend [`CircuitBreaker`] and runs it:
+//!
+//! * **Primary route** — the request executes on the backend built by the
+//!   service's factory, under the request's [`CancelToken`] (deadline) and
+//!   an op-counting observer. Transient HISA failures are retried with
+//!   deterministic exponential backoff; `LevelExhausted` and
+//!   `PrecisionLoss` additionally escalate into the compiler's
+//!   [`Compiler::compile_checked`] repair path, recompiling the shared
+//!   artifact with one more margin level before the retry.
+//! * **Degraded route** — when the breaker is open or primary attempts
+//!   are exhausted, the request runs on the plaintext simulator
+//!   ([`SimCkks`]) built from the same compiled parameters, and the
+//!   response is flagged [`InferResponse::degraded`].
+//!
+//! Worker panics are caught ([`std::panic::catch_unwind`]), counted, and
+//! treated as backend failures: the worker rebuilds its backend and the
+//! service keeps running. [`InferenceService::shutdown`] drains the queue
+//! and joins every worker before returning the final [`ServiceStats`].
+
+use crate::breaker::{BreakerConfig, CircuitBreaker, Route};
+use crate::retry::RetryPolicy;
+use crate::stats::{Counters, LatencyHistogram, ServiceStats};
+use chet_ckks::sim::SimCkks;
+use chet_compiler::{CompiledCircuit, Compiler, SelectError};
+use chet_hisa::params::SchemeKind;
+use chet_hisa::{Hisa, HisaError};
+use chet_runtime::cancel::{CancelReason, CancelToken};
+use chet_runtime::exec::{try_infer_with_control, ExecControl, ExecError, ExecObserver, ExecReport};
+use chet_runtime::kernels::ScaleConfig;
+use chet_tensor::circuit::Circuit;
+use chet_tensor::Tensor;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Service tuning. [`ServeConfig::default`] is sized for tests and small
+/// deployments: 2 workers, a 32-deep queue, 3 attempts per request.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded admission-queue depth; a full queue sheds load.
+    pub queue_capacity: usize,
+    /// Deadline applied by [`InferenceService::submit`] when the caller
+    /// does not bring their own token (`None` = no deadline).
+    pub default_deadline: Option<Duration>,
+    /// Retry/backoff policy for primary attempts.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker tuning for the primary backend.
+    pub breaker: BreakerConfig,
+    /// Seed for the degraded-route simulator backend.
+    pub degraded_seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 32,
+            default_deadline: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            degraded_seed: 0x5EED,
+        }
+    }
+}
+
+/// A completed inference.
+#[derive(Debug, Clone)]
+pub struct InferResponse {
+    /// Request id assigned at submission.
+    pub id: u64,
+    /// The decrypted prediction.
+    pub output: Tensor,
+    /// `true` when the request ran on the degraded (simulator) route
+    /// instead of the primary backend.
+    pub degraded: bool,
+    /// Primary attempts spent (0 when the breaker skipped the primary).
+    pub attempts: usize,
+    /// Version of the compiled artifact the run used.
+    pub artifact_version: u64,
+    /// Circuit nodes executed by the final (successful) run.
+    pub ops_executed: usize,
+    /// Executor degradation log for the successful run.
+    pub report: ExecReport,
+    /// End-to-end latency, from submission to completion.
+    pub latency: Duration,
+}
+
+/// A structured request or service failure — the service never panics a
+/// caller and never blocks one on overload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The admission queue was full; the request was shed, not queued.
+    Overloaded {
+        /// Configured queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The service is draining and no longer accepts requests.
+    ShuttingDown,
+    /// The request was cancelled (explicitly or by deadline) before it
+    /// produced a result.
+    Cancelled(CancelReason),
+    /// Every route failed; the last error observed is attached.
+    Failed {
+        /// Primary attempts spent before giving up.
+        attempts: usize,
+        /// The failure from the last route tried.
+        error: ExecError,
+    },
+    /// The initial [`Compiler::compile_checked`] could not produce a
+    /// servable artifact.
+    Compile(SelectError),
+    /// The executing worker disappeared without replying (it panicked
+    /// outside the guarded region, or the service was torn down).
+    WorkerLost,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "admission queue full (capacity {capacity}); request shed")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Cancelled(reason) => write!(f, "request {reason}"),
+            ServeError::Failed { attempts, error } => {
+                write!(f, "request failed after {attempts} primary attempt(s): {error}")
+            }
+            ServeError::Compile(e) => write!(f, "artifact compilation failed: {e}"),
+            ServeError::WorkerLost => write!(f, "worker disappeared without replying"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Failed { error, .. } => Some(error),
+            ServeError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Handle to one submitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    token: CancelToken,
+    rx: mpsc::Receiver<Result<InferResponse, ServeError>>,
+}
+
+impl Ticket {
+    /// The request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Cancels the request cooperatively; the worker aborts at the next
+    /// tensor-op boundary.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Blocks until the request resolves.
+    pub fn wait(self) -> Result<InferResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn poll(&self) -> Option<Result<InferResponse, ServeError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+struct Job {
+    id: u64,
+    image: Tensor,
+    token: CancelToken,
+    submitted: Instant,
+    reply: mpsc::Sender<Result<InferResponse, ServeError>>,
+}
+
+/// The shared compiled artifact, re-versioned by each successful repair.
+struct ArtifactState {
+    version: u64,
+    compiled: Arc<CompiledCircuit>,
+    scales: ScaleConfig,
+    extra_margin: usize,
+}
+
+struct ServiceCore {
+    circuit: Circuit,
+    compiler: Compiler,
+    config: ServeConfig,
+    artifact: RwLock<ArtifactState>,
+    breaker: CircuitBreaker,
+    counters: Counters,
+    latency: LatencyHistogram,
+    accepting: AtomicBool,
+    next_id: AtomicU64,
+}
+
+impl ServiceCore {
+    fn artifact_snapshot(&self) -> (u64, Arc<CompiledCircuit>) {
+        let g = self.artifact.read().unwrap_or_else(|p| p.into_inner());
+        (g.version, Arc::clone(&g.compiled))
+    }
+
+    /// Escalates a `LevelExhausted`/`PrecisionLoss` failure into the
+    /// compiler's checked-repair path: recompile with one more spare
+    /// margin level (the repair loop also re-bumps scales as needed) and
+    /// publish the artifact under a new version. Concurrent escalations
+    /// against the same observed version collapse into one recompile.
+    fn repair(&self, observed_version: u64) {
+        let mut g = self.artifact.write().unwrap_or_else(|p| p.into_inner());
+        if g.version != observed_version {
+            return; // someone already repaired past what this worker saw
+        }
+        let margin = g.extra_margin + 1;
+        let compiler = self.compiler.clone().with_margin_levels(margin);
+        if let Ok((compiled, report)) = compiler.compile_checked(&self.circuit, &g.scales) {
+            g.scales = report.final_scales;
+            g.compiled = Arc::new(compiled);
+            g.extra_margin = margin;
+            g.version += 1;
+            Counters::bump(&self.counters.repairs);
+        }
+        // A failed recompile keeps the old artifact: stale but servable
+        // beats unservable.
+    }
+
+    fn stats(&self) -> ServiceStats {
+        let c = &self.counters;
+        ServiceStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            completed_ok: c.completed_ok.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            repairs: c.repairs.load(Ordering::Relaxed),
+            panics_caught: c.panics_caught.load(Ordering::Relaxed),
+            queue_depth: c.queue_depth.load(Ordering::Relaxed),
+            in_flight: c.in_flight.load(Ordering::Relaxed),
+            artifact_version: self.artifact_snapshot().0,
+            breaker: self.breaker.snapshot(),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// What a primary-attempt failure means for the control loop.
+enum Disposition {
+    /// Transient backend fault: back off and retry.
+    Retry,
+    /// Artifact fault: escalate into checked recompilation, then retry.
+    Repair,
+    /// Client/circuit fault: retrying cannot help.
+    Permanent,
+    /// The request's token tripped.
+    Cancelled(CancelReason),
+}
+
+fn classify(e: &ExecError) -> Disposition {
+    match e {
+        ExecError::Cancelled { reason, .. } => Disposition::Cancelled(*reason),
+        ExecError::PrecisionLoss { .. } => Disposition::Repair,
+        ExecError::Hisa { source: HisaError::LevelExhausted { .. }, .. } => Disposition::Repair,
+        ExecError::Hisa { .. } => Disposition::Retry,
+        ExecError::Kernel { .. } | ExecError::UnsupportedCircuit { .. } => Disposition::Permanent,
+    }
+}
+
+/// Counts circuit nodes executed, for [`InferResponse::ops_executed`].
+#[derive(Default)]
+struct OpCounter(usize);
+
+impl ExecObserver for OpCounter {
+    fn on_op(&mut self, _op_index: usize, _op: &str) {
+        self.0 += 1;
+    }
+}
+
+/// A resilient multi-threaded inference service over a compiled CHET
+/// artifact. See the module docs for the request lifecycle.
+pub struct InferenceService {
+    core: Arc<ServiceCore>,
+    sender: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl InferenceService {
+    /// Compiles `circuit` with a default RNS-CKKS compiler (via the
+    /// checked-repair path, so the artifact starts probe-validated) and
+    /// starts the worker pool. `factory` builds one primary backend per
+    /// worker from the compiled artifact; it runs on the worker's own
+    /// thread, so the backend type need not be `Send`.
+    pub fn start<H, F>(
+        circuit: Circuit,
+        scales: ScaleConfig,
+        config: ServeConfig,
+        factory: F,
+    ) -> Result<Self, ServeError>
+    where
+        H: Hisa + 'static,
+        F: Fn(usize, &CompiledCircuit) -> H + Send + Sync + 'static,
+    {
+        Self::start_with_compiler(Compiler::new(SchemeKind::RnsCkks), circuit, scales, config, factory)
+    }
+
+    /// [`InferenceService::start`] with a caller-configured [`Compiler`]
+    /// (security level, output precision, cost model...).
+    pub fn start_with_compiler<H, F>(
+        compiler: Compiler,
+        circuit: Circuit,
+        scales: ScaleConfig,
+        config: ServeConfig,
+        factory: F,
+    ) -> Result<Self, ServeError>
+    where
+        H: Hisa + 'static,
+        F: Fn(usize, &CompiledCircuit) -> H + Send + Sync + 'static,
+    {
+        let (compiled, report) =
+            compiler.compile_checked(&circuit, &scales).map_err(ServeError::Compile)?;
+        let core = Arc::new(ServiceCore {
+            circuit,
+            compiler,
+            artifact: RwLock::new(ArtifactState {
+                version: 1,
+                compiled: Arc::new(compiled),
+                scales: report.final_scales,
+                extra_margin: report.extra_levels,
+            }),
+            breaker: CircuitBreaker::new(config.breaker.clone()),
+            counters: Counters::default(),
+            latency: LatencyHistogram::default(),
+            accepting: AtomicBool::new(true),
+            next_id: AtomicU64::new(1),
+            config,
+        });
+        let (tx, rx) = mpsc::sync_channel::<Job>(core.config.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let factory = Arc::new(factory);
+        let workers = (0..core.config.workers.max(1))
+            .map(|worker_id| {
+                let core = Arc::clone(&core);
+                let rx = Arc::clone(&rx);
+                let factory = Arc::clone(&factory);
+                thread::spawn(move || worker_loop(worker_id, &core, &*factory, &rx))
+            })
+            .collect();
+        Ok(InferenceService { core, sender: Some(tx), workers })
+    }
+
+    /// Submits a request under the configured default deadline. Returns
+    /// [`ServeError::Overloaded`] *immediately* when the queue is full.
+    pub fn submit(&self, image: Tensor) -> Result<Ticket, ServeError> {
+        let token = match self.core.config.default_deadline {
+            Some(budget) => CancelToken::with_deadline(budget),
+            None => CancelToken::new(),
+        };
+        self.submit_with(image, token)
+    }
+
+    /// Submits a request under a caller-supplied [`CancelToken`] (bring
+    /// your own deadline, or keep a clone to cancel explicitly).
+    pub fn submit_with(&self, image: Tensor, token: CancelToken) -> Result<Ticket, ServeError> {
+        if !self.core.accepting.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let Some(sender) = self.sender.as_ref() else {
+            return Err(ServeError::ShuttingDown);
+        };
+        let id = self.core.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply, rx) = mpsc::channel();
+        let job = Job { id, image, token: token.clone(), submitted: Instant::now(), reply };
+        match sender.try_send(job) {
+            Ok(()) => {
+                Counters::bump(&self.core.counters.submitted);
+                Counters::bump(&self.core.counters.queue_depth);
+                Ok(Ticket { id, token, rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                Counters::bump(&self.core.counters.shed);
+                Err(ServeError::Overloaded { capacity: self.core.config.queue_capacity })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Point-in-time service statistics.
+    pub fn stats(&self) -> ServiceStats {
+        self.core.stats()
+    }
+
+    /// Stops admission, drains every queued request, joins the workers
+    /// and returns the final statistics.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.drain();
+        self.core.stats()
+    }
+
+    fn drain(&mut self) {
+        self.core.accepting.store(false, Ordering::Release);
+        // Dropping the sender lets workers finish the queue, then exit.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for InferenceService {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn worker_loop<H, F>(worker_id: usize, core: &ServiceCore, factory: &F, rx: &Mutex<Receiver<Job>>)
+where
+    H: Hisa,
+    F: Fn(usize, &CompiledCircuit) -> H,
+{
+    // (artifact version, backend) — rebuilt when the artifact is repaired
+    // or the backend is lost to a caught panic.
+    let mut cached: Option<(u64, H)> = None;
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv()
+        };
+        let Ok(job) = job else {
+            return; // sender dropped and queue drained: shutdown
+        };
+        Counters::drop_one(&core.counters.queue_depth);
+        Counters::bump(&core.counters.in_flight);
+        let result = handle_job(core, factory, worker_id, &mut cached, &job);
+        core.latency.record(job.submitted.elapsed());
+        match &result {
+            Ok(resp) if resp.degraded => Counters::bump(&core.counters.degraded),
+            Ok(_) => Counters::bump(&core.counters.completed_ok),
+            Err(ServeError::Cancelled(_)) => Counters::bump(&core.counters.cancelled),
+            Err(_) => Counters::bump(&core.counters.failed),
+        }
+        let result = result.map(|mut resp| {
+            resp.latency = job.submitted.elapsed();
+            resp
+        });
+        let _ = job.reply.send(result); // caller may have dropped the ticket
+        Counters::drop_one(&core.counters.in_flight);
+    }
+}
+
+fn handle_job<H, F>(
+    core: &ServiceCore,
+    factory: &F,
+    worker_id: usize,
+    cached: &mut Option<(u64, H)>,
+    job: &Job,
+) -> Result<InferResponse, ServeError>
+where
+    H: Hisa,
+    F: Fn(usize, &CompiledCircuit) -> H,
+{
+    if let Err(reason) = job.token.check() {
+        return Err(ServeError::Cancelled(reason));
+    }
+    let route = core.breaker.route();
+    let mut attempts = 0usize;
+    if route != Route::Degraded {
+        match run_primary(core, factory, worker_id, cached, job, route == Route::Probe) {
+            PrimaryOutcome::Done(result) => return result,
+            PrimaryOutcome::Degrade { attempts_spent } => attempts = attempts_spent,
+        }
+    }
+    run_degraded(core, job, attempts)
+}
+
+/// How the primary-attempt loop ended.
+enum PrimaryOutcome {
+    /// The request resolved (success, cancellation or permanent failure).
+    Done(Result<InferResponse, ServeError>),
+    /// Primary gave up; fall through to the degraded route.
+    Degrade {
+        /// Attempts spent before giving up (reported in the response).
+        attempts_spent: usize,
+    },
+}
+
+fn run_primary<H, F>(
+    core: &ServiceCore,
+    factory: &F,
+    worker_id: usize,
+    cached: &mut Option<(u64, H)>,
+    job: &Job,
+    probe: bool,
+) -> PrimaryOutcome
+where
+    H: Hisa,
+    F: Fn(usize, &CompiledCircuit) -> H,
+{
+    let mut attempt = 1usize;
+    let mut last_error: Option<ExecError> = None;
+    while core.config.retry.allows(attempt) {
+        let (version, compiled) = core.artifact_snapshot();
+        if !matches!(cached, Some((v, _)) if *v == version) {
+            *cached = Some((version, factory(worker_id, &compiled)));
+        }
+        let Some((_, backend)) = cached.as_mut() else {
+            return PrimaryOutcome::Done(Err(ServeError::WorkerLost));
+        };
+        let mut counter = OpCounter::default();
+        let mut ctrl = ExecControl { cancel: Some(&job.token), observer: Some(&mut counter) };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            try_infer_with_control(backend, &core.circuit, &compiled.plan, &job.image, &mut ctrl)
+        }));
+        match outcome {
+            Ok(Ok((output, report))) => {
+                core.breaker.record_success(probe);
+                return PrimaryOutcome::Done(Ok(InferResponse {
+                    id: job.id,
+                    output,
+                    degraded: false,
+                    attempts: attempt,
+                    artifact_version: version,
+                    ops_executed: counter.0,
+                    report,
+                    latency: Duration::ZERO, // the worker loop fills this in
+                }));
+            }
+            Ok(Err(e)) => match classify(&e) {
+                Disposition::Cancelled(reason) => {
+                    return PrimaryOutcome::Done(Err(ServeError::Cancelled(reason)));
+                }
+                Disposition::Permanent => {
+                    // A malformed circuit is the client's fault, not the
+                    // backend's: don't charge the breaker.
+                    return PrimaryOutcome::Done(Err(ServeError::Failed {
+                        attempts: attempt,
+                        error: e,
+                    }));
+                }
+                Disposition::Repair => {
+                    core.breaker.record_failure(probe);
+                    core.repair(version);
+                    last_error = Some(e);
+                }
+                Disposition::Retry => {
+                    core.breaker.record_failure(probe);
+                    last_error = Some(e);
+                }
+            },
+            Err(_panic) => {
+                // The backend is in an unknown state: drop it; the next
+                // attempt (on any request) rebuilds from the factory.
+                *cached = None;
+                Counters::bump(&core.counters.panics_caught);
+                core.breaker.record_failure(probe);
+            }
+        }
+        // A failed probe never gets a second chance: the breaker reopened.
+        if probe {
+            return PrimaryOutcome::Degrade { attempts_spent: attempt };
+        }
+        attempt += 1;
+        if !core.config.retry.allows(attempt) {
+            break;
+        }
+        Counters::bump(&core.counters.retries);
+        let mut pause = core.config.retry.backoff(job.id, attempt.saturating_sub(1) as u32);
+        if let Some(remaining) = job.token.remaining() {
+            pause = pause.min(remaining);
+        }
+        if !pause.is_zero() {
+            thread::sleep(pause);
+        }
+        if let Err(reason) = job.token.check() {
+            return PrimaryOutcome::Done(Err(ServeError::Cancelled(reason)));
+        }
+    }
+    // Retries exhausted. If the failure was permanent in nature we'd have
+    // returned above, so degrade; attach nothing — the degraded route
+    // produces the definitive result (and its own error if it too fails).
+    let _ = last_error;
+    PrimaryOutcome::Degrade { attempts_spent: attempt.min(core.config.retry.max_attempts.max(1)) }
+}
+
+fn run_degraded(
+    core: &ServiceCore,
+    job: &Job,
+    attempts: usize,
+) -> Result<InferResponse, ServeError> {
+    if let Err(reason) = job.token.check() {
+        return Err(ServeError::Cancelled(reason));
+    }
+    let (version, compiled) = core.artifact_snapshot();
+    let mut sim = SimCkks::new(&compiled.params, &compiled.rotation_keys, core.config.degraded_seed)
+        .without_noise();
+    let mut counter = OpCounter::default();
+    let mut ctrl = ExecControl { cancel: Some(&job.token), observer: Some(&mut counter) };
+    match try_infer_with_control(&mut sim, &core.circuit, &compiled.plan, &job.image, &mut ctrl) {
+        Ok((output, report)) => Ok(InferResponse {
+            id: job.id,
+            output,
+            degraded: true,
+            attempts,
+            artifact_version: version,
+            ops_executed: counter.0,
+            report,
+            latency: Duration::ZERO, // the worker loop fills this in
+        }),
+        Err(ExecError::Cancelled { reason, .. }) => Err(ServeError::Cancelled(reason)),
+        Err(e) => Err(ServeError::Failed { attempts, error: e }),
+    }
+}

@@ -1,0 +1,194 @@
+//! Service observability: lock-free counters and a log₂ latency histogram.
+//!
+//! Counters are plain relaxed atomics — they feed dashboards, not control
+//! flow, so cross-counter consistency is not required. The histogram uses
+//! power-of-two microsecond buckets (1 µs … ~1 s, plus an overflow
+//! bucket), which is plenty of resolution for FHE inference latencies that
+//! span from sub-millisecond simulator runs to multi-second lattice runs.
+
+use crate::breaker::BreakerSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ buckets: bucket `i` counts latencies in
+/// `[2^i, 2^(i+1))` µs; the last bucket absorbs everything larger.
+pub const LATENCY_BUCKETS: usize = 21;
+
+/// Concurrent latency histogram with log₂ microsecond buckets.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    total_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one request latency.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        LatencySnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable histogram snapshot.
+#[derive(Debug, Clone)]
+pub struct LatencySnapshot {
+    /// Bucket `i` counts latencies in `[2^i, 2^(i+1))` µs.
+    pub buckets: [u64; LATENCY_BUCKETS],
+    /// Total recorded latencies.
+    pub count: u64,
+    /// Sum of recorded latencies, µs.
+    pub total_micros: u64,
+}
+
+impl LatencySnapshot {
+    /// Mean latency, or zero when nothing was recorded.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.total_micros / self.count)
+    }
+
+    /// Upper bound (µs) of the bucket holding quantile `q` in `[0, 1]` —
+    /// a coarse percentile estimate, exact to within one power of two.
+    pub fn quantile_upper_bound_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Monotonic service counters (all relaxed atomics).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Requests rejected at admission because the queue was full.
+    pub shed: AtomicU64,
+    /// Requests completed on the primary backend.
+    pub completed_ok: AtomicU64,
+    /// Requests completed degraded on the fallback backend.
+    pub degraded: AtomicU64,
+    /// Requests that ended in a structured error.
+    pub failed: AtomicU64,
+    /// Requests aborted by cancellation or deadline.
+    pub cancelled: AtomicU64,
+    /// Primary attempts beyond each request's first (retries).
+    pub retries: AtomicU64,
+    /// Artifact repair recompilations that produced a new version.
+    pub repairs: AtomicU64,
+    /// Worker panics caught and converted to structured errors.
+    pub panics_caught: AtomicU64,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: AtomicU64,
+    /// Requests currently executing on a worker.
+    pub in_flight: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn drop_one(counter: &AtomicU64) {
+        // Saturating decrement: a missed pairing must not wrap to 2^64.
+        let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
+    }
+}
+
+/// Point-in-time service statistics, as returned by
+/// [`crate::InferenceService::stats`].
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests rejected with `Overloaded` at admission.
+    pub shed: u64,
+    /// Requests completed on the primary backend.
+    pub completed_ok: u64,
+    /// Requests completed degraded on the fallback.
+    pub degraded: u64,
+    /// Requests that ended in a structured error.
+    pub failed: u64,
+    /// Requests aborted by cancellation or deadline.
+    pub cancelled: u64,
+    /// Primary retries across all requests.
+    pub retries: u64,
+    /// Artifact repair recompilations.
+    pub repairs: u64,
+    /// Worker panics caught.
+    pub panics_caught: u64,
+    /// Requests waiting in the queue right now.
+    pub queue_depth: u64,
+    /// Requests executing right now.
+    pub in_flight: u64,
+    /// Current compiled-artifact version (bumped by each repair).
+    pub artifact_version: u64,
+    /// Primary-backend circuit breaker state and history.
+    pub breaker: BreakerSnapshot,
+    /// End-to-end request latency distribution.
+    pub latency: LatencySnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(1000));
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 1); // [1, 2) µs
+        assert_eq!(s.buckets[1], 1); // [2, 4) µs
+        assert_eq!(s.buckets[9], 1); // [512, 1024) µs
+        assert!(s.mean() >= Duration::from_micros(300));
+        // Median falls in the [2, 4) µs bucket.
+        assert_eq!(s.quantile_upper_bound_us(0.5), 4);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let s = LatencyHistogram::default().snapshot();
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.quantile_upper_bound_us(0.99), 0);
+    }
+
+    #[test]
+    fn saturating_decrement_does_not_wrap() {
+        let c = Counters::default();
+        Counters::drop_one(&c.queue_depth);
+        assert_eq!(c.queue_depth.load(Ordering::Relaxed), 0);
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`compiler`] — the CHET compiler: parameter, layout, rotation-key and
 //!   fixed-point-scale selection.
 //! * [`networks`] — the paper's Table 3 evaluation networks.
+//! * [`serve`] — a resilient multi-threaded inference service: bounded
+//!   admission, deadlines, retries, circuit breaking and graceful
+//!   degradation over a compiled artifact.
 //!
 //! # Quickstart
 //!
@@ -55,6 +58,7 @@ pub use chet_hisa as hisa;
 pub use chet_math as math;
 pub use chet_networks as networks;
 pub use chet_runtime as runtime;
+pub use chet_serve as serve;
 pub use chet_tensor as tensor;
 
 pub use chet_compiler::{CompiledCircuit, Compiler};
