@@ -22,6 +22,11 @@ echo "=== tests (includes the chet-serve soak suite) ==="
 cargo test -q
 
 echo "=== failure-model lint (no unwrap/expect in runtime/compiler/serve) ==="
-cargo clippy -q -p chet-runtime -p chet-compiler -p chet-serve --all-targets
+cargo clippy -q -p chet-runtime -p chet-compiler -p chet-serve -p chet --all-targets
+
+echo "=== static circuit lint (chet-lint over every Table 3 network) ==="
+# Fails on any Deny diagnostic, or on more findings of any code than the
+# checked-in baseline allows — new warnings fail CI instead of accumulating.
+cargo run --release -q --bin chet-lint -- --check results/lint_baseline.txt
 
 echo "CI gate passed."

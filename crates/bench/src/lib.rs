@@ -253,6 +253,7 @@ pub fn run_layout_table(
                 policy: choice.policy,
                 estimated_cost: choice.estimated_cost,
                 outcome: choice.outcome.clone(),
+                output_precision: harness_precision(),
             };
             let dt = average_latency(backend, &compiled, &net.circuit, &net, args.images);
             let marker = if policy == best { " *" } else { "" };

@@ -8,9 +8,10 @@
 
 use crate::layout::{select_data_layout_with_margin, LayoutChoice, LayoutPolicy};
 use crate::params::{AnalysisOutcome, SelectError};
-use crate::rotations::select_rotation_keys;
+use crate::rotations::{prune_rotation_keys, select_rotation_keys};
 use crate::scales::{select_scales, ScaleSearch};
 use crate::validate::{validate_compiled, ProbeFailure};
+use crate::verify::{verify_compiled, DiagnosticReport, LintCode, Severity};
 use chet_hisa::cost::CostModel;
 use chet_hisa::params::{EncryptionParams, SchemeKind};
 use chet_hisa::security::SecurityLevel;
@@ -29,6 +30,7 @@ pub struct Compiler {
     cost_model: CostModel,
     margin_levels: usize,
     repair_tolerance: f64,
+    layout_policy: Option<LayoutPolicy>,
 }
 
 /// The compiler's output: everything needed to run the circuit
@@ -48,6 +50,9 @@ pub struct CompiledCircuit {
     pub estimated_cost: f64,
     /// Analysis facts (modulus consumption, op counts, rotations).
     pub outcome: AnalysisOutcome,
+    /// The output fixed-point precision the compilation targeted (the
+    /// static verifier's `CHET-W004` budget).
+    pub output_precision: f64,
 }
 
 /// One adjustment made by [`Compiler::compile_checked`]'s repair loop.
@@ -72,6 +77,9 @@ pub struct RepairReport {
     pub final_scales: ScaleConfig,
     /// Spare rescaling levels added beyond the compiler's configuration.
     pub extra_levels: usize,
+    /// The static verifier's findings on the accepted artifact (zero Deny
+    /// by construction; Warn/Note diagnostics are informational).
+    pub lints: DiagnosticReport,
 }
 
 impl RepairReport {
@@ -103,6 +111,7 @@ impl Compiler {
             cost_model: CostModel::for_scheme(kind),
             margin_levels: 0,
             repair_tolerance: 0.05,
+            layout_policy: None,
         }
     }
 
@@ -139,6 +148,13 @@ impl Compiler {
         self
     }
 
+    /// Pins the layout policy instead of searching all four (paper Table 5/6
+    /// style ablations, and adversarial artifacts for the static verifier).
+    pub fn with_layout_policy(mut self, policy: LayoutPolicy) -> Self {
+        self.layout_policy = Some(policy);
+        self
+    }
+
     /// The targeted scheme variant.
     pub fn kind(&self) -> SchemeKind {
         self.kind
@@ -151,6 +167,14 @@ impl Compiler {
 
     fn finish(&self, choice: LayoutChoice) -> CompiledCircuit {
         let rotation_keys = select_rotation_keys(&choice.outcome);
+        // §5.4 invariant: the emitted key set must exactly match the steps
+        // the analysis recorded. Pruning is a no-op for the Exact policy
+        // built from the outcome, but keeps stale/hand-edited policies from
+        // shipping unused keys.
+        let slots = choice.outcome.params.slots();
+        let (rotation_keys, extras) =
+            prune_rotation_keys(rotation_keys, &choice.outcome.rotations, slots);
+        debug_assert!(extras.is_empty(), "compiler emitted unused rotation keys: {extras:?}");
         CompiledCircuit {
             plan: choice.plan,
             params: choice.outcome.params.clone(),
@@ -158,6 +182,7 @@ impl Compiler {
             policy: choice.policy,
             estimated_cost: choice.estimated_cost,
             outcome: choice.outcome,
+            output_precision: self.output_precision,
         }
     }
 
@@ -183,31 +208,55 @@ impl Compiler {
                 reason: "circuits with multiple encrypted inputs are unsupported".into(),
             });
         }
-        let choice = select_data_layout_with_margin(
-            circuit,
-            scales,
-            self.kind,
-            self.security,
-            self.output_precision,
-            &self.cost_model,
-            self.margin_levels,
-        )?;
+        let choice = match self.layout_policy {
+            None => select_data_layout_with_margin(
+                circuit,
+                scales,
+                self.kind,
+                self.security,
+                self.output_precision,
+                &self.cost_model,
+                self.margin_levels,
+            )?,
+            Some(policy) => {
+                let mut ranked = crate::layout::enumerate_layouts_with_margin(
+                    circuit,
+                    scales,
+                    self.kind,
+                    self.security,
+                    self.output_precision,
+                    &self.cost_model,
+                    self.margin_levels,
+                )?;
+                let at = ranked.iter().position(|c| c.policy == policy).ok_or_else(|| {
+                    SelectError::UnsupportedCircuit {
+                        reason: format!("layout policy {policy} produced no viable plan"),
+                    }
+                })?;
+                ranked.swap_remove(at)
+            }
+        };
         Ok(self.finish(choice))
     }
 
-    /// Compiles, then *validates* the artifact by replaying it on the
-    /// noise-modelling simulator with the emitted rotation keys (see
-    /// `validate::validate_compiled`), repairing and recompiling on failure:
-    /// precision loss raises the fixed-point scales, level exhaustion adds a
-    /// spare rescaling level. At most three repair attempts follow the
-    /// initial compile; every adjustment is logged in the returned
-    /// [`RepairReport`].
+    /// Compiles, then validates the artifact in two phases: the *static
+    /// verifier* first ([`verify_compiled`] — abstract interpretation, no
+    /// ciphertext arithmetic), and only then the dynamic SimCkks probe for
+    /// what statics cannot decide (noise-driven output precision). Both
+    /// phases repair and recompile on failure: a static level-exhaustion
+    /// finding or a probed exhaustion adds a spare rescaling level, probed
+    /// precision loss raises the fixed-point scales. Any other Deny
+    /// diagnostic is a compiler bug no parameter adjustment fixes, so it
+    /// fails immediately with the lint code in the error. At most three
+    /// repair attempts follow the initial compile; every adjustment is
+    /// logged in the returned [`RepairReport`], along with the accepted
+    /// artifact's full lint report.
     ///
     /// # Errors
     ///
     /// Propagates the first compile failure unchanged; returns
     /// [`SelectError::RepairFailed`] when the retry budget is exhausted or
-    /// the probe hits a failure no repair addresses.
+    /// either phase hits a failure no repair addresses.
     pub fn compile_checked(
         &self,
         circuit: &Circuit,
@@ -228,6 +277,37 @@ impl Compiler {
                     })
                 }
             };
+            // Phase 1: static verification. Rejects bad artifacts from the
+            // trace alone and decides scale/level/key/slot properties, so
+            // the probe below only has to answer the noise question.
+            let lints = verify_compiled(circuit, &compiled);
+            if lints.has_deny() {
+                let repairable = lints
+                    .by_severity(Severity::Deny)
+                    .all(|d| d.code == LintCode::LevelExhaustion);
+                let first = lints
+                    .first_deny()
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "unknown deny diagnostic".into());
+                if !repairable || attempt == MAX_RETRIES {
+                    return Err(SelectError::RepairFailed {
+                        attempts: attempt + 1,
+                        last_error: first,
+                    });
+                }
+                compiler.margin_levels += 1;
+                actions.push(RepairAction {
+                    attempt: attempt + 1,
+                    reason: first,
+                    adjustment: format!(
+                        "reserved a spare rescaling level ({} total)",
+                        compiler.margin_levels
+                    ),
+                });
+                continue;
+            }
+            // Phase 2: the dynamic probe, for the noise behaviour statics
+            // cannot decide.
             let failure = match validate_compiled(circuit, &compiled, compiler.repair_tolerance)
             {
                 Ok(()) => {
@@ -238,6 +318,7 @@ impl Compiler {
                             actions,
                             final_scales: scales,
                             extra_levels: compiler.margin_levels - self.margin_levels,
+                            lints,
                         },
                     ))
                 }
@@ -264,7 +345,7 @@ impl Compiler {
                         scales.mask.log2(),
                     )
                 }
-                ProbeFailure::Execution { detail } => {
+                ProbeFailure::Execution { detail, .. } => {
                     // Missing keys / scale mismatches are compiler bugs, not
                     // parameter shortfalls: no adjustment would help.
                     return Err(SelectError::RepairFailed {

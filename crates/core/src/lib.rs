@@ -60,10 +60,14 @@ pub mod params;
 pub mod rotations;
 pub mod scales;
 pub mod validate;
+pub mod verify;
 
 pub use compiler::{CompiledCircuit, Compiler, RepairAction, RepairReport};
 pub use layout::{LayoutPolicy, ALL_POLICIES};
 pub use params::{select_parameters, AnalysisOutcome, SelectError};
-pub use rotations::select_rotation_keys;
+pub use rotations::{prune_rotation_keys, select_rotation_keys};
 pub use scales::{select_scales, ScaleSearch};
 pub use validate::{validate_compiled, ProbeFailure};
+pub use verify::{
+    verify_compiled, Diagnostic, DiagnosticReport, LintCode, OpSpan, Severity,
+};

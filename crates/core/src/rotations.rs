@@ -5,11 +5,38 @@
 //! rotation steps a circuit uses and generates keys for those.
 
 use crate::params::AnalysisOutcome;
-use chet_hisa::keys::RotationKeyPolicy;
+use chet_hisa::keys::{normalize_rotation, RotationKeyPolicy};
+use std::collections::BTreeSet;
 
 /// Builds the exact rotation-key policy from an analysis outcome.
 pub fn select_rotation_keys(outcome: &AnalysisOutcome) -> RotationKeyPolicy {
     RotationKeyPolicy::Exact(outcome.rotations.clone())
+}
+
+/// Restricts an exact key policy to the steps a circuit actually uses,
+/// returning the pruned policy and the extra steps that were dropped (the
+/// `CHET-W002` waste). The power-of-two default is left untouched — its
+/// whole point is covering arbitrary steps by composition — but its unused
+/// steps are still reported.
+pub fn prune_rotation_keys(
+    policy: RotationKeyPolicy,
+    used: &BTreeSet<usize>,
+    slots: usize,
+) -> (RotationKeyPolicy, Vec<usize>) {
+    let used: BTreeSet<usize> = used
+        .iter()
+        .map(|&s| normalize_rotation(s as i64, slots))
+        .filter(|&s| s != 0)
+        .collect();
+    let keyed = policy.steps(slots);
+    let extras: Vec<usize> = keyed.difference(&used).copied().collect();
+    match policy {
+        RotationKeyPolicy::Exact(_) => {
+            let kept: BTreeSet<usize> = keyed.intersection(&used).copied().collect();
+            (RotationKeyPolicy::Exact(kept), extras)
+        }
+        p @ RotationKeyPolicy::PowersOfTwo => (p, extras),
+    }
 }
 
 /// Number of keys saved (or added) versus the power-of-two default.

@@ -12,6 +12,7 @@
 //! recompiles — bounded, deterministic, and logged in the `RepairReport`.
 
 use crate::compiler::CompiledCircuit;
+use crate::verify::OpSpan;
 use chet_ckks::sim::SimCkks;
 use chet_hisa::HisaError;
 use chet_runtime::exec::{try_infer, ExecError};
@@ -23,7 +24,9 @@ use chet_tensor::Tensor;
 pub const PROBE_SEED: u64 = 2024;
 
 /// What the simulated probe found wrong with a compiled artifact. Each
-/// variant maps to a distinct repair in `compile_checked`.
+/// variant maps to a distinct repair in `compile_checked`, and carries the
+/// failing op's span (when the executor could attribute one) in the same
+/// `(op index, kernel)` convention as the static diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProbeFailure {
     /// The modulus chain ran out mid-circuit — repaired by compiling with a
@@ -31,18 +34,24 @@ pub enum ProbeFailure {
     LevelExhausted {
         /// The executor's error, with op attribution.
         detail: String,
+        /// The circuit node the probe died at.
+        span: Option<OpSpan>,
     },
     /// The probe output deviated beyond tolerance or contained non-finite
     /// slots — repaired by raising the fixed-point scales.
     PrecisionLoss {
         /// What deviated and by how much.
         detail: String,
+        /// The node the loss is attributed to (the circuit output).
+        span: Option<OpSpan>,
     },
     /// Any other execution failure (missing rotation key, scale mismatch,
     /// invalid parameters) — not repairable by this loop.
     Execution {
         /// The underlying error.
         detail: String,
+        /// The failing node, when the executor could attribute one.
+        span: Option<OpSpan>,
     },
 }
 
@@ -50,9 +59,18 @@ impl ProbeFailure {
     /// The human-readable failure detail.
     pub fn detail(&self) -> &str {
         match self {
-            ProbeFailure::LevelExhausted { detail }
-            | ProbeFailure::PrecisionLoss { detail }
-            | ProbeFailure::Execution { detail } => detail,
+            ProbeFailure::LevelExhausted { detail, .. }
+            | ProbeFailure::PrecisionLoss { detail, .. }
+            | ProbeFailure::Execution { detail, .. } => detail,
+        }
+    }
+
+    /// The failing circuit node, when one was attributed.
+    pub fn span(&self) -> Option<&OpSpan> {
+        match self {
+            ProbeFailure::LevelExhausted { span, .. }
+            | ProbeFailure::PrecisionLoss { span, .. }
+            | ProbeFailure::Execution { span, .. } => span.as_ref(),
         }
     }
 }
@@ -60,9 +78,11 @@ impl ProbeFailure {
 impl std::fmt::Display for ProbeFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ProbeFailure::LevelExhausted { detail } => write!(f, "level exhaustion: {detail}"),
-            ProbeFailure::PrecisionLoss { detail } => write!(f, "precision loss: {detail}"),
-            ProbeFailure::Execution { detail } => write!(f, "execution failure: {detail}"),
+            ProbeFailure::LevelExhausted { detail, .. } => {
+                write!(f, "level exhaustion: {detail}")
+            }
+            ProbeFailure::PrecisionLoss { detail, .. } => write!(f, "precision loss: {detail}"),
+            ProbeFailure::Execution { detail, .. } => write!(f, "execution failure: {detail}"),
         }
     }
 }
@@ -80,7 +100,7 @@ pub fn validate_compiled(
     tolerance: f64,
 ) -> Result<(), ProbeFailure> {
     if let Err(e) = compiled.params.validate() {
-        return Err(ProbeFailure::Execution { detail: e.to_string() });
+        return Err(ProbeFailure::Execution { detail: e.to_string(), span: None });
     }
     let input_shape = circuit
         .ops()
@@ -91,28 +111,36 @@ pub fn validate_compiled(
         })
         .ok_or_else(|| ProbeFailure::Execution {
             detail: "circuit has no encrypted input".into(),
+            span: None,
         })?;
     let image = Tensor::random(input_shape, 1.0, PROBE_SEED);
     let reference = circuit.eval(&[image.clone()]);
     let mut sim = SimCkks::new(&compiled.params, &compiled.rotation_keys, PROBE_SEED);
     match try_infer(&mut sim, circuit, &compiled.plan, &image) {
         Err(e @ ExecError::Hisa { source: HisaError::LevelExhausted { .. }, .. }) => {
-            Err(ProbeFailure::LevelExhausted { detail: e.to_string() })
+            let span = OpSpan::from_exec_error(&e);
+            Err(ProbeFailure::LevelExhausted { detail: e.to_string(), span })
         }
         Err(e @ ExecError::PrecisionLoss { .. }) => {
-            Err(ProbeFailure::PrecisionLoss { detail: e.to_string() })
+            let span = OpSpan::from_exec_error(&e);
+            Err(ProbeFailure::PrecisionLoss { detail: e.to_string(), span })
         }
-        Err(e) => Err(ProbeFailure::Execution { detail: e.to_string() }),
+        Err(e) => {
+            let span = OpSpan::from_exec_error(&e);
+            Err(ProbeFailure::Execution { detail: e.to_string(), span })
+        }
         Ok(got) => {
             let flat_ref = reference.reshape(vec![reference.numel()]);
             let flat_got = got.reshape(vec![got.numel()]);
             let diff = flat_got.max_abs_diff(&flat_ref);
             if diff > tolerance {
+                let out = circuit.output();
                 Err(ProbeFailure::PrecisionLoss {
                     detail: format!(
                         "probe output deviates {diff:.4} from the plaintext reference \
                          (tolerance {tolerance})"
                     ),
+                    span: Some(OpSpan::new(out, circuit.ops()[out].name())),
                 })
             } else {
                 Ok(())

@@ -1,0 +1,589 @@
+//! Abstract domains for the static verifier.
+//!
+//! Each domain tracks one per-ciphertext fact family over the HISA trace;
+//! the [`AbstractDomain`] trait makes them pluggable and the tuple impl
+//! composes them into products, so the walker runs every registered lint in
+//! a single forward pass. Circuits are DAGs executed in topological order,
+//! so no fixpoint iteration is needed — one transfer per HISA instruction.
+
+use super::LintCode;
+use chet_hisa::keys::plan_rotation;
+use chet_hisa::params::ModulusSpec;
+use std::collections::BTreeSet;
+
+/// The HISA instruction alphabet the domains interpret, with only the
+/// operands that matter to any fact family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AbstractOp {
+    /// Ciphertext + ciphertext (also subtraction — same scale contract).
+    Add,
+    /// Ciphertext + plaintext encoded at `scale`.
+    AddPlain {
+        /// The plaintext operand's encoding scale.
+        scale: f64,
+    },
+    /// Ciphertext + scalar broadcast (no scale contract in this scheme).
+    AddScalar,
+    /// Ciphertext × ciphertext.
+    Mul,
+    /// Ciphertext × plaintext encoded at `scale`.
+    MulPlain {
+        /// The plaintext operand's encoding scale.
+        scale: f64,
+    },
+    /// Ciphertext × scalar encoded at `scale`.
+    MulScalar {
+        /// The scalar's encoding scale.
+        scale: f64,
+    },
+    /// Cyclic left rotation by a normalized nonzero step.
+    Rotate {
+        /// The normalized left step in `[1, slots)`.
+        step: usize,
+    },
+    /// Scale division consuming modulus.
+    Rescale {
+        /// The divisor (`> 1`).
+        divisor: f64,
+    },
+}
+
+/// One pluggable fact family. `transfer` is the forward transfer function:
+/// it consumes the operand fact(s), may emit diagnostics through `emit`,
+/// and returns the result fact. It must be *total* — a domain reports
+/// violations as lints and keeps walking, never fails.
+pub trait AbstractDomain {
+    /// The per-ciphertext fact.
+    type Fact: Clone + std::fmt::Debug;
+
+    /// Fact for a freshly encrypted ciphertext (`scale` = encoding scale,
+    /// `len` = encoded value count).
+    fn fresh(&mut self, scale: f64, len: usize) -> Self::Fact;
+
+    /// Forward transfer for one instruction. `b` is the second ciphertext
+    /// operand fact for [`AbstractOp::Add`] / [`AbstractOp::Mul`].
+    fn transfer(
+        &mut self,
+        op: &AbstractOp,
+        a: &Self::Fact,
+        b: Option<&Self::Fact>,
+        emit: &mut dyn FnMut(LintCode, String),
+    ) -> Self::Fact;
+
+    /// The fixed-point scale this domain tracks for a fact, if it does.
+    fn scale_of(&self, _f: &Self::Fact) -> Option<f64> {
+        None
+    }
+
+    /// The largest rescale divisor `<= ub` this domain can answer for a
+    /// fact, if it models the modulus.
+    fn max_rescale(&self, _f: &Self::Fact, _ub: f64) -> Option<f64> {
+        None
+    }
+}
+
+/// Product combinator: runs two domains side by side over shared traces.
+/// Nest tuples for bigger products.
+impl<A: AbstractDomain, B: AbstractDomain> AbstractDomain for (A, B) {
+    type Fact = (A::Fact, B::Fact);
+
+    fn fresh(&mut self, scale: f64, len: usize) -> Self::Fact {
+        (self.0.fresh(scale, len), self.1.fresh(scale, len))
+    }
+
+    fn transfer(
+        &mut self,
+        op: &AbstractOp,
+        a: &Self::Fact,
+        b: Option<&Self::Fact>,
+        emit: &mut dyn FnMut(LintCode, String),
+    ) -> Self::Fact {
+        (
+            self.0.transfer(op, &a.0, b.map(|f| &f.0), emit),
+            self.1.transfer(op, &a.1, b.map(|f| &f.1), emit),
+        )
+    }
+
+    fn scale_of(&self, f: &Self::Fact) -> Option<f64> {
+        self.0.scale_of(&f.0).or_else(|| self.1.scale_of(&f.1))
+    }
+
+    fn max_rescale(&self, f: &Self::Fact, ub: f64) -> Option<f64> {
+        self.0.max_rescale(&f.0, ub).or_else(|| self.1.max_rescale(&f.1, ub))
+    }
+}
+
+/// Tracks the fixed-point scale of every ciphertext and checks the binary-op
+/// alignment contract (`CHET-E001`) plus rescale usefulness (`CHET-W001`).
+///
+/// Mirrors the simulator's semantics exactly: additions require operand
+/// scales within relative `1e-6`; multiplications multiply scales; rescales
+/// divide. `add_scalar` has no contract (backends re-encode at the
+/// ciphertext's own scale).
+#[derive(Debug)]
+pub struct ScaleDomain {
+    /// The working scale kernels settle toward (`P_c`).
+    working: f64,
+}
+
+impl ScaleDomain {
+    /// Domain for a plan whose working scale is `working`.
+    pub fn new(working: f64) -> Self {
+        ScaleDomain { working }
+    }
+
+    fn aligned(a: f64, b: f64) -> bool {
+        (a / b - 1.0).abs() < 1e-6
+    }
+}
+
+impl AbstractDomain for ScaleDomain {
+    type Fact = f64;
+
+    fn fresh(&mut self, scale: f64, _len: usize) -> f64 {
+        scale
+    }
+
+    fn transfer(
+        &mut self,
+        op: &AbstractOp,
+        a: &f64,
+        b: Option<&f64>,
+        emit: &mut dyn FnMut(LintCode, String),
+    ) -> f64 {
+        match op {
+            AbstractOp::Add => {
+                let b = b.copied().unwrap_or(*a);
+                if !Self::aligned(*a, b) {
+                    emit(
+                        LintCode::ScaleMismatch,
+                        format!(
+                            "operand scales diverged: 2^{:.2} vs 2^{:.2}",
+                            a.log2(),
+                            b.log2()
+                        ),
+                    );
+                }
+                *a
+            }
+            AbstractOp::AddPlain { scale } => {
+                if !Self::aligned(*a, *scale) {
+                    emit(
+                        LintCode::ScaleMismatch,
+                        format!(
+                            "ciphertext scale 2^{:.2} vs plaintext scale 2^{:.2}",
+                            a.log2(),
+                            scale.log2()
+                        ),
+                    );
+                }
+                *a
+            }
+            AbstractOp::AddScalar | AbstractOp::Rotate { .. } => *a,
+            AbstractOp::Mul => a * b.copied().unwrap_or(*a),
+            AbstractOp::MulPlain { scale } | AbstractOp::MulScalar { scale } => a * scale,
+            AbstractOp::Rescale { divisor } => {
+                if *divisor > 1.0 && *a <= self.working * 1.5 {
+                    emit(
+                        LintCode::RedundantRescale,
+                        format!(
+                            "rescale by 2^{:.1} on a ciphertext already at the working \
+                             scale (2^{:.2} <= 1.5 × 2^{:.2})",
+                            divisor.log2(),
+                            a.log2(),
+                            self.working.log2()
+                        ),
+                    );
+                }
+                a / divisor
+            }
+        }
+    }
+
+    fn scale_of(&self, f: &f64) -> Option<f64> {
+        Some(*f)
+    }
+}
+
+/// Modulus budget state of one ciphertext.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelFact {
+    /// log2 of the modulus consumed on this value's path.
+    pub consumed_log2: f64,
+    /// Chain primes consumed (RNS only).
+    pub chain_idx: usize,
+}
+
+/// Tracks rescale-driven modulus consumption against the artifact's actual
+/// budget (`CHET-E002`).
+///
+/// Divisors are answered *budget-unawarely* (like the parameter-selection
+/// analyzer): a rescale the circuit requires always fires, and the domain
+/// reports the first point where cumulative consumption crosses what the
+/// artifact carries. A live scheme would refuse the rescale there
+/// (`HisaError::LevelExhausted`); the static walk instead records the lint
+/// and keeps going with virtual divisors, so one pass still covers the
+/// whole circuit.
+#[derive(Debug)]
+pub struct LevelDomain {
+    model: LevelModel,
+    /// Set once the first budget crossing is reported, so a single
+    /// exhaustion yields a single `CHET-E002` instead of one per
+    /// downstream rescale.
+    reported: bool,
+}
+
+#[derive(Debug)]
+enum LevelModel {
+    /// CKKS: `log_q` bits of budget, any power of two divides; the final
+    /// bit is not consumable.
+    Pow2 {
+        log_q: f64,
+    },
+    /// RNS: primes in consumption order (the artifact stores the chain
+    /// back-to-front); the last one anchors the residual value and is not
+    /// consumable.
+    Chain {
+        order: Vec<u64>,
+        usable: usize,
+    },
+}
+
+impl LevelDomain {
+    /// Domain for an artifact's modulus.
+    pub fn new(modulus: &ModulusSpec) -> Self {
+        let model = match modulus {
+            ModulusSpec::PowerOfTwo { log_q, .. } => LevelModel::Pow2 { log_q: *log_q as f64 },
+            ModulusSpec::PrimeChain { primes, .. } => {
+                let order: Vec<u64> = primes.iter().rev().copied().collect();
+                LevelModel::Chain { usable: order.len().saturating_sub(1), order }
+            }
+        };
+        LevelDomain { model, reported: false }
+    }
+
+    fn meet(a: &LevelFact, b: &LevelFact) -> LevelFact {
+        LevelFact {
+            consumed_log2: a.consumed_log2.max(b.consumed_log2),
+            chain_idx: a.chain_idx.max(b.chain_idx),
+        }
+    }
+}
+
+impl AbstractDomain for LevelDomain {
+    type Fact = LevelFact;
+
+    fn fresh(&mut self, _scale: f64, _len: usize) -> LevelFact {
+        LevelFact { consumed_log2: 0.0, chain_idx: 0 }
+    }
+
+    fn transfer(
+        &mut self,
+        op: &AbstractOp,
+        a: &LevelFact,
+        b: Option<&LevelFact>,
+        emit: &mut dyn FnMut(LintCode, String),
+    ) -> LevelFact {
+        match op {
+            AbstractOp::Add | AbstractOp::Mul => {
+                b.map(|b| Self::meet(a, b)).unwrap_or(*a)
+            }
+            AbstractOp::Rescale { divisor } => {
+                let mut out = *a;
+                out.consumed_log2 += divisor.log2();
+                match &self.model {
+                    LevelModel::Pow2 { log_q } => {
+                        if out.consumed_log2 > log_q - 1.0 && !self.reported {
+                            self.reported = true;
+                            emit(
+                                LintCode::LevelExhaustion,
+                                format!(
+                                    "rescaling consumes {:.1} of the {log_q:.0} modulus \
+                                     bits the artifact carries",
+                                    out.consumed_log2
+                                ),
+                            );
+                        }
+                    }
+                    LevelModel::Chain { order, usable } => {
+                        let mut d = *divisor;
+                        while d > 1.5 {
+                            if out.chain_idx >= *usable && !self.reported {
+                                self.reported = true;
+                                emit(
+                                    LintCode::LevelExhaustion,
+                                    format!(
+                                        "rescaling needs chain prime #{} but only {usable} \
+                                         of {} primes are consumable",
+                                        out.chain_idx + 1,
+                                        order.len()
+                                    ),
+                                );
+                            }
+                            match order.get(out.chain_idx) {
+                                Some(&p) => {
+                                    d /= p as f64;
+                                    out.chain_idx += 1;
+                                }
+                                // Virtual (power-of-two) divisor past the
+                                // real chain: nothing left to pop.
+                                None => break,
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            _ => *a,
+        }
+    }
+
+    fn max_rescale(&self, f: &LevelFact, ub: f64) -> Option<f64> {
+        let d = match &self.model {
+            LevelModel::Pow2 { .. } => 2f64.powi(ub.log2().floor() as i32),
+            LevelModel::Chain { order, .. } => {
+                let mut prod = 1.0f64;
+                let mut idx = f.chain_idx;
+                while let Some(&p) = order.get(idx) {
+                    if prod * (p as f64) > ub {
+                        break;
+                    }
+                    prod *= p as f64;
+                    idx += 1;
+                }
+                if prod <= 1.0 && idx >= order.len() {
+                    // Past the real chain: keep the walk total with a
+                    // virtual power-of-two divisor (exhaustion was already
+                    // reported at the crossing).
+                    prod = 2f64.powi(ub.log2().floor() as i32);
+                }
+                prod
+            }
+        };
+        Some(d)
+    }
+}
+
+/// Tracks slot occupancy per ciphertext (`CHET-E004` defensively — the
+/// structural `circuit_fits` pre-check catches layout-level overflow before
+/// the walk; this catches kernels encoding oversized vectors).
+#[derive(Debug)]
+pub struct SlotDomain {
+    slots: usize,
+}
+
+impl SlotDomain {
+    /// Domain for a `slots`-wide scheme.
+    pub fn new(slots: usize) -> Self {
+        SlotDomain { slots }
+    }
+}
+
+impl AbstractDomain for SlotDomain {
+    type Fact = usize;
+
+    fn fresh(&mut self, _scale: f64, len: usize) -> usize {
+        if len > self.slots {
+            // `encode` already reported the overflow; track clamped.
+            return self.slots;
+        }
+        len
+    }
+
+    fn transfer(
+        &mut self,
+        op: &AbstractOp,
+        a: &usize,
+        b: Option<&usize>,
+        _emit: &mut dyn FnMut(LintCode, String),
+    ) -> usize {
+        match op {
+            AbstractOp::Add | AbstractOp::Mul => (*a).max(b.copied().unwrap_or(0)),
+            // Rotations are cyclic: occupancy is preserved.
+            _ => *a,
+        }
+    }
+}
+
+/// Records every rotation step the trace requests and checks each against
+/// the artifact's key set: unreachable steps are `CHET-E003`, steps served
+/// by composing several keys are `CHET-N001`. The recorded set also feeds
+/// the post-walk `CHET-W002` (unused keys) audit.
+#[derive(Debug)]
+pub struct RotationDomain {
+    slots: usize,
+    keys: BTreeSet<usize>,
+    /// Normalized steps the trace requested.
+    pub used: BTreeSet<usize>,
+    /// Steps already checked against the key set (each step is diagnosed
+    /// once, not per occurrence).
+    checked: BTreeSet<usize>,
+}
+
+impl RotationDomain {
+    /// Domain for an artifact's key set.
+    pub fn new(slots: usize, keys: BTreeSet<usize>) -> Self {
+        RotationDomain { slots, keys, used: BTreeSet::new(), checked: BTreeSet::new() }
+    }
+}
+
+impl AbstractDomain for RotationDomain {
+    type Fact = ();
+
+    fn fresh(&mut self, _scale: f64, _len: usize) {}
+
+    fn transfer(
+        &mut self,
+        op: &AbstractOp,
+        _a: &(),
+        _b: Option<&()>,
+        emit: &mut dyn FnMut(LintCode, String),
+    ) {
+        if let AbstractOp::Rotate { step } = op {
+            self.used.insert(*step);
+            if !self.checked.insert(*step) {
+                return;
+            }
+            match plan_rotation(*step, &self.keys, self.slots) {
+                None => emit(
+                    LintCode::MissingRotationKey,
+                    format!(
+                        "rotation by {step} cannot be composed from the {} available \
+                         key step(s)",
+                        self.keys.len()
+                    ),
+                ),
+                Some(plan) if plan.len() > 1 => emit(
+                    LintCode::DegradedRotation,
+                    format!(
+                        "rotation by {step} is served by composing {} keyed rotations",
+                        plan.len()
+                    ),
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_emit() -> impl FnMut(LintCode, String) {
+        |_, _| {}
+    }
+
+    #[test]
+    fn scale_domain_flags_diverged_addition() {
+        let mut d = ScaleDomain::new(2f64.powi(30));
+        let mut hits = Vec::new();
+        let a = 2f64.powi(30);
+        let b = 2f64.powi(31);
+        d.transfer(&AbstractOp::Add, &a, Some(&b), &mut |c, m| hits.push((c, m)));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, LintCode::ScaleMismatch);
+    }
+
+    #[test]
+    fn scale_domain_accepts_aligned_addition() {
+        let mut d = ScaleDomain::new(2f64.powi(30));
+        let mut hits = Vec::new();
+        let a = 2f64.powi(30);
+        d.transfer(&AbstractOp::Add, &a, Some(&a), &mut |c, m| hits.push((c, m)));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn scale_domain_flags_redundant_rescale() {
+        let working = 2f64.powi(30);
+        let mut d = ScaleDomain::new(working);
+        let mut hits = Vec::new();
+        let out = d.transfer(
+            &AbstractOp::Rescale { divisor: 2f64.powi(10) },
+            &working,
+            None,
+            &mut |c, m| hits.push((c, m)),
+        );
+        assert_eq!(hits[0].0, LintCode::RedundantRescale);
+        assert_eq!(out, working / 2f64.powi(10));
+    }
+
+    #[test]
+    fn level_domain_reports_chain_exhaustion_once() {
+        let params = chet_hisa::EncryptionParams::rns_ckks(8192, 40, 2);
+        let mut d = LevelDomain::new(&params.modulus);
+        let f = d.fresh(1.0, 0);
+        let divisor = d.max_rescale(&f, 2f64.powi(45)).unwrap();
+        assert!(divisor > 1.0);
+        let mut hits = Vec::new();
+        // First rescale uses the only consumable prime; the second crosses.
+        let f = d.transfer(&AbstractOp::Rescale { divisor }, &f, None, &mut |c, m| {
+            hits.push((c, m))
+        });
+        assert!(hits.is_empty(), "{hits:?}");
+        let divisor2 = d.max_rescale(&f, 2f64.powi(45)).unwrap();
+        let f = d.transfer(&AbstractOp::Rescale { divisor: divisor2 }, &f, None, &mut |c, m| {
+            hits.push((c, m))
+        });
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, LintCode::LevelExhaustion);
+        // Further rescales stay silent (single report per walk).
+        let d3 = d.max_rescale(&f, 2f64.powi(45)).unwrap();
+        d.transfer(&AbstractOp::Rescale { divisor: d3 }, &f, None, &mut |c, m| {
+            hits.push((c, m))
+        });
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn level_domain_pow2_budget() {
+        let spec = ModulusSpec::PowerOfTwo { log_q: 60, log_special: 60 };
+        let mut d = LevelDomain::new(&spec);
+        let f = d.fresh(1.0, 0);
+        let mut hits = Vec::new();
+        let f = d.transfer(
+            &AbstractOp::Rescale { divisor: 2f64.powi(40) },
+            &f,
+            None,
+            &mut |c, m| hits.push((c, m)),
+        );
+        assert!(hits.is_empty());
+        d.transfer(&AbstractOp::Rescale { divisor: 2f64.powi(40) }, &f, None, &mut |c, m| {
+            hits.push((c, m))
+        });
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, LintCode::LevelExhaustion);
+    }
+
+    #[test]
+    fn rotation_domain_flags_missing_and_degraded() {
+        let keys: BTreeSet<usize> = [4usize].into_iter().collect();
+        let mut d = RotationDomain::new(16, keys);
+        let mut hits = Vec::new();
+        // 8 = 4 + 4: composable but degraded.
+        d.transfer(&AbstractOp::Rotate { step: 8 }, &(), None, &mut |c, m| hits.push((c, m)));
+        // 3 is outside the subgroup <4> generates.
+        d.transfer(&AbstractOp::Rotate { step: 3 }, &(), None, &mut |c, m| hits.push((c, m)));
+        // Repeat: diagnosed once.
+        d.transfer(&AbstractOp::Rotate { step: 3 }, &(), None, &mut |c, m| hits.push((c, m)));
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert_eq!(hits[0].0, LintCode::DegradedRotation);
+        assert_eq!(hits[1].0, LintCode::MissingRotationKey);
+        assert_eq!(d.used.len(), 2);
+    }
+
+    #[test]
+    fn product_domain_runs_both_sides() {
+        let params = chet_hisa::EncryptionParams::rns_ckks(8192, 40, 4);
+        let mut d = (ScaleDomain::new(2f64.powi(30)), LevelDomain::new(&params.modulus));
+        let f = d.fresh(2f64.powi(60), 16);
+        assert_eq!(d.scale_of(&f), Some(2f64.powi(60)));
+        let ub = 2f64.powi(45);
+        let divisor = d.max_rescale(&f, ub).unwrap();
+        assert!(divisor > 1.0 && divisor <= ub);
+        let f2 = d.transfer(&AbstractOp::Rescale { divisor }, &f, None, &mut no_emit());
+        assert!(d.scale_of(&f2).unwrap() < 2f64.powi(60));
+        assert_eq!(f2.1.chain_idx, 1);
+    }
+}

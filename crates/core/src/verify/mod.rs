@@ -1,0 +1,563 @@
+//! Static circuit verification & lints — the `chet-analyze` pass.
+//!
+//! CHET's premise (paper §5) is that FHE correctness constraints are
+//! *statically decidable* by running the circuit under abstract
+//! interpretations of the ciphertext type: rescale-driven modulus
+//! consumption, rotation-key availability, slot capacity and fixed-point
+//! scale alignment all fall out of the same on-the-fly data-flow mechanism
+//! that powers parameter selection ([`crate::analysis`]).
+//!
+//! This module turns that mechanism into a verifier:
+//!
+//! * [`domain`] — the [`AbstractDomain`](domain::AbstractDomain) trait, a
+//!   product combinator, and concrete domains for scales, modulus levels,
+//!   slot occupancy and rotation amounts.
+//! * [`walker`] — [`VerifyInterp`](walker::VerifyInterp), a fixpoint-free
+//!   forward walker: a [`chet_hisa::Hisa`] interpretation whose ciphertexts
+//!   carry domain facts and which *never fails*, so one pass over the HISA
+//!   trace collects every diagnostic.
+//! * This module — the [`Diagnostic`] model (severity, stable lint codes,
+//!   per-op provenance, text + machine rendering) and the
+//!   [`verify_compiled`] entry point that `Compiler::compile_checked` and
+//!   `chet-serve`'s publish gate run *before* any dynamic probe.
+//!
+//! Unlike the dynamic SimCkks probe (`crate::validate`), verification never
+//! executes ciphertext arithmetic: a bad artifact is rejected from the
+//! trace alone, with the failing op's index and kernel attached.
+
+pub mod domain;
+pub mod walker;
+
+use crate::compiler::CompiledCircuit;
+use crate::params::circuit_fits;
+use chet_runtime::exec::{
+    try_encrypt_input, try_run_encrypted_with, ExecControl, ExecError, ExecObserver,
+};
+use chet_tensor::circuit::{Circuit, Op};
+use chet_tensor::Tensor;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The artifact would misbehave at run time; it must not be published.
+    Deny,
+    /// Wasteful or suspicious, but executable.
+    Warn,
+    /// Informational (e.g. a rotation served by key composition).
+    Note,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Deny => write!(f, "deny"),
+            Severity::Warn => write!(f, "warn"),
+            Severity::Note => write!(f, "note"),
+        }
+    }
+}
+
+/// Stable lint codes. The `CHET-E…` family is [`Severity::Deny`], `CHET-W…`
+/// is [`Severity::Warn`], `CHET-N…` is [`Severity::Note`]; codes are part of
+/// the tool's public interface and never renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// CHET-E001: a binary op joins operands with diverged fixed-point
+    /// scales (the dynamic analogue panics with "scales must match").
+    ScaleMismatch,
+    /// CHET-E002: the circuit's rescaling requirement exceeds the modulus
+    /// budget the artifact actually carries.
+    LevelExhaustion,
+    /// CHET-E003: a rotation step cannot be served by (or composed from)
+    /// the artifact's rotation-key set.
+    MissingRotationKey,
+    /// CHET-E004: a tensor does not fit the ciphertext slot count.
+    SlotOverflow,
+    /// CHET-E005: the circuit uses a shape or kernel contract the toolchain
+    /// cannot execute.
+    UnsupportedOp,
+    /// CHET-E006: the encryption parameters are structurally invalid or
+    /// violate the security table.
+    InvalidParams,
+    /// CHET-W001: a rescale fired on a ciphertext already at (or below) the
+    /// working scale — it burns modulus for no precision benefit.
+    RedundantRescale,
+    /// CHET-W002: the artifact carries rotation keys for steps the circuit
+    /// never uses.
+    UnusedRotationKey,
+    /// CHET-W003: a circuit node is unreachable from the output.
+    DeadOp,
+    /// CHET-W004: the output ciphertext's scale is below the precision the
+    /// compilation requested.
+    PrecisionBudget,
+    /// CHET-N001: a rotation is served by composing several keyed
+    /// rotations instead of one dedicated key.
+    DegradedRotation,
+}
+
+impl LintCode {
+    /// Every code, in catalog order.
+    pub const ALL: [LintCode; 11] = [
+        LintCode::ScaleMismatch,
+        LintCode::LevelExhaustion,
+        LintCode::MissingRotationKey,
+        LintCode::SlotOverflow,
+        LintCode::UnsupportedOp,
+        LintCode::InvalidParams,
+        LintCode::RedundantRescale,
+        LintCode::UnusedRotationKey,
+        LintCode::DeadOp,
+        LintCode::PrecisionBudget,
+        LintCode::DegradedRotation,
+    ];
+
+    /// The stable code string, e.g. `"CHET-E001"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::ScaleMismatch => "CHET-E001",
+            LintCode::LevelExhaustion => "CHET-E002",
+            LintCode::MissingRotationKey => "CHET-E003",
+            LintCode::SlotOverflow => "CHET-E004",
+            LintCode::UnsupportedOp => "CHET-E005",
+            LintCode::InvalidParams => "CHET-E006",
+            LintCode::RedundantRescale => "CHET-W001",
+            LintCode::UnusedRotationKey => "CHET-W002",
+            LintCode::DeadOp => "CHET-W003",
+            LintCode::PrecisionBudget => "CHET-W004",
+            LintCode::DegradedRotation => "CHET-N001",
+        }
+    }
+
+    /// The short kebab-case lint name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::ScaleMismatch => "scale-mismatch",
+            LintCode::LevelExhaustion => "level-exhaustion",
+            LintCode::MissingRotationKey => "missing-rotation-key",
+            LintCode::SlotOverflow => "slot-overflow",
+            LintCode::UnsupportedOp => "unsupported-op",
+            LintCode::InvalidParams => "invalid-params",
+            LintCode::RedundantRescale => "redundant-rescale",
+            LintCode::UnusedRotationKey => "unused-rotation-key",
+            LintCode::DeadOp => "dead-output",
+            LintCode::PrecisionBudget => "precision-budget",
+            LintCode::DegradedRotation => "degraded-rotation",
+        }
+    }
+
+    /// Severity class of the code family.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::ScaleMismatch
+            | LintCode::LevelExhaustion
+            | LintCode::MissingRotationKey
+            | LintCode::SlotOverflow
+            | LintCode::UnsupportedOp
+            | LintCode::InvalidParams => Severity::Deny,
+            LintCode::RedundantRescale
+            | LintCode::UnusedRotationKey
+            | LintCode::DeadOp
+            | LintCode::PrecisionBudget => Severity::Warn,
+            LintCode::DegradedRotation => Severity::Note,
+        }
+    }
+
+    /// What the lint catches, for the catalog.
+    pub fn description(self) -> &'static str {
+        match self {
+            LintCode::ScaleMismatch => {
+                "a binary op joins ciphertexts whose fixed-point scales diverged"
+            }
+            LintCode::LevelExhaustion => {
+                "the circuit needs more rescaling modulus than the artifact carries"
+            }
+            LintCode::MissingRotationKey => {
+                "a rotation step cannot be composed from the artifact's key set"
+            }
+            LintCode::SlotOverflow => "a tensor does not fit the ciphertext slot count",
+            LintCode::UnsupportedOp => "a circuit shape or kernel contract is unexecutable",
+            LintCode::InvalidParams => "encryption parameters are invalid or insecure",
+            LintCode::RedundantRescale => "a rescale burns modulus with no precision benefit",
+            LintCode::UnusedRotationKey => "rotation keys are generated but never used",
+            LintCode::DeadOp => "a circuit node is unreachable from the output",
+            LintCode::PrecisionBudget => {
+                "the output scale is below the requested output precision"
+            }
+            LintCode::DegradedRotation => {
+                "a rotation is composed from several keyed rotations"
+            }
+        }
+    }
+
+    /// The paper section that motivates the property the lint protects.
+    pub fn paper_section(self) -> &'static str {
+        match self {
+            LintCode::ScaleMismatch => "§5.5",
+            LintCode::LevelExhaustion => "§5.2",
+            LintCode::MissingRotationKey => "§5.4",
+            LintCode::SlotOverflow => "§5.2",
+            LintCode::UnsupportedOp => "§4",
+            LintCode::InvalidParams => "§2.3/§5.2",
+            LintCode::RedundantRescale => "§2.2",
+            LintCode::UnusedRotationKey => "§5.4",
+            LintCode::DeadOp => "§3",
+            LintCode::PrecisionBudget => "§5.5",
+            LintCode::DegradedRotation => "§5.4",
+        }
+    }
+
+    /// Parses a stable code string back into the enum.
+    pub fn from_code(code: &str) -> Option<LintCode> {
+        LintCode::ALL.iter().copied().find(|c| c.code() == code)
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// Where a diagnostic points: the circuit node (HISA-trace op index) and the
+/// kernel/operation executing there. Dynamic [`ExecError`]s report the same
+/// spans, so static and probe failures line up.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OpSpan {
+    /// Index of the circuit node.
+    pub op_index: usize,
+    /// Display name of the node's operation ("conv2d", "matmul", …).
+    pub kernel: String,
+}
+
+impl OpSpan {
+    /// Builds a span.
+    pub fn new(op_index: usize, kernel: impl Into<String>) -> Self {
+        OpSpan { op_index, kernel: kernel.into() }
+    }
+
+    /// Extracts the span from a runtime executor error, when it carries one.
+    pub fn from_exec_error(e: &ExecError) -> Option<OpSpan> {
+        e.op_location().map(|(i, k)| OpSpan::new(i, k))
+    }
+}
+
+impl fmt::Display for OpSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op #{} ({})", self.op_index, self.kernel)
+    }
+}
+
+/// One finding of the static verifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The stable lint code.
+    pub code: LintCode,
+    /// The circuit node the finding is attributed to, when one exists
+    /// (whole-artifact findings like invalid parameters have none).
+    pub span: Option<OpSpan>,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Severity of the diagnostic (derived from the code family).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// One-line machine-readable rendering:
+    /// `CODE<TAB>severity<TAB>span<TAB>message`.
+    pub fn render_machine(&self) -> String {
+        let span = self.span.as_ref().map(|s| s.to_string()).unwrap_or_else(|| "-".into());
+        format!("{}\t{}\t{}\t{}", self.code.code(), self.severity(), span, self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} [{}]", self.code.code(), self.severity(), self.code.name())?;
+        if let Some(span) = &self.span {
+            write!(f, " at {span}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Everything the verifier found, in emission order (trace order for
+/// walked diagnostics, then the post-walk audits).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiagnosticReport {
+    /// The findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Circuit nodes the trace walk covered.
+    pub checked_ops: usize,
+}
+
+impl DiagnosticReport {
+    /// Findings of a given severity.
+    pub fn by_severity(&self, s: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.severity() == s)
+    }
+
+    /// Number of deny findings.
+    pub fn deny_count(&self) -> usize {
+        self.by_severity(Severity::Deny).count()
+    }
+
+    /// Number of warn findings.
+    pub fn warn_count(&self) -> usize {
+        self.by_severity(Severity::Warn).count()
+    }
+
+    /// Whether any finding forbids publishing the artifact.
+    pub fn has_deny(&self) -> bool {
+        self.deny_count() > 0
+    }
+
+    /// The first deny finding, if any.
+    pub fn first_deny(&self) -> Option<&Diagnostic> {
+        self.by_severity(Severity::Deny).next()
+    }
+
+    /// Whether a specific code was emitted.
+    pub fn has(&self, code: LintCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Machine-readable rendering: one line per finding.
+    pub fn render_machine(&self) -> String {
+        self.diagnostics.iter().map(Diagnostic::render_machine).collect::<Vec<_>>().join("\n")
+    }
+
+    /// Pretty multi-line rendering with a summary footer.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("  {d}\n"));
+        }
+        out.push_str(&format!(
+            "  {} deny, {} warn, {} note across {} checked op(s)\n",
+            self.deny_count(),
+            self.warn_count(),
+            self.by_severity(Severity::Note).count(),
+            self.checked_ops,
+        ));
+        out
+    }
+}
+
+/// The diagnostic accumulator shared between the trace walker (which emits
+/// findings) and the executor observer (which stamps the current op span on
+/// them). Duplicate (code, op) pairs collapse to one finding, so a lint
+/// firing inside a kernel loop reports once per circuit node.
+#[derive(Debug, Default)]
+pub struct DiagSink {
+    diags: Vec<Diagnostic>,
+    current: Option<OpSpan>,
+    seen: BTreeSet<(&'static str, Option<usize>)>,
+}
+
+impl DiagSink {
+    /// Sets the span subsequent [`DiagSink::emit`] calls are attributed to.
+    pub fn set_span(&mut self, op_index: usize, kernel: &str) {
+        self.current = Some(OpSpan::new(op_index, kernel));
+    }
+
+    /// Clears the current span (post-walk audits attach explicit spans).
+    pub fn clear_span(&mut self) {
+        self.current = None;
+    }
+
+    /// Emits a finding at the current span.
+    pub fn emit(&mut self, code: LintCode, message: String) {
+        let span = self.current.clone();
+        self.emit_at(code, span, message);
+    }
+
+    /// Emits a finding at an explicit span.
+    pub fn emit_at(&mut self, code: LintCode, span: Option<OpSpan>, message: String) {
+        let key = (code.code(), span.as_ref().map(|s| s.op_index));
+        if self.seen.insert(key) {
+            self.diags.push(Diagnostic { code, span, message });
+        }
+    }
+
+    /// The findings emitted so far (for callers driving a
+    /// [`walker::VerifyInterp`] by hand).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    fn into_diagnostics(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+}
+
+/// Stamps the walker's diagnostics with the executing node's span.
+struct SpanObserver(Rc<RefCell<DiagSink>>);
+
+impl ExecObserver for SpanObserver {
+    fn on_op(&mut self, op_index: usize, op: &str) {
+        self.0.borrow_mut().set_span(op_index, op);
+    }
+}
+
+/// Circuit nodes unreachable from the output (candidates for `CHET-W003`).
+fn dead_ops(circuit: &Circuit) -> Vec<usize> {
+    let ops = circuit.ops();
+    let mut live = vec![false; ops.len()];
+    live[circuit.output()] = true;
+    for i in (0..ops.len()).rev() {
+        if live[i] {
+            for dep in ops[i].inputs() {
+                live[dep] = true;
+            }
+        }
+    }
+    live.iter().enumerate().filter(|(_, &l)| !l).map(|(i, _)| i).collect()
+}
+
+/// Display name of a circuit op, mirroring the executor's attribution.
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Input { .. } => "input",
+        Op::Conv2d { .. } => "conv2d",
+        Op::MatMul { .. } => "matmul",
+        Op::AvgPool2d { .. } => "avg_pool2d",
+        Op::GlobalAvgPool { .. } => "global_avg_pool",
+        Op::Activation { .. } => "activation",
+        Op::BatchNorm { .. } => "batch_norm",
+        Op::Concat { .. } => "concat",
+        Op::Flatten { .. } => "flatten",
+    }
+}
+
+/// Statically verifies a compiled artifact against its circuit: structural
+/// passes (parameters, dead code, slot capacity) followed by one abstract
+/// trace walk under the full domain product. Never executes ciphertext
+/// arithmetic and never fails — everything it finds is a [`Diagnostic`] in
+/// the returned report.
+pub fn verify_compiled(circuit: &Circuit, compiled: &CompiledCircuit) -> DiagnosticReport {
+    let sink = Rc::new(RefCell::new(DiagSink::default()));
+    let slots = compiled.params.slots();
+
+    // Structural pass 1: parameters (CHET-E006).
+    if let Err(e) = compiled.params.validate() {
+        sink.borrow_mut().emit_at(LintCode::InvalidParams, None, e.to_string());
+    }
+
+    // Structural pass 2: dead nodes (CHET-W003).
+    for i in dead_ops(circuit) {
+        let span = OpSpan::new(i, op_name(&circuit.ops()[i]));
+        sink.borrow_mut().emit_at(
+            LintCode::DeadOp,
+            Some(span),
+            "node is unreachable from the circuit output".into(),
+        );
+    }
+
+    // Structural pass 3: slot capacity (CHET-E004). An unfit circuit would
+    // break layout construction, so the trace walk is skipped.
+    if slots == 0 || !circuit_fits(circuit, compiled.plan.margin, slots) {
+        sink.borrow_mut().emit_at(
+            LintCode::SlotOverflow,
+            None,
+            format!(
+                "circuit tensors do not fit {slots} slots under margin {}",
+                compiled.plan.margin
+            ),
+        );
+        return finish_report(sink, 0);
+    }
+
+    let Some(input_shape) = circuit.ops().iter().find_map(|op| match op {
+        Op::Input { shape } => Some(shape.clone()),
+        _ => None,
+    }) else {
+        sink.borrow_mut().emit_at(
+            LintCode::UnsupportedOp,
+            None,
+            "circuit has no encrypted input".into(),
+        );
+        return finish_report(sink, 0);
+    };
+
+    // The abstract trace walk: the circuit executes under VerifyInterp
+    // (scale × level × slot × rotation product domain) through the standard
+    // executor, with an observer stamping op provenance on every finding.
+    let mut interp = walker::VerifyInterp::new(compiled, Rc::clone(&sink));
+    let image = Tensor::zeros(input_shape);
+    let mut checked_ops = 0usize;
+    let walk = try_encrypt_input(&mut interp, circuit, &compiled.plan, &image).and_then(|enc| {
+        let mut observer = SpanObserver(Rc::clone(&sink));
+        let mut ctrl = ExecControl { cancel: None, observer: Some(&mut observer) };
+        try_run_encrypted_with(&mut interp, circuit, &compiled.plan, enc, &mut ctrl)
+    });
+    match walk {
+        Ok((out, _report)) => {
+            checked_ops = circuit.ops().len();
+            // Post-walk audit: output precision (CHET-W004).
+            let out_scale = out
+                .cts
+                .first()
+                .map(|ct| interp.fact_scale(ct))
+                .unwrap_or(compiled.outcome.output_scale);
+            if out_scale * (1.0 + 1e-9) < compiled.output_precision {
+                let out_idx = circuit.output();
+                let span = OpSpan::new(out_idx, op_name(&circuit.ops()[out_idx]));
+                sink.borrow_mut().emit_at(
+                    LintCode::PrecisionBudget,
+                    Some(span),
+                    format!(
+                        "output scale 2^{:.1} is below the requested precision 2^{:.1}",
+                        out_scale.log2(),
+                        compiled.output_precision.log2()
+                    ),
+                );
+            }
+        }
+        Err(e) => {
+            // The walker itself is infallible, so a walk error is a kernel
+            // contract violation or unsupported shape (CHET-E00{4,5}).
+            let code = match &e {
+                ExecError::Hisa { source: chet_hisa::HisaError::SlotOverflow { .. }, .. } => {
+                    LintCode::SlotOverflow
+                }
+                _ => LintCode::UnsupportedOp,
+            };
+            let span = OpSpan::from_exec_error(&e);
+            sink.borrow_mut().emit_at(code, span, e.to_string());
+        }
+    }
+
+    // Post-walk audit: rotation-key coverage (CHET-W002). E003/N001 were
+    // emitted per rotation site during the walk; here the *key set* is
+    // checked against the steps the circuit actually requested.
+    sink.borrow_mut().clear_span();
+    let used = interp.used_rotations();
+    let keyed = compiled.rotation_keys.steps(slots);
+    let unused: Vec<usize> = keyed.difference(&used).copied().collect();
+    if !unused.is_empty() {
+        sink.borrow_mut().emit_at(
+            LintCode::UnusedRotationKey,
+            None,
+            format!(
+                "{} rotation key(s) generated for steps the circuit never uses: {unused:?}",
+                unused.len()
+            ),
+        );
+    }
+
+    finish_report(sink, checked_ops)
+}
+
+fn finish_report(sink: Rc<RefCell<DiagSink>>, checked_ops: usize) -> DiagnosticReport {
+    let inner = Rc::try_unwrap(sink)
+        .map(RefCell::into_inner)
+        .unwrap_or_else(|rc| std::mem::take(&mut rc.borrow_mut()));
+    DiagnosticReport { diagnostics: inner.into_diagnostics(), checked_ops }
+}

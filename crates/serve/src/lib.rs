@@ -40,5 +40,7 @@ pub mod stats;
 
 pub use breaker::{BreakerConfig, BreakerSnapshot, BreakerState, BreakerTransition, CircuitBreaker};
 pub use retry::RetryPolicy;
-pub use service::{InferResponse, InferenceService, ServeConfig, ServeError, Ticket};
+pub use service::{
+    vet_artifact, InferResponse, InferenceService, ServeConfig, ServeError, Ticket,
+};
 pub use stats::{LatencyHistogram, LatencySnapshot, ServiceStats};

@@ -31,7 +31,7 @@ use crate::breaker::{BreakerConfig, CircuitBreaker, Route};
 use crate::retry::RetryPolicy;
 use crate::stats::{Counters, LatencyHistogram, ServiceStats};
 use chet_ckks::sim::SimCkks;
-use chet_compiler::{CompiledCircuit, Compiler, SelectError};
+use chet_compiler::{verify_compiled, CompiledCircuit, Compiler, SelectError};
 use chet_hisa::params::SchemeKind;
 use chet_hisa::{Hisa, HisaError};
 use chet_runtime::cancel::{CancelReason, CancelToken};
@@ -125,6 +125,14 @@ pub enum ServeError {
     /// The initial [`Compiler::compile_checked`] could not produce a
     /// servable artifact.
     Compile(SelectError),
+    /// The static verifier found `Deny` diagnostics in the artifact; the
+    /// service refuses to publish it.
+    Lint {
+        /// Number of `Deny` diagnostics reported.
+        denies: usize,
+        /// Rendering of the first `Deny` diagnostic.
+        first: String,
+    },
     /// The executing worker disappeared without replying (it panicked
     /// outside the guarded region, or the service was torn down).
     WorkerLost,
@@ -142,6 +150,9 @@ impl fmt::Display for ServeError {
                 write!(f, "request failed after {attempts} primary attempt(s): {error}")
             }
             ServeError::Compile(e) => write!(f, "artifact compilation failed: {e}"),
+            ServeError::Lint { denies, first } => {
+                write!(f, "artifact rejected by static verifier ({denies} deny): {first}")
+            }
             ServeError::WorkerLost => write!(f, "worker disappeared without replying"),
         }
     }
@@ -186,6 +197,24 @@ impl Ticket {
     pub fn poll(&self) -> Option<Result<InferResponse, ServeError>> {
         self.rx.try_recv().ok()
     }
+}
+
+/// The publish gate: runs the static verifier over an artifact and refuses
+/// it (as [`ServeError::Lint`]) when any `Deny` diagnostic is present. The
+/// service calls this before publishing an artifact — at startup and after
+/// every repair recompilation — so a bad artifact can never become the
+/// shared serving state, even if the compile path that produced it skipped
+/// its own checks.
+pub fn vet_artifact(circuit: &Circuit, compiled: &CompiledCircuit) -> Result<(), ServeError> {
+    let report = verify_compiled(circuit, compiled);
+    if report.has_deny() {
+        let first = report
+            .first_deny()
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "unknown deny diagnostic".to_string());
+        return Err(ServeError::Lint { denies: report.deny_count(), first });
+    }
+    Ok(())
 }
 
 struct Job {
@@ -235,14 +264,16 @@ impl ServiceCore {
         let margin = g.extra_margin + 1;
         let compiler = self.compiler.clone().with_margin_levels(margin);
         if let Ok((compiled, report)) = compiler.compile_checked(&self.circuit, &g.scales) {
-            g.scales = report.final_scales;
-            g.compiled = Arc::new(compiled);
-            g.extra_margin = margin;
-            g.version += 1;
-            Counters::bump(&self.counters.repairs);
+            if vet_artifact(&self.circuit, &compiled).is_ok() {
+                g.scales = report.final_scales;
+                g.compiled = Arc::new(compiled);
+                g.extra_margin = margin;
+                g.version += 1;
+                Counters::bump(&self.counters.repairs);
+            }
         }
-        // A failed recompile keeps the old artifact: stale but servable
-        // beats unservable.
+        // A failed recompile (or an artifact the verifier denies) keeps the
+        // old artifact: stale but servable beats unservable.
     }
 
     fn stats(&self) -> ServiceStats {
@@ -340,6 +371,7 @@ impl InferenceService {
     {
         let (compiled, report) =
             compiler.compile_checked(&circuit, &scales).map_err(ServeError::Compile)?;
+        vet_artifact(&circuit, &compiled)?;
         let core = Arc::new(ServiceCore {
             circuit,
             compiler,

@@ -1,0 +1,153 @@
+//! `chet-lint` — static circuit verifier over the built-in networks.
+//!
+//! Compiles every Table 3 network and runs the abstract-interpretation
+//! verifier (`chet_compiler::verify_compiled`) over the compiled artifact,
+//! printing each diagnostic with its stable lint code and op span. No
+//! ciphertext (or simulator) execution happens: this is the static half of
+//! `compile_checked`, exposed as a CI-friendly lint pass.
+//!
+//! ```text
+//! chet-lint [--machine] [--check <baseline>] [--write-baseline <baseline>]
+//! ```
+//!
+//! * `--machine` — tab-separated diagnostics instead of pretty output.
+//! * `--check <file>` — fail (exit 1) if any network produces a Deny
+//!   diagnostic, or more findings of any code than the checked-in baseline
+//!   allows (so new warnings fail CI instead of accumulating).
+//! * `--write-baseline <file>` — record the current per-network finding
+//!   counts as the new baseline.
+//!
+//! Verify wall times per network are appended to
+//! `results/verify_times.txt` (best effort) for the bench guard.
+
+use chet::compiler::verify::{verify_compiled, DiagnosticReport};
+use chet::compiler::Compiler;
+use chet::hisa::params::SchemeKind;
+use chet::runtime::kernels::ScaleConfig;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// (network, lint code) -> finding count.
+type Counts = BTreeMap<(String, String), usize>;
+
+fn scales() -> ScaleConfig {
+    ScaleConfig::from_log2(25, 12, 12, 10)
+}
+
+fn parse_baseline(path: &str) -> Counts {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("chet-lint: cannot read baseline {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut counts = Counts::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next().and_then(|c| c.parse().ok())) {
+            (Some(net), Some(code), Some(n)) => {
+                counts.insert((net.to_string(), code.to_string()), n);
+            }
+            _ => {
+                eprintln!("chet-lint: malformed baseline line: {line}");
+                std::process::exit(2);
+            }
+        }
+    }
+    counts
+}
+
+fn render_baseline(counts: &Counts) -> String {
+    let mut out = String::from("# chet-lint baseline: <network> <lint code> <count>\n");
+    for ((net, code), n) in counts {
+        out.push_str(&format!("{net} {code} {n}\n"));
+    }
+    out
+}
+
+fn lint_network(name: &str, report: &DiagnosticReport, machine: bool, counts: &mut Counts) {
+    for d in &report.diagnostics {
+        *counts.entry((name.to_string(), d.code.code().to_string())).or_insert(0) += 1;
+    }
+    if machine {
+        for d in &report.diagnostics {
+            println!("{name}\t{}", d.render_machine());
+        }
+    } else {
+        println!("{name}:");
+        print!("{}", report.render_text());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let machine = args.iter().any(|a| a == "--machine");
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("chet-lint: {flag} needs a file argument");
+                std::process::exit(2);
+            })
+        })
+    };
+    let check = flag_value("--check");
+    let write = flag_value("--write-baseline");
+
+    let mut counts = Counts::new();
+    let mut denies = 0usize;
+    let mut times = String::new();
+    for net in chet::networks::all_networks() {
+        let compiled = Compiler::new(SchemeKind::RnsCkks)
+            .with_output_precision(2f64.powi(25))
+            .compile(&net.circuit, &scales())
+            .unwrap_or_else(|e| {
+                eprintln!("chet-lint: {} failed to compile: {e}", net.name);
+                std::process::exit(1);
+            });
+        let t0 = Instant::now();
+        let report = verify_compiled(&net.circuit, &compiled);
+        let micros = t0.elapsed().as_micros();
+        times.push_str(&format!("{} {micros}\n", net.name));
+        lint_network(net.name, &report, machine, &mut counts);
+        if !machine {
+            println!("  verified {} op(s) in {micros} us", report.checked_ops);
+        }
+        denies += report.deny_count();
+    }
+
+    // Best-effort timing record for the bench guard; missing results/ (e.g.
+    // running from another directory) is not a lint failure.
+    if std::fs::write("results/verify_times.txt", &times).is_err() {
+        eprintln!("chet-lint: note: could not write results/verify_times.txt");
+    }
+
+    if let Some(path) = write {
+        if let Err(e) = std::fs::write(&path, render_baseline(&counts)) {
+            eprintln!("chet-lint: cannot write baseline {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("baseline written to {path}");
+    }
+
+    let mut failed = denies > 0;
+    if denies > 0 {
+        eprintln!("chet-lint: {denies} deny diagnostic(s)");
+    }
+    if let Some(path) = check {
+        let baseline = parse_baseline(&path);
+        for ((net, code), n) in &counts {
+            let allowed = baseline.get(&(net.clone(), code.clone())).copied().unwrap_or(0);
+            if *n > allowed {
+                eprintln!(
+                    "chet-lint: {net}: {code} count {n} exceeds baseline {allowed} ({path})"
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

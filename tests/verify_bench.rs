@@ -1,0 +1,47 @@
+//! Bench guard for the static verifier: verification must stay cheap
+//! enough to run on every compile and in CI. Records per-network verify
+//! wall times in `results/verify_times.txt` and asserts the largest
+//! network (SqueezeNet-CIFAR, full size) verifies within budget.
+
+use chet::compiler::{verify_compiled, Compiler};
+use chet::hisa::params::SchemeKind;
+use chet::runtime::kernels::ScaleConfig;
+use std::time::Instant;
+
+#[test]
+fn static_verify_is_fast_on_every_network() {
+    let mut lines = String::new();
+    let mut worst: (String, f64) = (String::new(), 0.0);
+    for net in chet::networks::all_networks() {
+        let compiled = Compiler::new(SchemeKind::RnsCkks)
+            .with_output_precision(2f64.powi(25))
+            .compile(&net.circuit, &ScaleConfig::from_log2(25, 12, 12, 10))
+            .unwrap_or_else(|e| panic!("{}: {e}", net.name));
+        let t0 = Instant::now();
+        let report = verify_compiled(&net.circuit, &compiled);
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(
+            !report.has_deny(),
+            "{}: built-in network must verify clean:\n{}",
+            net.name,
+            report.render_text()
+        );
+        lines.push_str(&format!("{} {}\n", net.name, (secs * 1e6) as u64));
+        if secs > worst.1 {
+            worst = (net.name.to_string(), secs);
+        }
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/verify_times.txt");
+    if let Err(e) = std::fs::write(path, &lines) {
+        eprintln!("note: could not record verify times at {path}: {e}");
+    }
+    // ~240 ms in release on the largest network; debug builds run the same
+    // walk unoptimized, so they get a proportionally looser budget.
+    let budget = if cfg!(debug_assertions) { 10.0 } else { 1.0 };
+    assert!(
+        worst.1 < budget,
+        "slowest static verify ({}) took {:.3}s, budget {budget}s",
+        worst.0,
+        worst.1
+    );
+}
