@@ -1,0 +1,176 @@
+//! Parallel-scaling benchmark — `BENCH_parallel.json`.
+//!
+//! Measures end-to-end encrypted-inference latency for the Table 3
+//! networks (reduced variants by default) at 1/2/4/8 threads on the
+//! SimCkks and RNS-CKKS backends, and verifies that every thread count
+//! produces **bit-identical** output to the 1-thread baseline (the
+//! fan-out layer's determinism contract).
+//!
+//! The JSON records `host_cpus` alongside the latencies: speedup is
+//! bounded by physical parallelism, and on a single-core host the 2/4/8
+//! thread rows measure scheduling overhead, not speedup. EXPERIMENTS.md
+//! discusses how to read the numbers.
+//!
+//! Usage: `cargo run --release --bin bench_parallel [--sim] [--nets N] [--images N]`
+//! (`--sim` restricts to the simulator backend for a quick smoke run).
+
+use chet_bench::{harness_precision, harness_scales, print_table, time_inference, BackendChoice, HarnessArgs};
+use chet_compiler::Compiler;
+use chet_runtime::par::set_threads;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Cell {
+    backend: &'static str,
+    network: String,
+    latency: Vec<(usize, Duration)>,
+    bit_identical: bool,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let backends: &[(BackendChoice, &str)] = if args.sim {
+        &[(BackendChoice::Sim, "sim")]
+    } else {
+        &[(BackendChoice::Sim, "sim"), (BackendChoice::Rns, "rns")]
+    };
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("== Parallel scaling: 1/2/4/8-thread encrypted inference (host_cpus = {host_cpus}) ==\n");
+
+    let scales = harness_scales();
+    let mut cells: Vec<Cell> = Vec::new();
+    let nets = args.networks();
+    for &(backend, backend_name) in backends {
+        // The RNS sweep runs each network once per thread count; on this
+        // class of hardware that is minutes per cell, so cap it at the two
+        // light networks (same practice as the other RNS harnesses — see
+        // run_experiments.sh). The simulator sweeps everything requested.
+        let cap = if backend == BackendChoice::Rns { nets.len().min(2) } else { nets.len() };
+        if cap < nets.len() {
+            println!(
+                "  [{backend_name}] capping to first {cap} of {} networks (rerun with --nets for more)",
+                nets.len()
+            );
+        }
+        for net in &nets[..cap] {
+            let compiled = Compiler::new(backend.kind())
+                .with_output_precision(harness_precision())
+                .compile(&net.circuit, &scales)
+                .expect("network compiles");
+            let image = net.sample_image(3);
+            let mut latency = Vec::new();
+            let mut baseline: Option<Vec<f64>> = None;
+            let mut bit_identical = true;
+            for &t in &THREAD_COUNTS {
+                set_threads(t);
+                let mut best: Option<(Vec<f64>, Duration)> = None;
+                for _ in 0..args.images.max(1) {
+                    let (out, dur) = time_inference(
+                        backend,
+                        &compiled.params,
+                        &compiled.rotation_keys,
+                        &net.circuit,
+                        &compiled.plan,
+                        &image,
+                        7,
+                    );
+                    let bits = out.data().to_vec();
+                    best = Some(match best.take() {
+                        None => (bits, dur),
+                        Some((b, d)) => (b, d.min(dur)),
+                    });
+                }
+                let (bits, dur) = best.expect("at least one run");
+                match &baseline {
+                    None => baseline = Some(bits),
+                    Some(base) => bit_identical &= base == &bits,
+                }
+                latency.push((t, dur));
+                println!("  {backend_name:>3} {:<24} {t} thread(s): {:?}", net.name, dur);
+            }
+            set_threads(1);
+            cells.push(Cell {
+                backend: backend_name,
+                network: net.name.to_string(),
+                latency,
+                bit_identical,
+            });
+        }
+    }
+
+    // Human-readable table.
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let base = c.latency[0].1.as_secs_f64();
+            let mut row = vec![c.backend.to_string(), c.network.clone()];
+            for (_, d) in &c.latency {
+                row.push(format!("{:.1} ms", d.as_secs_f64() * 1e3));
+            }
+            let at4 = c.latency.iter().find(|(t, _)| *t == 4).map(|(_, d)| d.as_secs_f64());
+            row.push(match at4 {
+                Some(d) if d > 0.0 => format!("{:.2}x", base / d),
+                _ => "-".to_string(),
+            });
+            row.push(if c.bit_identical { "yes" } else { "NO" }.to_string());
+            row
+        })
+        .collect();
+    print_table(
+        &["backend", "network", "1T", "2T", "4T", "8T", "speedup@4T", "bit-identical"],
+        &rows,
+    );
+
+    // Machine-readable record.
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"parallel_scaling\",");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"speedup is bounded by host_cpus; on a 1-CPU host the multi-thread rows measure pool overhead, not speedup\","
+    );
+    let _ = writeln!(json, "  \"threads\": [1, 2, 4, 8],");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let base = c.latency[0].1.as_secs_f64();
+        let at4 = c
+            .latency
+            .iter()
+            .find(|(t, _)| *t == 4)
+            .map(|(_, d)| d.as_secs_f64())
+            .filter(|d| *d > 0.0)
+            .map(|d| base / d)
+            .unwrap_or(0.0);
+        let lat: Vec<String> = c
+            .latency
+            .iter()
+            .map(|(t, d)| format!("\"{}\": {:.3}", t, d.as_secs_f64() * 1e3))
+            .collect();
+        let _ = writeln!(
+            json,
+            "    {{\"backend\": \"{}\", \"network\": \"{}\", \"latency_ms\": {{{}}}, \"speedup_at_4\": {:.3}, \"bit_identical\": {}}}{}",
+            json_escape(c.backend),
+            json_escape(&c.network),
+            lat.join(", "),
+            at4,
+            c.bit_identical,
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("\nwrote BENCH_parallel.json");
+
+    assert!(
+        cells.iter().all(|c| c.bit_identical),
+        "outputs must be bit-identical across thread counts"
+    );
+}

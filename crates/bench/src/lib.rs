@@ -98,16 +98,10 @@ impl HarnessArgs {
         let mut nets = if self.full {
             chet_networks::all_networks()
         } else {
-            [
-                "LeNet-5-small",
-                "LeNet-5-medium",
-                "LeNet-5-large",
-                "Industrial",
-                "SqueezeNet-CIFAR",
-            ]
-            .iter()
-            .map(|n| chet_networks::reduced(n))
-            .collect()
+            chet_networks::NETWORK_NAMES
+                .iter()
+                .filter_map(|n| chet_networks::try_reduced(n).ok())
+                .collect()
         };
         nets.truncate(self.nets.max(1));
         nets

@@ -112,6 +112,18 @@ impl Hisa for RnsEvaluator {
     fn scale_of(&self, c: &Self::Ct) -> f64 {
         self.inner.scale_of(c)
     }
+
+    fn available_rotations(&self) -> Option<std::collections::BTreeSet<usize>> {
+        self.inner.available_rotations()
+    }
+
+    fn fork(&mut self) -> Option<Self> {
+        self.inner.fork().map(|inner| RnsEvaluator { inner })
+    }
+
+    fn join(&mut self, child: Self) {
+        self.inner.join(child.inner);
+    }
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 use super::context::RnsContext;
 use crate::encoding::apply_automorphism;
 use chet_math::modint::{add_mod, mul_mod, neg_mod, sub_mod};
+use chet_math::par;
 
 /// A polynomial over a prefix of the modulus chain, optionally extended by
 /// the special prime (only during key switching).
@@ -25,11 +26,7 @@ pub struct RnsPoly {
 impl RnsPoly {
     /// Modulus index in the context for component `k` of this poly.
     fn mod_index(&self, ctx: &RnsContext, k: usize) -> usize {
-        if self.special && k == self.data.len() - 1 {
-            ctx.special_index()
-        } else {
-            k
-        }
+        mod_index_of(self.special, self.data.len(), ctx, k)
     }
 
     /// The zero polynomial at `level` (plus special prime if requested).
@@ -48,34 +45,34 @@ impl RnsPoly {
     pub fn from_signed(ctx: &RnsContext, coeffs: &[i64], level: usize, special: bool) -> Self {
         assert_eq!(coeffs.len(), ctx.degree());
         let mut poly = RnsPoly::zero(ctx, level, special, false);
-        for k in 0..poly.data.len() {
-            let q = ctx.modulus(poly.mod_index(ctx, k));
-            let comp = &mut poly.data[k];
+        let comps = poly.data.len();
+        par::par_iter_mut(&mut poly.data, |k, comp| {
+            let q = ctx.modulus(mod_index_of(special, comps, ctx, k));
             for (c, &v) in comp.iter_mut().zip(coeffs) {
                 let r = v % q as i64;
                 *c = if r < 0 { (r + q as i64) as u64 } else { r as u64 };
             }
-        }
+        });
         poly
     }
 
     /// Converts all components to NTT form.
     pub fn ntt_forward(&mut self, ctx: &RnsContext) {
         assert!(!self.ntt_form, "already in NTT form");
-        for k in 0..self.data.len() {
-            let idx = self.mod_index(ctx, k);
-            ctx.ntt(idx).forward(&mut self.data[k]);
-        }
+        let (special, comps) = (self.special, self.data.len());
+        par::par_iter_mut(&mut self.data, |k, comp| {
+            ctx.ntt(mod_index_of(special, comps, ctx, k)).forward(comp);
+        });
         self.ntt_form = true;
     }
 
     /// Converts all components back to coefficient form.
     pub fn ntt_inverse(&mut self, ctx: &RnsContext) {
         assert!(self.ntt_form, "not in NTT form");
-        for k in 0..self.data.len() {
-            let idx = self.mod_index(ctx, k);
-            ctx.ntt(idx).inverse(&mut self.data[k]);
-        }
+        let (special, comps) = (self.special, self.data.len());
+        par::par_iter_mut(&mut self.data, |k, comp| {
+            ctx.ntt(mod_index_of(special, comps, ctx, k)).inverse(comp);
+        });
         self.ntt_form = false;
     }
 
@@ -88,23 +85,25 @@ impl RnsPoly {
     /// `self += other`.
     pub fn add_assign(&mut self, ctx: &RnsContext, other: &RnsPoly) {
         self.check_compatible(other);
-        for k in 0..self.data.len() {
-            let q = ctx.modulus(self.mod_index(ctx, k));
-            for (a, &b) in self.data[k].iter_mut().zip(&other.data[k]) {
+        let (special, comps) = (self.special, self.data.len());
+        par::par_iter_mut(&mut self.data, |k, comp| {
+            let q = ctx.modulus(mod_index_of(special, comps, ctx, k));
+            for (a, &b) in comp.iter_mut().zip(&other.data[k]) {
                 *a = add_mod(*a, b, q);
             }
-        }
+        });
     }
 
     /// `self -= other`.
     pub fn sub_assign(&mut self, ctx: &RnsContext, other: &RnsPoly) {
         self.check_compatible(other);
-        for k in 0..self.data.len() {
-            let q = ctx.modulus(self.mod_index(ctx, k));
-            for (a, &b) in self.data[k].iter_mut().zip(&other.data[k]) {
+        let (special, comps) = (self.special, self.data.len());
+        par::par_iter_mut(&mut self.data, |k, comp| {
+            let q = ctx.modulus(mod_index_of(special, comps, ctx, k));
+            for (a, &b) in comp.iter_mut().zip(&other.data[k]) {
                 *a = sub_mod(*a, b, q);
             }
-        }
+        });
     }
 
     /// `self = -self`.
@@ -119,15 +118,8 @@ impl RnsPoly {
 
     /// Pointwise product (both operands must be in NTT form).
     pub fn mul(&self, ctx: &RnsContext, other: &RnsPoly) -> RnsPoly {
-        self.check_compatible(other);
-        assert!(self.ntt_form, "ring products require NTT form");
         let mut out = self.clone();
-        for k in 0..out.data.len() {
-            let q = ctx.modulus(out.mod_index(ctx, k));
-            for (a, &b) in out.data[k].iter_mut().zip(&other.data[k]) {
-                *a = mul_mod(*a, b, q);
-            }
-        }
+        out.mul_assign(ctx, other);
         out
     }
 
@@ -135,23 +127,25 @@ impl RnsPoly {
     pub fn mul_assign(&mut self, ctx: &RnsContext, other: &RnsPoly) {
         self.check_compatible(other);
         assert!(self.ntt_form, "ring products require NTT form");
-        for k in 0..self.data.len() {
-            let q = ctx.modulus(self.mod_index(ctx, k));
-            for (a, &b) in self.data[k].iter_mut().zip(&other.data[k]) {
+        let (special, comps) = (self.special, self.data.len());
+        par::par_iter_mut(&mut self.data, |k, comp| {
+            let q = ctx.modulus(mod_index_of(special, comps, ctx, k));
+            for (a, &b) in comp.iter_mut().zip(&other.data[k]) {
                 *a = mul_mod(*a, b, q);
             }
-        }
+        });
     }
 
     /// Multiplies every residue by a signed scalar.
     pub fn mul_scalar_assign(&mut self, ctx: &RnsContext, k_int: i128) {
-        for k in 0..self.data.len() {
-            let q = ctx.modulus(self.mod_index(ctx, k));
+        let (special, comps) = (self.special, self.data.len());
+        par::par_iter_mut(&mut self.data, |k, comp| {
+            let q = ctx.modulus(mod_index_of(special, comps, ctx, k));
             let kq = ((k_int % q as i128 + q as i128) % q as i128) as u64;
-            for a in self.data[k].iter_mut() {
+            for a in comp.iter_mut() {
                 *a = mul_mod(*a, kq, q);
             }
-        }
+        });
     }
 
     /// Adds a signed scalar to every residue (used to add a constant
@@ -170,10 +164,11 @@ impl RnsPoly {
     pub fn automorphism(&self, ctx: &RnsContext, g: usize) -> RnsPoly {
         assert!(!self.ntt_form, "apply automorphisms in coefficient form");
         let mut out = self.clone();
-        for k in 0..self.data.len() {
-            let q = ctx.modulus(self.mod_index(ctx, k));
-            out.data[k] = apply_automorphism(&self.data[k], g, |&c| neg_mod(c, q));
-        }
+        let (special, comps) = (self.special, self.data.len());
+        par::par_iter_mut(&mut out.data, |k, comp| {
+            let q = ctx.modulus(mod_index_of(special, comps, ctx, k));
+            *comp = apply_automorphism(&self.data[k], g, |&c| neg_mod(c, q));
+        });
         out
     }
 
@@ -184,6 +179,18 @@ impl RnsPoly {
         assert!(new_level >= 1 && new_level <= self.level, "invalid target level");
         self.data.truncate(new_level);
         self.level = new_level;
+    }
+}
+
+/// Component-`k` modulus index for a poly with `comps` components.
+/// (Free function so per-limb closures can use it without borrowing the
+/// whole poly.)
+#[inline]
+fn mod_index_of(special: bool, comps: usize, ctx: &RnsContext, k: usize) -> usize {
+    if special && k == comps - 1 {
+        ctx.special_index()
+    } else {
+        k
     }
 }
 

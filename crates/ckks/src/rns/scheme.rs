@@ -15,8 +15,9 @@ use chet_hisa::params::EncryptionParams;
 use chet_hisa::{Hisa, HisaError};
 use chet_math::crt::CrtBasis;
 use chet_math::modint::{mul_mod, sub_mod};
+use chet_math::par;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -81,8 +82,10 @@ pub struct RnsCkks {
     sk: RnsPoly,
     /// Public encryption key (full chain level, no special prime).
     pk: (RnsPoly, RnsPoly),
-    relin: KsKey,
-    galois: HashMap<usize, KsKey>,
+    /// Relinearization key behind an [`Arc`]: ops and [`Hisa::fork`] share
+    /// it without deep-copying the per-prime rows.
+    relin: Arc<KsKey>,
+    galois: HashMap<usize, Arc<KsKey>>,
     key_steps: BTreeSet<usize>,
     error_stddev: f64,
     rng: StdRng,
@@ -135,7 +138,7 @@ impl RnsCkks {
             sk_coeffs,
             sk,
             pk: (pk0, pk1),
-            relin: KsKey { rows: Vec::new() },
+            relin: Arc::new(KsKey { rows: Vec::new() }),
             galois: HashMap::new(),
             key_steps: BTreeSet::new(),
             error_stddev: stddev,
@@ -145,7 +148,7 @@ impl RnsCkks {
 
         // Relinearization key: switch from s² to s.
         let s_sq = scheme.sk.mul(&scheme.ctx.clone(), &scheme.sk);
-        scheme.relin = scheme.gen_ks_key(&s_sq);
+        scheme.relin = Arc::new(scheme.gen_ks_key(&s_sq));
 
         // Rotation keys for the policy's steps.
         let steps = policy.steps(scheme.ctx.slots());
@@ -157,7 +160,7 @@ impl RnsCkks {
             s_rot = s_rot_coeff;
             s_rot.ntt_forward(&scheme.ctx.clone());
             let key = scheme.gen_ks_key(&s_rot);
-            scheme.galois.insert(step, key);
+            scheme.galois.insert(step, Arc::new(key));
         }
         scheme.key_steps = steps;
         scheme
@@ -251,6 +254,11 @@ impl RnsCkks {
     /// Key-switches a coefficient-form polynomial `t` (valid under some
     /// secret `s_from`) into a pair `(acc0, acc1)` valid under `s`, at `t`'s
     /// level, NTT form.
+    ///
+    /// The loop nest is component-outer: each output limb `k` accumulates
+    /// over every decomposition digit independently, so the limbs fan out
+    /// across the [`par`] pool with a fixed (index-ordered) write target —
+    /// results are bit-identical at any thread count.
     fn switch_key(&self, t: &RnsPoly, key: &KsKey) -> (RnsPoly, RnsPoly) {
         let ctx = &self.ctx;
         assert!(!t.ntt_form && !t.special);
@@ -259,23 +267,21 @@ impl RnsCkks {
         let mut acc0 = RnsPoly::zero(ctx, level, true, true);
         let mut acc1 = RnsPoly::zero(ctx, level, true, true);
         let comps = level + 1; // chain prefix + special
-        for i in 0..level {
-            let d = &t.data[i];
-            let (row_b, row_a) = &key.rows[i];
-            for k in 0..comps {
-                let mod_idx = if k == comps - 1 { ctx.special_index() } else { k };
-                let q = ctx.modulus(mod_idx);
+        par::par_zip_mut(&mut acc0.data, &mut acc1.data, |k, acc0_k, acc1_k| {
+            let mod_idx = if k == comps - 1 { ctx.special_index() } else { k };
+            let q = ctx.modulus(mod_idx);
+            // Key rows live at the full basis: chain j ↔ data[j],
+            // special ↔ data[r].
+            let key_k = if k == comps - 1 { ctx.max_level() } else { k };
+            for i in 0..level {
+                let d = &t.data[i];
+                let (row_b, row_a) = &key.rows[i];
                 // Base-convert the unsigned decomposition digit, then NTT.
                 let mut tmp: Vec<u64> =
                     d.iter().map(|&v| if v >= q { v % q } else { v }).collect();
                 ctx.ntt(mod_idx).forward(&mut tmp);
-                // Key rows live at the full basis: chain j ↔ data[j],
-                // special ↔ data[r].
-                let key_k = if k == comps - 1 { ctx.max_level() } else { k };
                 let b_comp = &row_b.data[key_k];
                 let a_comp = &row_a.data[key_k];
-                let acc0_k = &mut acc0.data[k];
-                let acc1_k = &mut acc1.data[k];
                 for idx in 0..n {
                     acc0_k[idx] =
                         (acc0_k[idx] + mul_mod(tmp[idx], b_comp[idx], q)) % q;
@@ -283,7 +289,7 @@ impl RnsCkks {
                         (acc1_k[idx] + mul_mod(tmp[idx], a_comp[idx], q)) % q;
                 }
             }
-        }
+        });
         (self.mod_down_special(acc0), self.mod_down_special(acc1))
     }
 
@@ -298,15 +304,18 @@ impl RnsCkks {
         let mut sp = poly.data.pop().expect("special component present");
         ctx.ntt(ctx.special_index()).inverse(&mut sp);
         poly.special = false;
-        for j in 0..level {
+        debug_assert_eq!(poly.data.len(), level);
+        let sp_ref = &sp;
+        par::par_iter_mut(&mut poly.data, |j, comp| {
             let q = ctx.modulus(j);
-            let mut t: Vec<u64> = sp.iter().map(|&v| centered_switch(v, p, q)).collect();
+            let mut t: Vec<u64> =
+                sp_ref.iter().map(|&v| centered_switch(v, p, q)).collect();
             ctx.ntt(j).forward(&mut t);
             let inv_p = ctx.inv_mod_of(ctx.special_index(), j);
-            for (a, &b) in poly.data[j].iter_mut().zip(&t) {
+            for (a, &b) in comp.iter_mut().zip(&t) {
                 *a = mul_mod(sub_mod(*a, b, q), inv_p, q);
             }
-        }
+        });
         poly
     }
 
@@ -340,16 +349,17 @@ impl RnsCkks {
             let mut last = c.data.pop().expect("component");
             ctx.ntt(l).inverse(&mut last);
             c.level = l;
-            for j in 0..l {
+            let last_ref = &last;
+            par::par_iter_mut(&mut c.data, |j, comp| {
                 let q = ctx.modulus(j);
                 let mut t: Vec<u64> =
-                    last.iter().map(|&v| centered_switch(v, q_l, q)).collect();
+                    last_ref.iter().map(|&v| centered_switch(v, q_l, q)).collect();
                 ctx.ntt(j).forward(&mut t);
                 let inv = ctx.inv_mod_of(l, j);
-                for (a, &b) in c.data[j].iter_mut().zip(&t) {
+                for (a, &b) in comp.iter_mut().zip(&t) {
                     *a = mul_mod(sub_mod(*a, b, q), inv, q);
                 }
-            }
+            });
         }
         ct.scale /= q_l as f64;
     }
@@ -365,14 +375,13 @@ impl RnsCkks {
     fn rotate_step(&mut self, ct: &RnsCiphertext, step: usize) -> Result<RnsCiphertext, HisaError> {
         let ctx = self.ctx.clone();
         let g = ctx.encoder().galois_element(step);
-        let key = self
-            .galois
-            .get(&step)
-            .ok_or_else(|| HisaError::MissingRotationKey {
+        // Arc clone only: the rows stay shared with the key table.
+        let key = Arc::clone(self.galois.get(&step).ok_or_else(|| {
+            HisaError::MissingRotationKey {
                 step,
                 available: self.key_steps.iter().copied().collect(),
-            })?
-            .clone();
+            }
+        })?);
         let mut c0 = ct.c0.clone();
         let mut c1 = ct.c1.clone();
         c0.ntt_inverse(&ctx);
@@ -602,7 +611,8 @@ impl Hisa for RnsCkks {
         let mut d2 = x.c1.mul(&ctx, &y.c1);
         // Relinearize d2·s² back to a degree-1 ciphertext.
         d2.ntt_inverse(&ctx);
-        let (ks0, ks1) = self.switch_key(&d2, &self.relin.clone());
+        let relin = Arc::clone(&self.relin);
+        let (ks0, ks1) = self.switch_key(&d2, &relin);
         let mut c0 = d0;
         c0.add_assign(&ctx, &ks0);
         let mut c1 = d1;
@@ -689,6 +699,34 @@ impl Hisa for RnsCkks {
 
     fn available_rotations(&self) -> Option<BTreeSet<usize>> {
         Some(self.key_steps.clone())
+    }
+
+    /// Forks a child scheme for one fan-out job: the key material is shared
+    /// via [`Arc`], and the child RNG is seeded from the parent's stream so
+    /// the (parent, child₀, child₁, …) randomness split is a pure function
+    /// of program order — independent of how many threads later run the
+    /// children.
+    fn fork(&mut self) -> Option<Self> {
+        let child_seed = self.rng.next_u64();
+        Some(RnsCkks {
+            ctx: self.ctx.clone(),
+            sk_coeffs: self.sk_coeffs.clone(),
+            sk: self.sk.clone(),
+            pk: self.pk.clone(),
+            relin: Arc::clone(&self.relin),
+            galois: self.galois.clone(),
+            key_steps: self.key_steps.clone(),
+            error_stddev: self.error_stddev,
+            rng: StdRng::seed_from_u64(child_seed),
+            crt_cache: HashMap::new(),
+        })
+    }
+
+    fn join(&mut self, child: Self) {
+        // Evaluation ops are deterministic and keep no counters here; the
+        // child's RNG stream was split off at fork time, so dropping it
+        // leaves the parent stream unchanged.
+        let _ = child;
     }
 }
 

@@ -404,6 +404,32 @@ impl Hisa for SimCkks {
         c.scale
     }
 
+    /// Forks a child simulator for one fan-out job. The child's RNG seed is
+    /// drawn from the parent stream, so the randomness split depends only on
+    /// program order (fork #0, fork #1, …) — never on thread scheduling.
+    fn fork(&mut self) -> Option<Self> {
+        use rand::RngCore;
+        let child_seed = self.rng.next_u64();
+        Some(SimCkks {
+            slots: self.slots,
+            degree: self.degree,
+            modulus: self.modulus.clone(),
+            chain: Arc::clone(&self.chain),
+            keys: self.keys.clone(),
+            noise_stddev: self.noise_stddev,
+            rng: StdRng::seed_from_u64(child_seed),
+            counters: HashMap::new(),
+        })
+    }
+
+    /// Folds a child's op counters back into the parent so `op_count` sees
+    /// work done inside parallel regions.
+    fn join(&mut self, child: Self) {
+        for (op, n) in child.counters {
+            *self.counters.entry(op).or_insert(0) += n;
+        }
+    }
+
     fn available_rotations(&self) -> Option<std::collections::BTreeSet<usize>> {
         Some(self.keys.clone())
     }

@@ -52,9 +52,11 @@ pub enum AbstractOp {
 /// it consumes the operand fact(s), may emit diagnostics through `emit`,
 /// and returns the result fact. It must be *total* — a domain reports
 /// violations as lints and keeps walking, never fails.
-pub trait AbstractDomain {
+/// (`Send` because the walker is a [`chet_hisa::Hisa`] interpretation and
+/// the HISA is `Send` for the parallel runtime; domains are plain data.)
+pub trait AbstractDomain: Send {
     /// The per-ciphertext fact.
-    type Fact: Clone + std::fmt::Debug;
+    type Fact: Clone + std::fmt::Debug + Send + Sync;
 
     /// Fact for a freshly encrypted ciphertext (`scale` = encoding scale,
     /// `len` = encoded value count).

@@ -35,10 +35,9 @@ use chet_runtime::exec::{
 };
 use chet_tensor::circuit::{Circuit, Op};
 use chet_tensor::Tensor;
-use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
 use std::fmt;
-use std::rc::Rc;
 
 /// How severe a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -398,11 +397,11 @@ impl DiagSink {
 }
 
 /// Stamps the walker's diagnostics with the executing node's span.
-struct SpanObserver(Rc<RefCell<DiagSink>>);
+struct SpanObserver(Arc<Mutex<DiagSink>>);
 
 impl ExecObserver for SpanObserver {
     fn on_op(&mut self, op_index: usize, op: &str) {
-        self.0.borrow_mut().set_span(op_index, op);
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).set_span(op_index, op);
     }
 }
 
@@ -442,18 +441,18 @@ fn op_name(op: &Op) -> &'static str {
 /// arithmetic and never fails — everything it finds is a [`Diagnostic`] in
 /// the returned report.
 pub fn verify_compiled(circuit: &Circuit, compiled: &CompiledCircuit) -> DiagnosticReport {
-    let sink = Rc::new(RefCell::new(DiagSink::default()));
+    let sink = Arc::new(Mutex::new(DiagSink::default()));
     let slots = compiled.params.slots();
 
     // Structural pass 1: parameters (CHET-E006).
     if let Err(e) = compiled.params.validate() {
-        sink.borrow_mut().emit_at(LintCode::InvalidParams, None, e.to_string());
+        sink.lock().unwrap_or_else(|e| e.into_inner()).emit_at(LintCode::InvalidParams, None, e.to_string());
     }
 
     // Structural pass 2: dead nodes (CHET-W003).
     for i in dead_ops(circuit) {
         let span = OpSpan::new(i, op_name(&circuit.ops()[i]));
-        sink.borrow_mut().emit_at(
+        sink.lock().unwrap_or_else(|e| e.into_inner()).emit_at(
             LintCode::DeadOp,
             Some(span),
             "node is unreachable from the circuit output".into(),
@@ -463,7 +462,7 @@ pub fn verify_compiled(circuit: &Circuit, compiled: &CompiledCircuit) -> Diagnos
     // Structural pass 3: slot capacity (CHET-E004). An unfit circuit would
     // break layout construction, so the trace walk is skipped.
     if slots == 0 || !circuit_fits(circuit, compiled.plan.margin, slots) {
-        sink.borrow_mut().emit_at(
+        sink.lock().unwrap_or_else(|e| e.into_inner()).emit_at(
             LintCode::SlotOverflow,
             None,
             format!(
@@ -478,7 +477,7 @@ pub fn verify_compiled(circuit: &Circuit, compiled: &CompiledCircuit) -> Diagnos
         Op::Input { shape } => Some(shape.clone()),
         _ => None,
     }) else {
-        sink.borrow_mut().emit_at(
+        sink.lock().unwrap_or_else(|e| e.into_inner()).emit_at(
             LintCode::UnsupportedOp,
             None,
             "circuit has no encrypted input".into(),
@@ -489,11 +488,11 @@ pub fn verify_compiled(circuit: &Circuit, compiled: &CompiledCircuit) -> Diagnos
     // The abstract trace walk: the circuit executes under VerifyInterp
     // (scale × level × slot × rotation product domain) through the standard
     // executor, with an observer stamping op provenance on every finding.
-    let mut interp = walker::VerifyInterp::new(compiled, Rc::clone(&sink));
+    let mut interp = walker::VerifyInterp::new(compiled, Arc::clone(&sink));
     let image = Tensor::zeros(input_shape);
     let mut checked_ops = 0usize;
     let walk = try_encrypt_input(&mut interp, circuit, &compiled.plan, &image).and_then(|enc| {
-        let mut observer = SpanObserver(Rc::clone(&sink));
+        let mut observer = SpanObserver(Arc::clone(&sink));
         let mut ctrl = ExecControl { cancel: None, observer: Some(&mut observer) };
         try_run_encrypted_with(&mut interp, circuit, &compiled.plan, enc, &mut ctrl)
     });
@@ -509,7 +508,7 @@ pub fn verify_compiled(circuit: &Circuit, compiled: &CompiledCircuit) -> Diagnos
             if out_scale * (1.0 + 1e-9) < compiled.output_precision {
                 let out_idx = circuit.output();
                 let span = OpSpan::new(out_idx, op_name(&circuit.ops()[out_idx]));
-                sink.borrow_mut().emit_at(
+                sink.lock().unwrap_or_else(|e| e.into_inner()).emit_at(
                     LintCode::PrecisionBudget,
                     Some(span),
                     format!(
@@ -530,19 +529,19 @@ pub fn verify_compiled(circuit: &Circuit, compiled: &CompiledCircuit) -> Diagnos
                 _ => LintCode::UnsupportedOp,
             };
             let span = OpSpan::from_exec_error(&e);
-            sink.borrow_mut().emit_at(code, span, e.to_string());
+            sink.lock().unwrap_or_else(|e| e.into_inner()).emit_at(code, span, e.to_string());
         }
     }
 
     // Post-walk audit: rotation-key coverage (CHET-W002). E003/N001 were
     // emitted per rotation site during the walk; here the *key set* is
     // checked against the steps the circuit actually requested.
-    sink.borrow_mut().clear_span();
+    sink.lock().unwrap_or_else(|e| e.into_inner()).clear_span();
     let used = interp.used_rotations();
     let keyed = compiled.rotation_keys.steps(slots);
     let unused: Vec<usize> = keyed.difference(&used).copied().collect();
     if !unused.is_empty() {
-        sink.borrow_mut().emit_at(
+        sink.lock().unwrap_or_else(|e| e.into_inner()).emit_at(
             LintCode::UnusedRotationKey,
             None,
             format!(
@@ -555,9 +554,9 @@ pub fn verify_compiled(circuit: &Circuit, compiled: &CompiledCircuit) -> Diagnos
     finish_report(sink, checked_ops)
 }
 
-fn finish_report(sink: Rc<RefCell<DiagSink>>, checked_ops: usize) -> DiagnosticReport {
-    let inner = Rc::try_unwrap(sink)
-        .map(RefCell::into_inner)
-        .unwrap_or_else(|rc| std::mem::take(&mut rc.borrow_mut()));
+fn finish_report(sink: Arc<Mutex<DiagSink>>, checked_ops: usize) -> DiagnosticReport {
+    let inner = Arc::try_unwrap(sink)
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .unwrap_or_else(|arc| std::mem::take(&mut arc.lock().unwrap_or_else(|e| e.into_inner())));
     DiagnosticReport { diagnostics: inner.into_diagnostics(), checked_ops }
 }

@@ -16,9 +16,8 @@ use super::{DiagSink, LintCode};
 use crate::compiler::CompiledCircuit;
 use chet_hisa::keys::normalize_rotation;
 use chet_hisa::Hisa;
-use std::cell::RefCell;
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Abstract ciphertext: the product-domain fact.
 #[derive(Debug, Clone)]
@@ -45,12 +44,12 @@ pub struct VerifyInterp<D: AbstractDomain> {
     /// The domain under interpretation (public so callers can read
     /// accumulated facts after the walk).
     pub domain: D,
-    sink: Rc<RefCell<DiagSink>>,
+    sink: Arc<Mutex<DiagSink>>,
 }
 
 impl VerifyInterp<StandardDomain> {
     /// The standard verifier stack for a compiled artifact.
-    pub fn new(compiled: &CompiledCircuit, sink: Rc<RefCell<DiagSink>>) -> Self {
+    pub fn new(compiled: &CompiledCircuit, sink: Arc<Mutex<DiagSink>>) -> Self {
         let slots = compiled.params.slots();
         let domain = (
             (
@@ -74,7 +73,7 @@ impl VerifyInterp<StandardDomain> {
 
 impl<D: AbstractDomain> VerifyInterp<D> {
     /// A custom-domain walker (for tests or additional lint stacks).
-    pub fn with_domain(slots: usize, domain: D, sink: Rc<RefCell<DiagSink>>) -> Self {
+    pub fn with_domain(slots: usize, domain: D, sink: Arc<Mutex<DiagSink>>) -> Self {
         VerifyInterp { slots, domain, sink }
     }
 
@@ -88,7 +87,9 @@ impl<D: AbstractDomain> VerifyInterp<D> {
         // Disjoint field borrows: the domain mutates while emitting into
         // the shared sink (which the executor observer stamps with spans).
         let sink = &self.sink;
-        let mut emit = |code: LintCode, msg: String| sink.borrow_mut().emit(code, msg);
+        let mut emit = |code: LintCode, msg: String| {
+            sink.lock().unwrap_or_else(|e| e.into_inner()).emit(code, msg)
+        };
         VCt { fact: self.domain.transfer(&op, &a.fact, b.map(|x| &x.fact), &mut emit) }
     }
 
@@ -111,7 +112,7 @@ impl<D: AbstractDomain> Hisa for VerifyInterp<D> {
 
     fn encode(&mut self, values: &[f64], scale: f64) -> VPt {
         if values.len() > self.slots {
-            self.sink.borrow_mut().emit(
+            self.sink.lock().unwrap_or_else(|e| e.into_inner()).emit(
                 LintCode::SlotOverflow,
                 format!("encoding {} values into {} slots", values.len(), self.slots),
             );

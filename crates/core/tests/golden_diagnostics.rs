@@ -205,17 +205,16 @@ fn redundant_rescale_is_warned() {
     use chet_compiler::verify::walker::VerifyInterp;
     use chet_compiler::verify::DiagSink;
     use chet_hisa::Hisa;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     let circuit = healthy();
     let compiled = compile(&circuit);
-    let sink = Rc::new(RefCell::new(DiagSink::default()));
-    let mut h = VerifyInterp::new(&compiled, Rc::clone(&sink));
+    let sink = Arc::new(Mutex::new(DiagSink::default()));
+    let mut h = VerifyInterp::new(&compiled, Arc::clone(&sink));
     let pt = h.encode(&[1.0, 2.0, 3.0, 4.0], compiled.plan.scales.input);
     let ct = h.encrypt(&pt);
     let _ = h.rescale(&ct, 2.0); // already at the working scale: pure waste
-    let sink = sink.borrow();
+    let sink = sink.lock().unwrap_or_else(|e| e.into_inner());
     let d = sink
         .diagnostics()
         .iter()

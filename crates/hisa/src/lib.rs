@@ -69,11 +69,17 @@ use std::collections::BTreeSet;
 /// All methods take `&mut self` because backends carry mutable state
 /// (random number generators, lazily generated keys) and analyses accumulate
 /// global facts.
-pub trait Hisa {
+///
+/// `Hisa: Send` and `Ct/Pt: Send + Sync` exist for the runtime's parallel
+/// execution layer: kernel fan-out moves forked backends onto pool threads
+/// and shares borrowed ciphertexts across them. Every interpretation —
+/// lattice schemes, the simulator, compiler analyses — is plain owned data,
+/// so the bounds are satisfied structurally.
+pub trait Hisa: Send {
     /// Ciphertext handle.
-    type Ct: Clone;
+    type Ct: Clone + Send + Sync;
     /// Plaintext handle.
-    type Pt: Clone;
+    type Pt: Clone + Send + Sync;
 
     /// Number of SIMD slots per ciphertext (`N/2` for CKKS-family schemes).
     fn slots(&self) -> usize;
@@ -282,5 +288,48 @@ pub trait Hisa {
     /// steps served by composing several keyed rotations instead of one.
     fn available_rotations(&self) -> Option<BTreeSet<usize>> {
         None
+    }
+
+    // ---- Parallel fan-out ----------------------------------------------
+
+    /// Forks an evaluation-equivalent child backend for parallel kernel
+    /// fan-out, or `None` when this interpretation cannot fork (the
+    /// default — fan-out then runs sequentially on `self`).
+    ///
+    /// Contract: the child must produce bit-identical evaluation results
+    /// to the parent for every instruction, and forking must be
+    /// deterministic in *program order* — any randomness the child carries
+    /// is derived from the parent's state at fork time (e.g. a seed drawn
+    /// from the parent RNG), never from thread identity or timing. The
+    /// runtime forks one child per fan-out job, in job order, so results
+    /// stay independent of the thread count.
+    fn fork(&mut self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
+
+    /// Merges a forked child back after its fan-out job completed: global
+    /// facts the child accumulated (op counters, latched errors,
+    /// degradation tallies) fold into the parent. Joins happen in job
+    /// order. The default discards the child.
+    fn join(&mut self, child: Self)
+    where
+        Self: Sized,
+    {
+        let _ = child;
+    }
+
+    /// Cooperative-cancellation hint checked by fan-out regions before each
+    /// job launches: `true` means the caller has given up on this run
+    /// (deadline expiry, client disconnect) and remaining jobs should be
+    /// skipped. The default — no cancellation source — never trips.
+    /// Interpretations that carry a cancellation token (the runtime's
+    /// fallible pipeline) override this; forked children share the parent's
+    /// token, so a trip mid-fan-out stops every thread at its next job
+    /// boundary.
+    fn cancel_requested(&self) -> bool {
+        false
     }
 }

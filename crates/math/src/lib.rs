@@ -33,11 +33,16 @@
 //! assert_eq!(a[1], 1);
 //! ```
 
+//! * [`par`] — a small fixed thread pool for data-parallel regions
+//!   (per-limb RNS arithmetic, per-ciphertext kernel fan-out), with a
+//!   deterministic index-ordered merge contract.
+
 pub mod bigint;
 pub mod crt;
 pub mod fft;
 pub mod modint;
 pub mod ntt;
+pub mod par;
 pub mod prime;
 
 pub use bigint::UBig;

@@ -280,10 +280,52 @@ pub fn all_networks() -> Vec<Network> {
     vec![lenet5_small(), lenet5_medium(), lenet5_large(), industrial(), squeezenet_cifar()]
 }
 
+/// The canonical Table 3 network names accepted by [`reduced`] and
+/// [`try_reduced`], in the paper's order.
+pub const NETWORK_NAMES: [&str; 5] = [
+    "LeNet-5-small",
+    "LeNet-5-medium",
+    "LeNet-5-large",
+    "Industrial",
+    "SqueezeNet-CIFAR",
+];
+
+/// A network name that is not one of [`NETWORK_NAMES`].
+///
+/// Returned by [`try_reduced`] so serving workers can reject a bad request
+/// as a value instead of unwinding the worker thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownNetworkError {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownNetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown network {} (expected one of: {})", self.name, NETWORK_NAMES.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownNetworkError {}
+
 /// Reduced-size stand-ins with identical structure, for quick harness runs
 /// on the real lattice backends (see EXPERIMENTS.md).
+///
+/// # Panics
+///
+/// Panics on a name outside [`NETWORK_NAMES`] — the panicking shim over
+/// [`try_reduced`] for one-shot harness use.
 pub fn reduced(network: &str) -> Network {
-    match network {
+    match try_reduced(network) {
+        Ok(net) => net,
+        Err(e) => std::panic::panic_any(e.to_string()),
+    }
+}
+
+/// Fallible [`reduced`]: unrecognized names come back as a structured
+/// [`UnknownNetworkError`] naming the valid choices.
+pub fn try_reduced(network: &str) -> Result<Network, UnknownNetworkError> {
+    Ok(match network {
         "LeNet-5-small" => lenet("LeNet-5-small (reduced)", 16, 2, 2, Padding::Valid, 8, false, 1000),
         "LeNet-5-medium" => lenet("LeNet-5-medium (reduced)", 16, 4, 4, Padding::Same, 16, false, 2000),
         "LeNet-5-large" => lenet("LeNet-5-large (reduced)", 16, 6, 8, Padding::Same, 24, false, 3000),
@@ -325,8 +367,8 @@ pub fn reduced(network: &str) -> Network {
             let circuit = b.build(g);
             Network { name: "SqueezeNet-CIFAR (reduced)", circuit, input_shape: vec![3, 12, 12], heavy: false }
         }
-        other => panic!("unknown network {other}"),
-    }
+        other => return Err(UnknownNetworkError { name: other.to_string() }),
+    })
 }
 
 #[cfg(test)]
@@ -391,6 +433,18 @@ mod tests {
         }
         let out = industrial().circuit.eval(&[industrial().sample_image(1)]);
         assert_eq!(out.numel(), 2, "industrial is binary classification");
+    }
+
+    #[test]
+    fn try_reduced_rejects_unknown_names() {
+        let err = try_reduced("AlexNet").unwrap_err();
+        assert_eq!(err.name, "AlexNet");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown network AlexNet"), "{msg}");
+        assert!(msg.contains("LeNet-5-small"), "message lists valid names: {msg}");
+        for name in NETWORK_NAMES {
+            assert!(try_reduced(name).is_ok(), "{name} resolves");
+        }
     }
 
     #[test]

@@ -8,12 +8,12 @@
 
 use crate::cancel::{CancelReason, CancelToken};
 use crate::ciphertensor::{decrypt_tensor, encrypt_tensor, try_encrypt_tensor, CipherTensor};
-use crate::kernels::concat::hconcat;
+use crate::kernels::concat::try_hconcat;
 use crate::kernels::conv::try_hconv2d_with_mask;
-use crate::kernels::convert::convert_layout;
-use crate::kernels::elementwise::{hactivation, hbatch_norm};
+use crate::kernels::convert::try_convert_layout;
+use crate::kernels::elementwise::{try_hactivation, try_hbatch_norm};
 use crate::kernels::matmul::try_hmatmul;
-use crate::kernels::pool::{havg_pool2d_with_mask, hglobal_avg_pool};
+use crate::kernels::pool::{try_havg_pool2d_with_mask, try_hglobal_avg_pool};
 use crate::kernels::{KernelError, ScaleConfig};
 use crate::layout::{Layout, LayoutKind};
 use crate::pipeline::FalliblePipeline;
@@ -413,12 +413,37 @@ pub fn try_run_encrypted_with<H: Hisa>(
     ctrl: &mut ExecControl<'_>,
 ) -> Result<(CipherTensor<H::Ct>, ExecReport), ExecError> {
     let mut p = FalliblePipeline::new(h);
+    // Forked kernel-fan-out children inherit a clone of the token (clones
+    // share the flag), so a deadline firing mid-fan-out stops every worker
+    // at its next job boundary.
+    if let Some(token) = ctrl.cancel {
+        p = p.with_cancel(token.clone());
+    }
     let out = run_nodes(&mut p, circuit, plan, input, ctrl)?;
     let report = ExecReport {
         degraded_rotations: p.degraded_rotations(),
         extra_rotation_ops: p.extra_rotation_ops(),
     };
     Ok((out, report))
+}
+
+/// Attributes a kernel failure: a [`KernelError`] produced while the
+/// request's token is tripped is a cooperative cancellation observed
+/// mid-fan-out, not a contract violation — report it as
+/// [`ExecError::Cancelled`] so the serving layer's retry classifier does
+/// not mistake it for a permanently malformed layer.
+fn kernel_error_or_cancel(
+    cancel: Option<&CancelToken>,
+    op_index: usize,
+    op: String,
+    source: KernelError,
+) -> ExecError {
+    if let Some(token) = cancel {
+        if let Err(reason) = token.check() {
+            return ExecError::Cancelled { op_index, op, reason };
+        }
+    }
+    ExecError::Kernel { op_index, op, source }
 }
 
 /// The executor core: walks the node list, dispatching to kernels through
@@ -458,7 +483,7 @@ fn run_nodes<H: Hisa>(
         dep: usize,
         want: LayoutKind,
         scales: &ScaleConfig,
-    ) -> &'v CipherTensor<H2::Ct> {
+    ) -> Result<&'v CipherTensor<H2::Ct>, KernelError> {
         let needs = {
             let x = values[dep].as_ref().expect("dep computed");
             x.layout.kind != want && x.layout.height * x.layout.width > 1
@@ -466,11 +491,11 @@ fn run_nodes<H: Hisa>(
         if needs {
             let converted = {
                 let x = values[dep].as_ref().expect("dep computed");
-                convert_layout(h, x, want, scales)
+                try_convert_layout(h, x, want, scales)?
             };
             values[dep] = Some(converted);
         }
-        values[dep].as_ref().expect("dep computed")
+        Ok(values[dep].as_ref().expect("dep computed"))
     }
     for (i, op) in circuit.ops().iter().enumerate() {
         // Cooperative preemption point: deadline/cancel checks and progress
@@ -502,45 +527,66 @@ fn run_nodes<H: Hisa>(
                     scales,
                     need_clean[i],
                 )
-                .map_err(|source| ExecError::Kernel {
-                    op_index: i,
-                    op: op_name(op).into(),
-                    source,
+                .map_err(|source| {
+                    kernel_error_or_cancel(ctrl.cancel, i, op_name(op).into(), source)
                 })?
             }
             Op::MatMul { input, weights, bias } => {
                 let x = values[*input].as_ref().expect("dep computed");
                 try_hmatmul(p, x, weights, bias.as_deref(), scales).map_err(|source| {
-                    ExecError::Kernel { op_index: i, op: op_name(op).into(), source }
+                    kernel_error_or_cancel(ctrl.cancel, i, op_name(op).into(), source)
                 })?
             }
             Op::AvgPool2d { input, kernel, stride } => {
-                let x = fetch(p, &mut values, *input, plan.layouts[i], scales);
-                let x = x.clone();
-                havg_pool2d_with_mask(p, &x, *kernel, *stride, scales, need_clean[i])
+                let x = fetch(p, &mut values, *input, plan.layouts[i], scales)
+                    .map(Clone::clone)
+                    .and_then(|x| {
+                        try_havg_pool2d_with_mask(p, &x, *kernel, *stride, scales, need_clean[i])
+                    });
+                x.map_err(|source| {
+                    kernel_error_or_cancel(ctrl.cancel, i, op_name(op).into(), source)
+                })?
             }
             Op::GlobalAvgPool { input } => {
-                let x = fetch(p, &mut values, *input, plan.layouts[i], scales);
-                let x = x.clone();
-                hglobal_avg_pool(p, &x, scales)
+                let x = fetch(p, &mut values, *input, plan.layouts[i], scales)
+                    .map(Clone::clone)
+                    .and_then(|x| try_hglobal_avg_pool(p, &x, scales));
+                x.map_err(|source| {
+                    kernel_error_or_cancel(ctrl.cancel, i, op_name(op).into(), source)
+                })?
             }
             Op::Activation { input, a, b } => {
-                let x = fetch(p, &mut values, *input, plan.layouts[i], scales);
-                let x = x.clone();
-                hactivation(p, &x, *a, *b, scales)
+                let x = fetch(p, &mut values, *input, plan.layouts[i], scales)
+                    .map(Clone::clone)
+                    .and_then(|x| try_hactivation(p, &x, *a, *b, scales));
+                x.map_err(|source| {
+                    kernel_error_or_cancel(ctrl.cancel, i, op_name(op).into(), source)
+                })?
             }
             Op::BatchNorm { input, scale, shift } => {
-                let x = fetch(p, &mut values, *input, plan.layouts[i], scales);
-                let x = x.clone();
-                hbatch_norm(p, &x, scale, shift, scales)
+                let x = fetch(p, &mut values, *input, plan.layouts[i], scales)
+                    .map(Clone::clone)
+                    .and_then(|x| try_hbatch_norm(p, &x, scale, shift, scales));
+                x.map_err(|source| {
+                    kernel_error_or_cancel(ctrl.cancel, i, op_name(op).into(), source)
+                })?
             }
             Op::Concat { inputs } => {
-                for &j in inputs {
-                    fetch(p, &mut values, j, plan.layouts[i], scales);
-                }
-                let xs: Vec<&CipherTensor<H::Ct>> =
-                    inputs.iter().map(|&j| values[j].as_ref().expect("dep computed")).collect();
-                hconcat(p, &xs, scales)
+                let r = inputs
+                    .iter()
+                    .try_for_each(|&j| {
+                        fetch(p, &mut values, j, plan.layouts[i], scales).map(|_| ())
+                    })
+                    .and_then(|()| {
+                        let xs: Vec<&CipherTensor<H::Ct>> = inputs
+                            .iter()
+                            .map(|&j| values[j].as_ref().expect("dep computed"))
+                            .collect();
+                        try_hconcat(p, &xs, scales)
+                    });
+                r.map_err(|source| {
+                    kernel_error_or_cancel(ctrl.cancel, i, op_name(op).into(), source)
+                })?
             }
             Op::Flatten { input } => {
                 // Metadata-only: the dense kernel enumerates any layout.

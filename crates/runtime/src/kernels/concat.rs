@@ -6,46 +6,88 @@
 //! contiguously in one destination ciphertext this is rotation-only,
 //! otherwise block masks isolate the pieces first.
 
-use super::{apply_mask, rot_signed, ScaleConfig};
+use super::{apply_mask, rot_signed, KernelError, ScaleConfig};
 use crate::ciphertensor::CipherTensor;
 use crate::layout::{prev_power_of_two, LayoutKind};
+use crate::par;
 use chet_hisa::Hisa;
 
 /// Concatenates [`CipherTensor`]s along the channel dimension.
 ///
 /// # Panics
 ///
-/// Panics if layouts disagree on kind, spatial dims, or strides, or if
-/// operand scales mismatch.
+/// Panics on any contract violation [`try_hconcat`] reports as a
+/// [`KernelError`] — the panicking shim.
 pub fn hconcat<H: Hisa>(
     h: &mut H,
     inputs: &[&CipherTensor<H::Ct>],
     scales: &ScaleConfig,
 ) -> CipherTensor<H::Ct> {
-    assert!(!inputs.is_empty(), "concat needs at least one input");
-    let first = &inputs[0].layout;
+    super::expect_kernel(try_hconcat(h, inputs, scales))
+}
+
+/// One CHW placement job: rotate (optionally mask first) a source
+/// ciphertext's channel run into its destination position.
+struct PieceJob {
+    /// Index into the flattened source-ciphertext list.
+    src: usize,
+    /// Block mask isolating the run (general path only).
+    mask: Option<Vec<f64>>,
+    /// Signed rotation placing the run at its destination offset.
+    offset: isize,
+    /// Destination ciphertext index.
+    dest_ct: usize,
+}
+
+/// Fallible [`hconcat`]: layout disagreements (kind, spatial geometry) come
+/// back as [`KernelError`] values instead of panics, so a malformed network
+/// cannot kill a serving worker. Piece placement fans out per source
+/// ciphertext run; the overlap-add into destination ciphertexts folds on
+/// the parent in source order.
+pub fn try_hconcat<H: Hisa>(
+    h: &mut H,
+    inputs: &[&CipherTensor<H::Ct>],
+    scales: &ScaleConfig,
+) -> Result<CipherTensor<H::Ct>, KernelError> {
+    let Some(first_t) = inputs.first() else {
+        return Err(KernelError::new("concat", "concat needs at least one input"));
+    };
+    let first = &first_t.layout;
     for t in inputs {
         let l = &t.layout;
-        assert_eq!(l.kind, first.kind, "concat inputs must share layout kind");
-        assert_eq!(
-            (l.height, l.width, l.h_stride, l.w_stride, l.c_stride),
-            (first.height, first.width, first.h_stride, first.w_stride, first.c_stride),
-            "concat inputs must share spatial geometry"
-        );
+        if l.kind != first.kind {
+            return Err(KernelError::new(
+                "concat",
+                format!(
+                    "concat inputs must share layout kind (got {} and {})",
+                    first.kind, l.kind
+                ),
+            ));
+        }
+        let geo = |l: &crate::layout::Layout| {
+            (l.height, l.width, l.h_stride, l.w_stride, l.c_stride)
+        };
+        if geo(l) != geo(first) {
+            return Err(KernelError::new(
+                "concat",
+                format!(
+                    "concat inputs must share spatial geometry ({:?} vs {:?})",
+                    geo(first),
+                    geo(l)
+                ),
+            ));
+        }
     }
     let total_c: usize = inputs.iter().map(|t| t.layout.channels).sum();
+    // Flattened source ciphertexts in (input, ct) order.
+    let flat: Vec<&H::Ct> = inputs.iter().flat_map(|t| t.cts.iter()).collect();
 
     match first.kind {
         LayoutKind::HW => {
             let mut layout = first.clone();
             layout.channels = total_c;
-            let mut cts = Vec::new();
-            for t in inputs {
-                for c in &t.cts {
-                    cts.push(h.copy(c));
-                }
-            }
-            CipherTensor { layout, cts }
+            let cts = par::fan_out(h, flat.len(), |h, i| h.copy(flat[i]))?;
+            Ok(CipherTensor { layout, cts })
         }
         LayoutKind::CHW => {
             let mut layout = first.clone();
@@ -53,7 +95,6 @@ pub fn hconcat<H: Hisa>(
             layout.channels_per_ct =
                 prev_power_of_two(layout.slots / layout.c_stride).max(1).min(total_c);
             let cpc_out = layout.channels_per_ct;
-            let mut out: Vec<Option<H::Ct>> = vec![None; layout.num_cts()];
 
             // Check whether every source ciphertext maps wholly into one
             // destination ciphertext with a single rotation.
@@ -73,20 +114,24 @@ pub fn hconcat<H: Hisa>(
                 }
             }
 
+            // Enumerate placement jobs in (input, ct, run) order.
+            let mut jobs: Vec<PieceJob> = Vec::new();
             let mut g_off = 0usize;
+            let mut src = 0usize;
             for t in inputs {
                 let cpc_in = t.layout.channels_per_ct;
-                for (ct_idx, ct) in t.cts.iter().enumerate() {
+                for (ct_idx, _) in t.cts.iter().enumerate() {
                     let local_c0 = ct_idx * cpc_in;
                     let local_c1 = t.layout.channels.min(local_c0 + cpc_in);
                     if aligned {
                         let g0 = g_off + local_c0;
                         let dest_ct = g0 / cpc_out;
-                        let delta = (g0 % cpc_out) as isize - 0;
-                        let piece = rot_signed(h, ct, -delta * layout.c_stride as isize);
-                        out[dest_ct] = Some(match out[dest_ct].take() {
-                            None => piece,
-                            Some(prev) => h.add(&prev, &piece),
+                        let delta = (g0 % cpc_out) as isize;
+                        jobs.push(PieceJob {
+                            src,
+                            mask: None,
+                            offset: -delta * layout.c_stride as isize,
+                            dest_ct,
                         });
                     } else {
                         // General path: isolate each destination run with a
@@ -105,24 +150,42 @@ pub fn hconcat<H: Hisa>(
                                     *v = 1.0;
                                 }
                             }
-                            let masked = apply_mask(h, ct, &mask, scales);
                             let delta = (g % cpc_out) as isize - (b - local_c0) as isize;
-                            let piece =
-                                rot_signed(h, &masked, -delta * layout.c_stride as isize);
-                            out[dest_ct] = Some(match out[dest_ct].take() {
-                                None => piece,
-                                Some(prev) => h.add(&prev, &piece),
+                            jobs.push(PieceJob {
+                                src,
+                                mask: Some(mask),
+                                offset: -delta * layout.c_stride as isize,
+                                dest_ct,
                             });
                             b = run_end;
                         }
                     }
+                    src += 1;
                 }
                 g_off += t.layout.channels;
             }
-            CipherTensor {
+
+            let pieces: Vec<H::Ct> = par::fan_out(h, jobs.len(), |h, j| {
+                let job = &jobs[j];
+                match &job.mask {
+                    Some(m) => {
+                        let masked = apply_mask(h, flat[job.src], m, scales);
+                        rot_signed(h, &masked, job.offset)
+                    }
+                    None => rot_signed(h, flat[job.src], job.offset),
+                }
+            })?;
+            let mut out: Vec<Option<H::Ct>> = vec![None; layout.num_cts()];
+            for (piece, job) in pieces.into_iter().zip(&jobs) {
+                out[job.dest_ct] = Some(match out[job.dest_ct].take() {
+                    None => piece,
+                    Some(prev) => h.add(&prev, &piece),
+                });
+            }
+            Ok(CipherTensor {
                 layout,
                 cts: out.into_iter().map(|c| c.expect("all output cts populated")).collect(),
-            }
+            })
         }
     }
 }

@@ -18,6 +18,7 @@
 use super::{apply_mask, rot_signed, KernelError, ScaleConfig};
 use crate::ciphertensor::CipherTensor;
 use crate::layout::{Layout, LayoutKind};
+use crate::par;
 use chet_hisa::Hisa;
 use chet_tensor::ops::{conv_output_dim, Padding};
 use chet_tensor::Tensor;
@@ -86,8 +87,9 @@ pub fn hconv2d_with_mask<H: Hisa>(
     scales: &ScaleConfig,
     mask_output: bool,
 ) -> CipherTensor<H::Ct> {
-    try_hconv2d_with_mask(h, input, weights, bias, stride, padding, out_kind, scales, mask_output)
-        .unwrap_or_else(|e| panic!("{e}"))
+    super::expect_kernel(try_hconv2d_with_mask(
+        h, input, weights, bias, stride, padding, out_kind, scales, mask_output,
+    ))
 }
 
 /// Validates the convolution's input contract — the checks that used to be
@@ -172,8 +174,8 @@ pub fn try_hconv2d_with_mask<H: Hisa>(
 
     // Phase A: per-output-channel accumulation at the origin block.
     let accs: Vec<H::Ct> = match lin.kind {
-        LayoutKind::HW => conv_accumulate_hw(h, input, weights, (pad_h, pad_w), scales),
-        LayoutKind::CHW => conv_accumulate_chw(h, input, weights, (pad_h, pad_w), scales),
+        LayoutKind::HW => conv_accumulate_hw(h, input, weights, (pad_h, pad_w), scales)?,
+        LayoutKind::CHW => conv_accumulate_chw(h, input, weights, (pad_h, pad_w), scales)?,
     };
 
     // Phase B: mask to valid output positions, place into the output layout.
@@ -186,23 +188,27 @@ pub fn try_hconv2d_with_mask<H: Hisa>(
     // Skipping the mask is only sound when no block placement happens
     // (placement overlap-adds rotated junk into other blocks' valid slots).
     let must_mask = mask_output || out_layout.channels_per_ct > 1;
-    let mut out_cts: Vec<Option<H::Ct>> = vec![None; out_layout.num_cts()];
-    for (k, acc) in accs.into_iter().enumerate() {
+    // Mask + placement rotation fan out per output channel; the fold into
+    // shared output ciphertexts runs on the parent in channel order.
+    let placed: Vec<H::Ct> = par::fan_out(h, accs.len(), |h, k| {
         let masked = if must_mask {
-            apply_mask(h, &acc, &grid_mask, scales)
+            apply_mask(h, &accs[k], &grid_mask, scales)
         } else {
-            super::settle(h, acc, scales.input)
+            super::settle(h, accs[k].clone(), scales.input)
         };
-        let dest_ct = k / out_layout.channels_per_ct;
         let dest_block = k % out_layout.channels_per_ct;
-        let placed = if dest_block == 0 {
+        if dest_block == 0 {
             masked
         } else {
             h.rot_right(&masked, dest_block * out_layout.c_stride)
-        };
+        }
+    })?;
+    let mut out_cts: Vec<Option<H::Ct>> = vec![None; out_layout.num_cts()];
+    for (k, p) in placed.into_iter().enumerate() {
+        let dest_ct = k / out_layout.channels_per_ct;
         out_cts[dest_ct] = Some(match out_cts[dest_ct].take() {
-            None => placed,
-            Some(prev) => h.add(&prev, &placed),
+            None => p,
+            Some(prev) => h.add(&prev, &p),
         });
     }
     let mut out = CipherTensor {
@@ -236,105 +242,133 @@ pub fn try_hconv2d_with_mask<H: Hisa>(
 
 /// HW-input accumulation: rotations shared across output channels, scalar
 /// weight multiplies.
+///
+/// Two fan-out stages: the `C·R·S` shared rotations (one job per active
+/// tap), then the `K` accumulator chains (one job per output channel, each
+/// folding its taps in `(ci, ry, rx)` order — the sequential order, so the
+/// result is independent of scheduling).
 fn conv_accumulate_hw<H: Hisa>(
     h: &mut H,
     input: &CipherTensor<H::Ct>,
     weights: &Tensor,
     (pad_h, pad_w): (usize, usize),
     scales: &ScaleConfig,
-) -> Vec<H::Ct> {
+) -> Result<Vec<H::Ct>, KernelError> {
     let lin = &input.layout;
     let [k_out, c_in, r, s] = *weights.shape() else { unreachable!() };
-    let mut accs: Vec<Option<H::Ct>> = vec![None; k_out];
+    // Active taps in (ci, ry, rx) order; taps with all-zero weights across
+    // every output channel need no rotation at all.
+    let mut taps: Vec<(usize, usize, usize, isize)> = Vec::new();
     for ci in 0..c_in {
         for ry in 0..r {
             for rx in 0..s {
-                // Skip taps with all-zero weights across output channels.
                 if (0..k_out).all(|k| weights.at(&[k, ci, ry, rx]) == 0.0) {
                     continue;
                 }
                 let off = lin.offset(ry as isize - pad_h as isize, rx as isize - pad_w as isize);
-                let rotated = rot_signed(h, &input.cts[ci], off);
-                for (k, acc) in accs.iter_mut().enumerate() {
-                    let w = weights.at(&[k, ci, ry, rx]);
-                    if w == 0.0 {
-                        continue;
-                    }
-                    let prod = h.mul_scalar(&rotated, w, scales.weight_scalar);
-                    *acc = Some(match acc.take() {
-                        None => prod,
-                        Some(prev) => h.add(&prev, &prod),
-                    });
-                }
+                taps.push((ci, ry, rx, off));
             }
         }
     }
-    // All-zero filters (possibly every filter) get an encrypt-free zero via
-    // 0 × input, which lands at the same scale as any real accumulator
-    // (input_scale · weight_scalar either way).
-    accs.into_iter()
-        .map(|a| a.unwrap_or_else(|| h.mul_scalar(&input.cts[0], 0.0, scales.weight_scalar)))
-        .collect()
+    let rotated: Vec<H::Ct> = par::fan_out(h, taps.len(), |h, t| {
+        let (ci, _, _, off) = taps[t];
+        rot_signed(h, &input.cts[ci], off)
+    })?;
+    par::fan_out(h, k_out, |h, k| {
+        let mut acc: Option<H::Ct> = None;
+        for (t, &(ci, ry, rx, _)) in taps.iter().enumerate() {
+            let w = weights.at(&[k, ci, ry, rx]);
+            if w == 0.0 {
+                continue;
+            }
+            let prod = h.mul_scalar(&rotated[t], w, scales.weight_scalar);
+            acc = Some(match acc.take() {
+                None => prod,
+                Some(prev) => h.add(&prev, &prod),
+            });
+        }
+        // All-zero filters (possibly every filter) get an encrypt-free zero
+        // via 0 × input, which lands at the same scale as any real
+        // accumulator (input_scale · weight_scalar either way).
+        acc.unwrap_or_else(|| h.mul_scalar(&input.cts[0], 0.0, scales.weight_scalar))
+    })
 }
 
 /// CHW-input accumulation: plaintext weight multiplies, then a rotate-add
 /// tree across channel blocks; the complete sum lands in block 0.
+///
+/// Same two-stage fan-out as the HW path: shared `R·S` rotations per input
+/// ciphertext, then one accumulator chain (plus rotate-add reduction) per
+/// output channel, folded in `(ct, ry, rx)` order.
 fn conv_accumulate_chw<H: Hisa>(
     h: &mut H,
     input: &CipherTensor<H::Ct>,
     weights: &Tensor,
     (pad_h, pad_w): (usize, usize),
     scales: &ScaleConfig,
-) -> Vec<H::Ct> {
+) -> Result<Vec<H::Ct>, KernelError> {
     let lin = &input.layout;
     let [k_out, c_in, r, s] = *weights.shape() else { unreachable!() };
     let cpc = lin.channels_per_ct;
-    let mut accs: Vec<Option<H::Ct>> = vec![None; k_out];
-    for (ct_idx, ct) in input.cts.iter().enumerate() {
+    // Taps in (ct, ry, rx) order; a tap whose weights are zero for every
+    // output channel and every channel in the block needs no rotation.
+    let mut taps: Vec<(usize, usize, usize, isize)> = Vec::new();
+    for ct_idx in 0..input.cts.len() {
         let c_base = ct_idx * cpc;
         let c_count = cpc.min(c_in - c_base);
         for ry in 0..r {
             for rx in 0..s {
-                let off = lin.offset(ry as isize - pad_h as isize, rx as isize - pad_w as isize);
-                let rotated = rot_signed(h, ct, off);
-                for k in 0..k_out {
-                    // Plaintext: weight of (k, channel block) broadcast over
-                    // each block's span.
-                    let mut vec = vec![0.0; lin.slots];
-                    let mut any = false;
-                    for b in 0..c_count {
-                        let w = weights.at(&[k, c_base + b, ry, rx]);
-                        if w == 0.0 {
-                            continue;
-                        }
-                        any = true;
-                        let start = b * lin.c_stride;
-                        for v in vec.iter_mut().skip(start).take(lin.c_stride) {
-                            *v = w;
-                        }
-                    }
-                    if !any {
-                        continue;
-                    }
-                    let pt = h.encode(&vec, scales.weight_plain);
-                    let prod = h.mul_plain(&rotated, &pt);
-                    accs[k] = Some(match accs[k].take() {
-                        None => prod,
-                        Some(prev) => h.add(&prev, &prod),
-                    });
+                let active = (0..k_out).any(|k| {
+                    (0..c_count).any(|b| weights.at(&[k, c_base + b, ry, rx]) != 0.0)
+                });
+                if !active {
+                    continue;
                 }
+                let off = lin.offset(ry as isize - pad_h as isize, rx as isize - pad_w as isize);
+                taps.push((ct_idx, ry, rx, off));
             }
         }
     }
-    accs.into_iter()
-        .map(|a| {
-            let acc = a.unwrap_or_else(|| {
-                let pt = h.encode(&vec![0.0; lin.slots], scales.weight_plain);
-                h.mul_plain(&input.cts[0], &pt)
+    let rotated: Vec<H::Ct> = par::fan_out(h, taps.len(), |h, t| {
+        let (ct_idx, _, _, off) = taps[t];
+        rot_signed(h, &input.cts[ct_idx], off)
+    })?;
+    par::fan_out(h, k_out, |h, k| {
+        let mut acc: Option<H::Ct> = None;
+        for (t, &(ct_idx, ry, rx, _)) in taps.iter().enumerate() {
+            // Plaintext: weight of (k, channel block) broadcast over each
+            // block's span.
+            let c_base = ct_idx * cpc;
+            let c_count = cpc.min(c_in - c_base);
+            let mut vec = vec![0.0; lin.slots];
+            let mut any = false;
+            for b in 0..c_count {
+                let w = weights.at(&[k, c_base + b, ry, rx]);
+                if w == 0.0 {
+                    continue;
+                }
+                any = true;
+                let start = b * lin.c_stride;
+                for v in vec.iter_mut().skip(start).take(lin.c_stride) {
+                    *v = w;
+                }
+            }
+            if !any {
+                continue;
+            }
+            let pt = h.encode(&vec, scales.weight_plain);
+            let prod = h.mul_plain(&rotated[t], &pt);
+            acc = Some(match acc.take() {
+                None => prod,
+                Some(prev) => h.add(&prev, &prod),
             });
-            super::reduce_groups(h, &acc, lin.c_stride, cpc)
-        })
-        .collect()
+        }
+        let acc = acc.unwrap_or_else(|| {
+            let pt = h.encode(&vec![0.0; lin.slots], scales.weight_plain);
+            h.mul_plain(&input.cts[0], &pt)
+        });
+        super::reduce_groups(h, &acc, lin.c_stride, cpc)
+    })
 }
 
 #[cfg(test)]

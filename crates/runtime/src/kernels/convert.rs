@@ -4,9 +4,10 @@
 //! CHW-rest and CHW-fc/HW-before) pay at policy boundaries; the cost model
 //! prices them against the per-op savings.
 
-use super::{apply_mask, ScaleConfig};
+use super::{apply_mask, KernelError, ScaleConfig};
 use crate::ciphertensor::CipherTensor;
 use crate::layout::{prev_power_of_two, LayoutKind};
+use crate::par;
 use chet_hisa::Hisa;
 
 /// Repacks a [`CipherTensor`] into the target layout kind (no-op when it
@@ -21,12 +22,22 @@ pub fn convert_layout<H: Hisa>(
     target: LayoutKind,
     scales: &ScaleConfig,
 ) -> CipherTensor<H::Ct> {
+    super::expect_kernel(try_convert_layout(h, input, target, scales))
+}
+
+/// Fallible [`convert_layout`]: the repacking fans out per source channel
+/// (CHW → HW) or per source ciphertext (HW → CHW, copies), and observes
+/// cancellation at job boundaries.
+pub fn try_convert_layout<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    target: LayoutKind,
+    scales: &ScaleConfig,
+) -> Result<CipherTensor<H::Ct>, KernelError> {
     let lin = &input.layout;
     if lin.kind == target {
-        return CipherTensor {
-            layout: lin.clone(),
-            cts: input.cts.iter().map(|c| h.copy(c)).collect(),
-        };
+        let cts = par::fan_out(h, input.cts.len(), |h, i| h.copy(&input.cts[i]))?;
+        return Ok(CipherTensor { layout: lin.clone(), cts });
     }
     match target {
         LayoutKind::CHW => {
@@ -36,24 +47,28 @@ pub fn convert_layout<H: Hisa>(
             layout.channels_per_ct = prev_power_of_two(lin.slots / lin.c_stride)
                 .max(1)
                 .min(lin.channels);
-            let mut cts: Vec<Option<H::Ct>> = vec![None; layout.num_cts()];
-            for (c, src) in input.cts.iter().enumerate() {
-                let dest_ct = c / layout.channels_per_ct;
+            // Per-channel placement rotations fan out; the overlap-add into
+            // destination blocks folds on the parent in channel order.
+            let pieces: Vec<H::Ct> = par::fan_out(h, input.cts.len(), |h, c| {
                 let block = c % layout.channels_per_ct;
-                let piece = if block == 0 {
-                    h.copy(src)
+                if block == 0 {
+                    h.copy(&input.cts[c])
                 } else {
-                    h.rot_right(src, block * layout.c_stride)
-                };
+                    h.rot_right(&input.cts[c], block * layout.c_stride)
+                }
+            })?;
+            let mut cts: Vec<Option<H::Ct>> = vec![None; layout.num_cts()];
+            for (c, piece) in pieces.into_iter().enumerate() {
+                let dest_ct = c / layout.channels_per_ct;
                 cts[dest_ct] = Some(match cts[dest_ct].take() {
                     None => piece,
                     Some(prev) => h.add(&prev, &piece),
                 });
             }
-            CipherTensor {
+            Ok(CipherTensor {
                 layout,
                 cts: cts.into_iter().map(|c| c.expect("populated")).collect(),
-            }
+            })
         }
         LayoutKind::HW => {
             // CHW → HW: isolate each channel block and move it to the origin.
@@ -64,18 +79,16 @@ pub fn convert_layout<H: Hisa>(
             single.channels = 1;
             single.channels_per_ct = 1;
             let grid_mask = single.mask_for_ct(0);
-            let cts = (0..lin.channels)
-                .map(|c| {
-                    let (src_ct, base_slot) = lin.slot_of(c, 0, 0);
-                    let moved = if base_slot == 0 {
-                        h.copy(&input.cts[src_ct])
-                    } else {
-                        h.rot_left(&input.cts[src_ct], base_slot)
-                    };
-                    apply_mask(h, &moved, &grid_mask, scales)
-                })
-                .collect();
-            CipherTensor { layout, cts }
+            let cts = par::fan_out(h, lin.channels, |h, c| {
+                let (src_ct, base_slot) = lin.slot_of(c, 0, 0);
+                let moved = if base_slot == 0 {
+                    h.copy(&input.cts[src_ct])
+                } else {
+                    h.rot_left(&input.cts[src_ct], base_slot)
+                };
+                apply_mask(h, &moved, &grid_mask, scales)
+            })?;
+            Ok(CipherTensor { layout, cts })
         }
     }
 }

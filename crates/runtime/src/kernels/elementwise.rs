@@ -1,8 +1,9 @@
 //! Element-wise homomorphic kernels: polynomial activations and folded
 //! batch normalization.
 
-use super::{settle, ScaleConfig};
+use super::{settle, KernelError, ScaleConfig};
 use crate::ciphertensor::CipherTensor;
+use crate::par;
 use chet_hisa::Hisa;
 
 /// The HE-compatible activation `f(x) = a·x² + b·x`, computed as
@@ -16,28 +17,43 @@ pub fn hactivation<H: Hisa>(
     b: f64,
     scales: &ScaleConfig,
 ) -> CipherTensor<H::Ct> {
-    let cts = input
-        .cts
-        .iter()
-        .map(|ct| {
-            if a == 0.0 {
-                // Degenerate linear activation.
-                let y = h.mul_scalar(ct, b, scales.weight_scalar);
-                return settle(h, y, scales.input);
-            }
-            let u = h.mul_scalar(ct, a, scales.weight_scalar);
-            let u = settle(h, u, scales.input);
-            let u = h.add_scalar(&u, b);
-            let y = h.mul(&u, ct);
-            settle(h, y, scales.input)
-        })
-        .collect();
-    CipherTensor { layout: input.layout.clone(), cts }
+    super::expect_kernel(try_hactivation(h, input, a, b, scales))
+}
+
+/// Fallible [`hactivation`]: the body cannot violate a contract, but the
+/// fan-out can observe a cancellation request. Each ciphertext activates as
+/// an independent fan-out job.
+pub fn try_hactivation<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    a: f64,
+    b: f64,
+    scales: &ScaleConfig,
+) -> Result<CipherTensor<H::Ct>, KernelError> {
+    let cts = par::fan_out(h, input.cts.len(), |h, i| {
+        let ct = &input.cts[i];
+        if a == 0.0 {
+            // Degenerate linear activation.
+            let y = h.mul_scalar(ct, b, scales.weight_scalar);
+            return settle(h, y, scales.input);
+        }
+        let u = h.mul_scalar(ct, a, scales.weight_scalar);
+        let u = settle(h, u, scales.input);
+        let u = h.add_scalar(&u, b);
+        let y = h.mul(&u, ct);
+        settle(h, y, scales.input)
+    })?;
+    Ok(CipherTensor { layout: input.layout.clone(), cts })
 }
 
 /// Folded batch normalization `y_c = g_c · x_c + s_c` per channel: one
 /// plaintext multiply (the per-channel scales) and one plaintext add, both
 /// restricted to valid slot positions so junk slots stay zero.
+///
+/// # Panics
+///
+/// Panics on any contract violation [`try_hbatch_norm`] reports as a
+/// [`KernelError`] — the panicking shim.
 pub fn hbatch_norm<H: Hisa>(
     h: &mut H,
     input: &CipherTensor<H::Ct>,
@@ -45,37 +61,56 @@ pub fn hbatch_norm<H: Hisa>(
     shift: &[f64],
     scales: &ScaleConfig,
 ) -> CipherTensor<H::Ct> {
+    super::expect_kernel(try_hbatch_norm(h, input, scale, shift, scales))
+}
+
+/// Fallible [`hbatch_norm`]: per-channel parameter length mismatches come
+/// back as [`KernelError`] values. Each ciphertext normalizes as an
+/// independent fan-out job.
+pub fn try_hbatch_norm<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    scale: &[f64],
+    shift: &[f64],
+    scales: &ScaleConfig,
+) -> Result<CipherTensor<H::Ct>, KernelError> {
     let layout = &input.layout;
-    assert_eq!(scale.len(), layout.channels, "scale length must equal channels");
-    assert_eq!(shift.len(), layout.channels, "shift length must equal channels");
-    let cts = input
-        .cts
-        .iter()
-        .enumerate()
-        .map(|(ct_idx, ct)| {
-            let mut gain = vec![0.0; layout.slots];
-            let mut offset = vec![0.0; layout.slots];
-            for c in 0..layout.channels {
-                if c / layout.channels_per_ct != ct_idx {
-                    continue;
-                }
-                for y in 0..layout.height {
-                    for x in 0..layout.width {
-                        let (_, slot) = layout.slot_of(c, y, x);
-                        gain[slot] = scale[c];
-                        offset[slot] = shift[c];
-                    }
+    if scale.len() != layout.channels {
+        return Err(KernelError::new(
+            "batch_norm",
+            format!("scale length {} must equal channels {}", scale.len(), layout.channels),
+        ));
+    }
+    if shift.len() != layout.channels {
+        return Err(KernelError::new(
+            "batch_norm",
+            format!("shift length {} must equal channels {}", shift.len(), layout.channels),
+        ));
+    }
+    let cts = par::fan_out(h, input.cts.len(), |h, ct_idx| {
+        let ct = &input.cts[ct_idx];
+        let mut gain = vec![0.0; layout.slots];
+        let mut offset = vec![0.0; layout.slots];
+        for c in 0..layout.channels {
+            if c / layout.channels_per_ct != ct_idx {
+                continue;
+            }
+            for y in 0..layout.height {
+                for x in 0..layout.width {
+                    let (_, slot) = layout.slot_of(c, y, x);
+                    gain[slot] = scale[c];
+                    offset[slot] = shift[c];
                 }
             }
-            let gpt = h.encode(&gain, scales.weight_plain);
-            let t = h.mul_plain(ct, &gpt);
-            let t = settle(h, t, scales.input);
-            let cur = h.scale_of(&t);
-            let spt = h.encode(&offset, cur);
-            h.add_plain(&t, &spt)
-        })
-        .collect();
-    CipherTensor { layout: layout.clone(), cts }
+        }
+        let gpt = h.encode(&gain, scales.weight_plain);
+        let t = h.mul_plain(ct, &gpt);
+        let t = settle(h, t, scales.input);
+        let cur = h.scale_of(&t);
+        let spt = h.encode(&offset, cur);
+        h.add_plain(&t, &spt)
+    })?;
+    Ok(CipherTensor { layout: layout.clone(), cts })
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 use super::{apply_mask, reduce_groups, KernelError, ScaleConfig};
 use crate::ciphertensor::CipherTensor;
 use crate::layout::Layout;
+use crate::par;
 use chet_hisa::Hisa;
 use chet_tensor::Tensor;
 
@@ -60,7 +61,7 @@ pub fn hmatmul<H: Hisa>(
     bias: Option<&[f64]>,
     scales: &ScaleConfig,
 ) -> CipherTensor<H::Ct> {
-    try_hmatmul(h, input, weights, bias, scales).unwrap_or_else(|e| panic!("{e}"))
+    super::expect_kernel(try_hmatmul(h, input, weights, bias, scales))
 }
 
 /// Fallible [`hmatmul`]: dimension mismatches come back as [`KernelError`]
@@ -100,8 +101,9 @@ pub fn try_hmatmul<H: Hisa>(
     let mut unit_mask = vec![0.0; lin.slots];
     unit_mask[0] = 1.0;
 
-    let mut out_ct: Option<H::Ct> = None;
-    for o in 0..out_dim {
+    // One fan-out job per output neuron; the fold into the single output
+    // ciphertext happens on the parent in neuron order.
+    let placed: Vec<H::Ct> = par::fan_out(h, out_dim, |h, o| {
         // Weighted input, one plaintext multiply per input ciphertext.
         let mut acc: Option<H::Ct> = None;
         for (ct_idx, ct) in input.cts.iter().enumerate() {
@@ -145,10 +147,17 @@ pub fn try_hmatmul<H: Hisa>(
         // Sum all used slots into slot 0, isolate it, move to position o.
         let red = reduce_groups(h, &acc, 1, span_p2);
         let masked = apply_mask(h, &red, &unit_mask, scales);
-        let placed = if o == 0 { masked } else { h.rot_right(&masked, o) };
+        if o == 0 {
+            masked
+        } else {
+            h.rot_right(&masked, o)
+        }
+    })?;
+    let mut out_ct: Option<H::Ct> = None;
+    for p in placed {
         out_ct = Some(match out_ct.take() {
-            None => placed,
-            Some(prev) => h.add(&prev, &placed),
+            None => p,
+            Some(prev) => h.add(&prev, &p),
         });
     }
 
@@ -184,7 +193,7 @@ pub fn hmatmul_bsgs<H: Hisa>(
     bias: Option<&[f64]>,
     scales: &ScaleConfig,
 ) -> CipherTensor<H::Ct> {
-    try_hmatmul_bsgs(h, input, weights, bias, scales).unwrap_or_else(|e| panic!("{e}"))
+    super::expect_kernel(try_hmatmul_bsgs(h, input, weights, bias, scales))
 }
 
 /// Fallible [`hmatmul_bsgs`]: contract violations come back as
@@ -224,17 +233,19 @@ pub fn try_hmatmul_bsgs<H: Hisa>(
     let b_steps = (1usize << (n.ilog2().div_ceil(2))).min(n);
     let g_steps = n / b_steps;
 
-    // Baby rotations of x_ext (shared across giant steps).
-    let mut baby: Vec<H::Ct> = Vec::with_capacity(b_steps);
-    baby.push(h.copy(&x_ext));
-    for b in 1..b_steps {
-        let _ = b;
-        let prev = h.rot_left(&x_ext, b);
-        baby.push(prev);
-    }
+    // Baby rotations of x_ext (shared across giant steps), one fan-out job
+    // per baby step.
+    let baby: Vec<H::Ct> = par::fan_out(h, b_steps, |h, b| {
+        if b == 0 {
+            h.copy(&x_ext)
+        } else {
+            h.rot_left(&x_ext, b)
+        }
+    })?;
 
-    let mut acc_total: Option<H::Ct> = None;
-    for g in 0..g_steps {
+    // One fan-out job per giant step; partials fold on the parent in giant
+    // order.
+    let partials: Vec<Option<H::Ct>> = par::fan_out(h, g_steps, |h, g| {
         let gb = g * b_steps;
         let mut acc: Option<H::Ct> = None;
         for (b, xb) in baby.iter().enumerate() {
@@ -265,8 +276,11 @@ pub fn try_hmatmul_bsgs<H: Hisa>(
                 Some(prev) => h.add(&prev, &prod),
             });
         }
-        let Some(partial) = acc else { continue };
-        let shifted = if gb == 0 { partial } else { h.rot_left(&partial, gb) };
+        let partial = acc?;
+        Some(if gb == 0 { partial } else { h.rot_left(&partial, gb) })
+    })?;
+    let mut acc_total: Option<H::Ct> = None;
+    for shifted in partials.into_iter().flatten() {
         acc_total = Some(match acc_total.take() {
             None => shifted,
             Some(prev) => h.add(&prev, &shifted),

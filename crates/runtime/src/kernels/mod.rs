@@ -36,7 +36,7 @@ use std::fmt;
 /// A kernel input-contract violation: malformed weight shapes, mismatched
 /// dimensions, or a layout the kernel cannot enumerate.
 ///
-/// Historically these were `panic!`/`assert!` sites inside the kernels —
+/// Historically these were panicking `assert!` sites inside the kernels —
 /// acceptable in a single-shot compiler run, fatal in a serving worker
 /// thread. The `try_*` kernel entry points ([`conv::try_hconv2d_with_mask`],
 /// [`matmul::try_hmatmul`]) validate their inputs up front and return this
@@ -63,6 +63,20 @@ impl fmt::Display for KernelError {
 }
 
 impl std::error::Error for KernelError {}
+
+/// Unwraps a kernel result for the legacy panicking entry points.
+///
+/// The serving path never reaches this — it calls the `try_*` kernels and
+/// propagates [`KernelError`] as a value. The panicking shims (kept for
+/// one-shot CLI/bench use where aborting is the right behavior) funnel
+/// through here; `panic_any` with a `String` payload keeps
+/// `#[should_panic(expected = "…")]` tests matching on the message.
+pub(crate) fn expect_kernel<T>(r: Result<T, KernelError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => std::panic::panic_any(e.to_string()),
+    }
+}
 
 /// The four fixed-point scales CHET exposes (paper §5.5, Table 4):
 /// image (`P_c`), plaintext-vector weights (`P_w`), scalar weights (`P_u`)

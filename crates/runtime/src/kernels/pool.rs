@@ -1,8 +1,9 @@
 //! Homomorphic average pooling (the paper's HE-compatible replacement for
 //! max pooling, §6).
 
-use super::{apply_mask, rot_signed, ScaleConfig};
+use super::{apply_mask, rot_signed, KernelError, ScaleConfig};
 use crate::ciphertensor::CipherTensor;
+use crate::par;
 use chet_hisa::Hisa;
 use chet_tensor::ops::{conv_output_dim, Padding};
 
@@ -23,6 +24,11 @@ pub fn havg_pool2d<H: Hisa>(
 /// [`havg_pool2d`] with an explicit masking decision (lazy masking): the
 /// window reads touch only valid input positions, so when no downstream
 /// consumer needs zeroed junk the mask multiply can be skipped.
+///
+/// # Panics
+///
+/// Panics on any contract violation [`try_havg_pool2d_with_mask`] reports
+/// as a [`KernelError`] — the panicking shim.
 pub fn havg_pool2d_with_mask<H: Hisa>(
     h: &mut H,
     input: &CipherTensor<H::Ct>,
@@ -31,37 +37,63 @@ pub fn havg_pool2d_with_mask<H: Hisa>(
     scales: &ScaleConfig,
     mask_output: bool,
 ) -> CipherTensor<H::Ct> {
+    super::expect_kernel(try_havg_pool2d_with_mask(h, input, kernel, stride, scales, mask_output))
+}
+
+/// Fallible [`havg_pool2d_with_mask`]: window/stride contract violations
+/// come back as [`KernelError`] values. Each ciphertext pools as an
+/// independent fan-out job (under CHW one job covers a whole channel
+/// block).
+pub fn try_havg_pool2d_with_mask<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    kernel: usize,
+    stride: usize,
+    scales: &ScaleConfig,
+    mask_output: bool,
+) -> Result<CipherTensor<H::Ct>, KernelError> {
     let lin = &input.layout;
+    if kernel == 0 {
+        return Err(KernelError::new("avg_pool2d", "pooling window must be >= 1"));
+    }
+    if stride == 0 {
+        return Err(KernelError::new("avg_pool2d", "stride must be >= 1"));
+    }
+    if kernel > lin.height || kernel > lin.width {
+        return Err(KernelError::new(
+            "avg_pool2d",
+            format!(
+                "pooling window {kernel}x{kernel} larger than the {}x{} input frame",
+                lin.height, lin.width
+            ),
+        ));
+    }
     let (oh, _) = conv_output_dim(lin.height, kernel, stride, Padding::Valid);
     let (ow, _) = conv_output_dim(lin.width, kernel, stride, Padding::Valid);
     let out_layout = lin.strided_view(oh, ow, stride, lin.channels);
     let inv = 1.0 / (kernel * kernel) as f64;
-    let cts = input
-        .cts
-        .iter()
-        .enumerate()
-        .map(|(i, ct)| {
-            let mut acc: Option<H::Ct> = None;
-            for ry in 0..kernel {
-                for rx in 0..kernel {
-                    let off = lin.offset(ry as isize, rx as isize);
-                    let rotated = rot_signed(h, ct, off);
-                    acc = Some(match acc.take() {
-                        None => rotated,
-                        Some(prev) => h.add(&prev, &rotated),
-                    });
-                }
+    let cts = par::fan_out(h, input.cts.len(), |h, i| {
+        let ct = &input.cts[i];
+        let mut acc: Option<H::Ct> = None;
+        for ry in 0..kernel {
+            for rx in 0..kernel {
+                let off = lin.offset(ry as isize, rx as isize);
+                let rotated = rot_signed(h, ct, off);
+                acc = Some(match acc.take() {
+                    None => rotated,
+                    Some(prev) => h.add(&prev, &rotated),
+                });
             }
-            let summed = acc.expect("kernel is nonempty");
-            let scaled = h.mul_scalar(&summed, inv, scales.weight_scalar);
-            if mask_output {
-                apply_mask(h, &scaled, &out_layout.mask_for_ct(i), scales)
-            } else {
-                super::settle(h, scaled, scales.input)
-            }
-        })
-        .collect();
-    CipherTensor { layout: out_layout, cts }
+        }
+        let summed = acc.expect("kernel >= 1 was validated");
+        let scaled = h.mul_scalar(&summed, inv, scales.weight_scalar);
+        if mask_output {
+            apply_mask(h, &scaled, &out_layout.mask_for_ct(i), scales)
+        } else {
+            super::settle(h, scaled, scales.input)
+        }
+    })?;
+    Ok(CipherTensor { layout: out_layout, cts })
 }
 
 /// Global average pooling: sum each channel grid into its origin slot, then
@@ -72,41 +104,54 @@ pub fn hglobal_avg_pool<H: Hisa>(
     input: &CipherTensor<H::Ct>,
     scales: &ScaleConfig,
 ) -> CipherTensor<H::Ct> {
+    super::expect_kernel(try_hglobal_avg_pool(h, input, scales))
+}
+
+/// Fallible [`hglobal_avg_pool`]: degenerate (zero-area) input frames come
+/// back as [`KernelError`] values. Each ciphertext reduces as an
+/// independent fan-out job.
+pub fn try_hglobal_avg_pool<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    scales: &ScaleConfig,
+) -> Result<CipherTensor<H::Ct>, KernelError> {
     let lin = &input.layout;
+    if lin.height == 0 || lin.width == 0 {
+        return Err(KernelError::new(
+            "global_avg_pool",
+            format!("input frame must be nonempty (got {}x{})", lin.height, lin.width),
+        ));
+    }
     let mut out_layout = lin.clone();
     out_layout.height = 1;
     out_layout.width = 1;
     let inv = 1.0 / (lin.height * lin.width) as f64;
-    let cts = input
-        .cts
-        .iter()
-        .enumerate()
-        .map(|(i, ct)| {
-            // Fold columns into column 0 (reads only valid columns).
-            let mut cols: Option<H::Ct> = None;
-            for x in 0..lin.width {
-                let rotated = rot_signed(h, ct, (x * lin.w_stride) as isize);
-                cols = Some(match cols.take() {
-                    None => rotated,
-                    Some(prev) => h.add(&prev, &rotated),
-                });
-            }
-            let cols = cols.expect("nonempty grid");
-            // Fold rows into row 0.
-            let mut rows: Option<H::Ct> = None;
-            for y in 0..lin.height {
-                let rotated = rot_signed(h, &cols, (y * lin.h_stride) as isize);
-                rows = Some(match rows.take() {
-                    None => rotated,
-                    Some(prev) => h.add(&prev, &rotated),
-                });
-            }
-            let summed = rows.expect("nonempty grid");
-            let scaled = h.mul_scalar(&summed, inv, scales.weight_scalar);
-            apply_mask(h, &scaled, &out_layout.mask_for_ct(i), scales)
-        })
-        .collect();
-    CipherTensor { layout: out_layout, cts }
+    let cts = par::fan_out(h, input.cts.len(), |h, i| {
+        let ct = &input.cts[i];
+        // Fold columns into column 0 (reads only valid columns).
+        let mut cols: Option<H::Ct> = None;
+        for x in 0..lin.width {
+            let rotated = rot_signed(h, ct, (x * lin.w_stride) as isize);
+            cols = Some(match cols.take() {
+                None => rotated,
+                Some(prev) => h.add(&prev, &rotated),
+            });
+        }
+        let cols = cols.expect("width >= 1 was validated");
+        // Fold rows into row 0.
+        let mut rows: Option<H::Ct> = None;
+        for y in 0..lin.height {
+            let rotated = rot_signed(h, &cols, (y * lin.h_stride) as isize);
+            rows = Some(match rows.take() {
+                None => rotated,
+                Some(prev) => h.add(&prev, &rotated),
+            });
+        }
+        let summed = rows.expect("height >= 1 was validated");
+        let scaled = h.mul_scalar(&summed, inv, scales.weight_scalar);
+        apply_mask(h, &scaled, &out_layout.mask_for_ct(i), scales)
+    })?;
+    Ok(CipherTensor { layout: out_layout, cts })
 }
 
 #[cfg(test)]

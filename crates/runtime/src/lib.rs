@@ -52,6 +52,7 @@ pub mod exec;
 pub mod fault;
 pub mod kernels;
 pub mod layout;
+pub mod par;
 pub mod pipeline;
 
 pub use cancel::{CancelReason, CancelToken};

@@ -1,0 +1,213 @@
+//! Per-ciphertext kernel fan-out over the [`chet_math::par`] thread pool.
+//!
+//! The vectorized kernels are embarrassingly parallel across ciphertexts:
+//! conv output channels, matmul output neurons, pooling/activation/concat
+//! per-ciphertext bodies are independent given a read-only view of the
+//! inputs. What makes fan-out non-trivial is that every kernel threads a
+//! `&mut H` backend through its ops — the backend carries RNG state, op
+//! counters and (for the fallible pipeline) the error latch.
+//!
+//! [`try_fan_out`] solves this with the [`Hisa::fork`]/[`Hisa::join`]
+//! protocol:
+//!
+//! 1. **Fork one child backend per job, in job order.** The fork order — and
+//!    therefore any RNG seed split — is a pure function of program order,
+//!    never of scheduling. Crucially, forking happens *even at one thread*:
+//!    the structure is always the forked one, only the scheduling differs,
+//!    which is what makes results bit-identical across thread counts.
+//! 2. **Run each job on its own child.** Jobs write disjoint result slots
+//!    indexed by job id; no reduction order depends on thread timing.
+//! 3. **Join children back in job order.** Op counters, degradation tallies
+//!    and latched errors fold into the parent deterministically; the first
+//!    error *by job index* wins, exactly as sequential execution would have
+//!    latched it.
+//!
+//! Backends that cannot fork (`fork() → None`) run the jobs sequentially on
+//! the parent — the same code path, minus the children.
+//!
+//! # Cancellation
+//!
+//! Before each job body runs, the job's backend is polled via
+//! [`Hisa::cancel_requested`]. The fallible pipeline wires this to the
+//! request's [`crate::cancel::CancelToken`] (children share the parent's
+//! token), so a deadline firing mid-fan-out stops every thread at its next
+//! job boundary instead of burning the remaining ciphertext work. A
+//! cancelled fan-out reports [`KernelError`] with kernel name
+//! [`CANCELLED_KERNEL`]; the executor rewrites it to
+//! [`crate::exec::ExecError::Cancelled`] when it sees the token tripped.
+
+use crate::kernels::KernelError;
+use chet_hisa::Hisa;
+
+// Re-export the pool's configuration surface so downstream crates (the
+// serving layer, benches) can tune thread counts without depending on
+// `chet-math` directly.
+pub use chet_math::par::{effective_threads, set_threads, threads, MAX_THREADS};
+use chet_math::par;
+
+/// Kernel name used for [`KernelError`]s produced by a cancelled fan-out;
+/// the executor matches on the tripped token (not this string) to rewrite
+/// them into `ExecError::Cancelled`.
+pub const CANCELLED_KERNEL: &str = "fan_out";
+
+fn cancelled() -> KernelError {
+    KernelError::new(CANCELLED_KERNEL, "run cancelled mid-fan-out")
+}
+
+/// Runs `count` independent jobs against forked backends and returns the
+/// results in job order. See the module docs for the determinism contract.
+///
+/// Errors: the first job error *by job index* (not completion order), or a
+/// cancellation [`KernelError`] when the backend's cancel hint trips.
+pub fn try_fan_out<H, T, F>(h: &mut H, count: usize, f: F) -> Result<Vec<T>, KernelError>
+where
+    H: Hisa,
+    T: Send,
+    F: Fn(&mut H, usize) -> Result<T, KernelError> + Sync,
+{
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    if h.cancel_requested() {
+        return Err(cancelled());
+    }
+    // Fork one child per job, in job order. A backend either always forks
+    // or never does, so a mid-sequence `None` (drain below) cannot happen
+    // in practice; handling it keeps the contract total.
+    let mut children: Vec<H> = Vec::with_capacity(count);
+    for _ in 0..count {
+        match h.fork() {
+            Some(c) => children.push(c),
+            None => {
+                for c in children.drain(..) {
+                    h.join(c);
+                }
+                return (0..count)
+                    .map(|i| {
+                        if h.cancel_requested() {
+                            return Err(cancelled());
+                        }
+                        f(h, i)
+                    })
+                    .collect();
+            }
+        }
+    }
+    let mut slots: Vec<Option<Result<T, KernelError>>> = (0..count).map(|_| None).collect();
+    par::par_zip_mut(&mut children, &mut slots, |i, child, slot| {
+        *slot = Some(if child.cancel_requested() {
+            Err(cancelled())
+        } else {
+            f(child, i)
+        });
+    });
+    // Join every child in job order, even on error: counters must fold and
+    // the parent's RNG split stays consistent for the next fan-out.
+    for c in children {
+        h.join(c);
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut first_err: Option<KernelError> = None;
+    for r in slots.into_iter().flatten() {
+        match r {
+            Ok(v) => out.push(v),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match first_err {
+        None => Ok(out),
+        Some(e) => Err(e),
+    }
+}
+
+/// [`try_fan_out`] for infallible job bodies: only cancellation can fail.
+pub fn fan_out<H, T, F>(h: &mut H, count: usize, f: F) -> Result<Vec<T>, KernelError>
+where
+    H: Hisa,
+    T: Send,
+    F: Fn(&mut H, usize) -> T + Sync,
+{
+    try_fan_out(h, count, |h, i| Ok(f(h, i)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::FalliblePipeline;
+    use chet_ckks::sim::SimCkks;
+    use chet_hisa::{EncryptionParams, RotationKeyPolicy};
+
+    const S: f64 = (1u64 << 30) as f64;
+
+    fn sim(seed: u64) -> SimCkks {
+        let params = EncryptionParams::rns_ckks(4096, 40, 3);
+        SimCkks::new(&params, &RotationKeyPolicy::PowersOfTwo, seed)
+    }
+
+    #[test]
+    fn fan_out_matches_forked_sequential_structure() {
+        // With noise enabled, results depend on the RNG split. The split is
+        // per-fork in job order, so two identically-seeded backends must
+        // produce bit-identical results regardless of thread count.
+        let run = |threads: usize| -> Vec<Vec<f64>> {
+            let _guard = chet_math::par::test_support::config_lock();
+            chet_math::par::set_threads(threads);
+            let mut h = sim(7);
+            let pt = h.encode(&[1.0, 2.0, 3.0], S);
+            let ct = h.encrypt(&pt);
+            let outs = fan_out(&mut h, 6, |h, i| {
+                let r = h.rot_left(&ct, i % 3);
+                h.add(&r, &ct)
+            })
+            .expect("no cancellation source");
+            outs.iter()
+                .map(|c| {
+                    let p = h.decrypt(c);
+                    h.decode(&p)
+                })
+                .collect()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn join_folds_child_errors_in_job_order() {
+        let mut h = sim(3);
+        let pt = h.encode(&[1.0; 8], S);
+        let ct = h.encrypt(&pt);
+        let mut p = FalliblePipeline::new(&mut h);
+        // Jobs 2 and 4 rotate by steps with no key and no composition at
+        // 2048 slots... power-of-two keys compose everything, so instead
+        // force errors via slot overflow on encode.
+        let slots = p.slots();
+        let result = fan_out(&mut p, 5, |p, i| {
+            if i == 2 || i == 4 {
+                // Oversized encode latches SlotOverflow in this child.
+                let _ = p.encode(&vec![0.0; slots + 1], S);
+            }
+            p.add(&ct, &ct)
+        });
+        assert!(result.is_ok(), "job bodies are infallible");
+        let latched = p.take_error().expect("child error must fold into the parent");
+        assert!(matches!(latched, chet_hisa::HisaError::SlotOverflow { .. }));
+    }
+
+    #[test]
+    fn cancelled_token_stops_fan_out() {
+        let mut h = sim(3);
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let pt = h.encode(&[1.0; 4], S);
+        let ct = h.encrypt(&pt);
+        let mut p = FalliblePipeline::new(&mut h).with_cancel(token);
+        let result = fan_out(&mut p, 4, |p, _| p.add(&ct, &ct));
+        let e = result.expect_err("tripped token must cancel the fan-out");
+        assert_eq!(e.kernel, CANCELLED_KERNEL);
+    }
+}

@@ -17,18 +17,44 @@
 //! caller can log it. Only when no decomposition exists does the rotation
 //! fail with [`HisaError::MissingRotationKey`].
 
+use crate::cancel::CancelToken;
 use chet_hisa::keys::{normalize_rotation, plan_rotation};
 use chet_hisa::{Hisa, HisaError};
 use std::collections::BTreeSet;
 
+/// How a [`FalliblePipeline`] holds its backend: the executor's root
+/// pipeline borrows the caller's backend; forked children (one per fan-out
+/// job) own the child backend their job runs on.
+enum Inner<'a, H: Hisa> {
+    Borrowed(&'a mut H),
+    Owned(H),
+}
+
+impl<H: Hisa> Inner<'_, H> {
+    fn get(&self) -> &H {
+        match self {
+            Inner::Borrowed(h) => h,
+            Inner::Owned(h) => h,
+        }
+    }
+
+    fn get_mut(&mut self) -> &mut H {
+        match self {
+            Inner::Borrowed(h) => h,
+            Inner::Owned(h) => h,
+        }
+    }
+}
+
 /// Error-latching [`Hisa`] wrapper. See the module docs.
 pub struct FalliblePipeline<'a, H: Hisa> {
-    inner: &'a mut H,
+    inner: Inner<'a, H>,
     error: Option<HisaError>,
     degraded_rotations: usize,
     extra_rotation_ops: usize,
     available: Option<BTreeSet<usize>>,
     slots: usize,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a, H: Hisa> FalliblePipeline<'a, H> {
@@ -38,13 +64,23 @@ impl<'a, H: Hisa> FalliblePipeline<'a, H> {
         let available = inner.available_rotations();
         let slots = inner.slots();
         FalliblePipeline {
-            inner,
+            inner: Inner::Borrowed(inner),
             error: None,
             degraded_rotations: 0,
             extra_rotation_ops: 0,
             available,
             slots,
+            cancel: None,
         }
+    }
+
+    /// Attaches a cooperative cancellation token: fan-out regions poll it
+    /// (via [`Hisa::cancel_requested`]) before launching each job, so a
+    /// deadline that fires mid-kernel stops the remaining fan-out work
+    /// instead of only being noticed at the next node boundary.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// The latched error, if any instruction has failed so far.
@@ -99,32 +135,32 @@ impl<H: Hisa> Hisa for FalliblePipeline<'_, H> {
     }
 
     fn encode(&mut self, values: &[f64], scale: f64) -> H::Pt {
-        match self.inner.try_encode(values, scale) {
+        match self.inner.get_mut().try_encode(values, scale) {
             Ok(p) => p,
             Err(e) => {
                 self.latch(e);
                 // Still produce a plaintext so execution can limp to the
                 // next error check: encode what fits.
                 let n = values.len().min(self.slots);
-                self.inner.encode(&values[..n], scale)
+                self.inner.get_mut().encode(&values[..n], scale)
             }
         }
     }
 
     fn decode(&mut self, p: &H::Pt) -> Vec<f64> {
-        self.inner.decode(p)
+        self.inner.get_mut().decode(p)
     }
 
     fn encrypt(&mut self, p: &H::Pt) -> H::Ct {
-        self.inner.encrypt(p)
+        self.inner.get_mut().encrypt(p)
     }
 
     fn decrypt(&mut self, c: &H::Ct) -> H::Pt {
-        self.inner.decrypt(c)
+        self.inner.get_mut().decrypt(c)
     }
 
     fn copy(&mut self, c: &H::Ct) -> H::Ct {
-        self.inner.copy(c)
+        self.inner.get_mut().copy(c)
     }
 
     fn rot_left(&mut self, c: &H::Ct, x: usize) -> H::Ct {
@@ -132,7 +168,7 @@ impl<H: Hisa> Hisa for FalliblePipeline<'_, H> {
             return c.clone();
         }
         self.note_rotation(normalize_rotation(x as i64, self.slots));
-        match self.inner.try_rot_left(c, x) {
+        match self.inner.get_mut().try_rot_left(c, x) {
             Ok(v) => v,
             Err(e) => {
                 self.latch(e);
@@ -146,7 +182,7 @@ impl<H: Hisa> Hisa for FalliblePipeline<'_, H> {
             return c.clone();
         }
         self.note_rotation(normalize_rotation(-(x as i64), self.slots));
-        match self.inner.try_rot_right(c, x) {
+        match self.inner.get_mut().try_rot_right(c, x) {
             Ok(v) => v,
             Err(e) => {
                 self.latch(e);
@@ -159,7 +195,7 @@ impl<H: Hisa> Hisa for FalliblePipeline<'_, H> {
         if self.error.is_some() {
             return a.clone();
         }
-        match self.inner.try_add(a, b) {
+        match self.inner.get_mut().try_add(a, b) {
             Ok(v) => v,
             Err(e) => {
                 self.latch(e);
@@ -172,7 +208,7 @@ impl<H: Hisa> Hisa for FalliblePipeline<'_, H> {
         if self.error.is_some() {
             return a.clone();
         }
-        match self.inner.try_add_plain(a, p) {
+        match self.inner.get_mut().try_add_plain(a, p) {
             Ok(v) => v,
             Err(e) => {
                 self.latch(e);
@@ -185,7 +221,7 @@ impl<H: Hisa> Hisa for FalliblePipeline<'_, H> {
         if self.error.is_some() {
             return a.clone();
         }
-        match self.inner.try_add_scalar(a, x) {
+        match self.inner.get_mut().try_add_scalar(a, x) {
             Ok(v) => v,
             Err(e) => {
                 self.latch(e);
@@ -198,7 +234,7 @@ impl<H: Hisa> Hisa for FalliblePipeline<'_, H> {
         if self.error.is_some() {
             return a.clone();
         }
-        match self.inner.try_sub(a, b) {
+        match self.inner.get_mut().try_sub(a, b) {
             Ok(v) => v,
             Err(e) => {
                 self.latch(e);
@@ -211,7 +247,7 @@ impl<H: Hisa> Hisa for FalliblePipeline<'_, H> {
         if self.error.is_some() {
             return a.clone();
         }
-        match self.inner.try_sub_plain(a, p) {
+        match self.inner.get_mut().try_sub_plain(a, p) {
             Ok(v) => v,
             Err(e) => {
                 self.latch(e);
@@ -224,7 +260,7 @@ impl<H: Hisa> Hisa for FalliblePipeline<'_, H> {
         if self.error.is_some() {
             return a.clone();
         }
-        match self.inner.try_sub_scalar(a, x) {
+        match self.inner.get_mut().try_sub_scalar(a, x) {
             Ok(v) => v,
             Err(e) => {
                 self.latch(e);
@@ -237,7 +273,7 @@ impl<H: Hisa> Hisa for FalliblePipeline<'_, H> {
         if self.error.is_some() {
             return a.clone();
         }
-        match self.inner.try_mul(a, b) {
+        match self.inner.get_mut().try_mul(a, b) {
             Ok(v) => v,
             Err(e) => {
                 self.latch(e);
@@ -250,7 +286,7 @@ impl<H: Hisa> Hisa for FalliblePipeline<'_, H> {
         if self.error.is_some() {
             return a.clone();
         }
-        match self.inner.try_mul_plain(a, p) {
+        match self.inner.get_mut().try_mul_plain(a, p) {
             Ok(v) => v,
             Err(e) => {
                 self.latch(e);
@@ -263,7 +299,7 @@ impl<H: Hisa> Hisa for FalliblePipeline<'_, H> {
         if self.error.is_some() {
             return a.clone();
         }
-        match self.inner.try_mul_scalar(a, x, scale) {
+        match self.inner.get_mut().try_mul_scalar(a, x, scale) {
             Ok(v) => v,
             Err(e) => {
                 self.latch(e);
@@ -276,7 +312,7 @@ impl<H: Hisa> Hisa for FalliblePipeline<'_, H> {
         if self.error.is_some() {
             return c.clone();
         }
-        match self.inner.try_rescale(c, divisor) {
+        match self.inner.get_mut().try_rescale(c, divisor) {
             Ok(v) => v,
             Err(e) => {
                 self.latch(e);
@@ -289,15 +325,51 @@ impl<H: Hisa> Hisa for FalliblePipeline<'_, H> {
         if self.error.is_some() {
             return 1.0;
         }
-        self.inner.max_rescale(c, ub)
+        self.inner.get_mut().max_rescale(c, ub)
     }
 
     fn scale_of(&self, c: &H::Ct) -> f64 {
-        self.inner.scale_of(c)
+        self.inner.get().scale_of(c)
     }
 
     fn available_rotations(&self) -> Option<BTreeSet<usize>> {
         self.available.clone()
+    }
+
+    /// Forks a child pipeline over a forked backend (or `None` when the
+    /// backend cannot fork). The child inherits a clone of the current
+    /// latch, so jobs launched after a failure short-circuit exactly like
+    /// the sequential execution would, and a clone of the cancel token, so
+    /// every fan-out thread observes the same trip.
+    fn fork(&mut self) -> Option<Self> {
+        let child = self.inner.get_mut().fork()?;
+        Some(FalliblePipeline {
+            inner: Inner::Owned(child),
+            error: self.error.clone(),
+            degraded_rotations: 0,
+            extra_rotation_ops: 0,
+            available: self.available.clone(),
+            slots: self.slots,
+            cancel: self.cancel.clone(),
+        })
+    }
+
+    /// Joins happen in job order, so the parent latches the *first* child
+    /// error by job index — the same error sequential execution would have
+    /// latched — and degradation tallies fold in deterministically.
+    fn join(&mut self, child: Self) {
+        self.degraded_rotations += child.degraded_rotations;
+        self.extra_rotation_ops += child.extra_rotation_ops;
+        if self.error.is_none() {
+            self.error = child.error;
+        }
+        if let Inner::Owned(h) = child.inner {
+            self.inner.get_mut().join(h);
+        }
+    }
+
+    fn cancel_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
     }
 }
 

@@ -64,6 +64,12 @@ pub struct ServeConfig {
     pub breaker: BreakerConfig,
     /// Seed for the degraded-route simulator backend.
     pub degraded_seed: u64,
+    /// Intra-request kernel/limb parallelism: threads each worker's
+    /// parallel regions fan out over (`None` = leave the process-global
+    /// setting alone, i.e. `CHET_THREADS` or hardware parallelism).
+    /// Applied via [`chet_runtime::par::set_threads`] at service start,
+    /// so it is process-global, not per-service.
+    pub threads: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +81,7 @@ impl Default for ServeConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             degraded_seed: 0x5EED,
+            threads: None,
         }
     }
 }
@@ -369,6 +376,9 @@ impl InferenceService {
         H: Hisa + 'static,
         F: Fn(usize, &CompiledCircuit) -> H + Send + Sync + 'static,
     {
+        if let Some(n) = config.threads {
+            chet_runtime::par::set_threads(n);
+        }
         let (compiled, report) =
             compiler.compile_checked(&circuit, &scales).map_err(ServeError::Compile)?;
         vet_artifact(&circuit, &compiled)?;

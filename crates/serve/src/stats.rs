@@ -24,12 +24,21 @@ pub struct LatencyHistogram {
 
 impl LatencyHistogram {
     /// Records one request latency.
+    ///
+    /// Sub-microsecond latencies land in bucket 0 (`[1, 2)` µs) and
+    /// anything at or beyond `2^20` µs lands in the overflow bucket; the
+    /// running total saturates at `u64::MAX` µs instead of wrapping, so the
+    /// mean degrades gracefully rather than going nonsensical.
     pub fn record(&self, latency: Duration) {
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
         let idx = (63 - us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_micros.fetch_add(us, Ordering::Relaxed);
+        // fetch_add wraps on overflow; a few u64::MAX-µs outliers (e.g. a
+        // stuck clock) must not reset the cumulative total to near zero.
+        let _ = self.total_micros.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
+            Some(t.saturating_add(us))
+        });
     }
 
     /// Point-in-time copy of the histogram.
@@ -73,10 +82,15 @@ impl LatencySnapshot {
             return 0;
         }
         let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-        let mut seen = 0;
+        let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
+            seen = seen.saturating_add(n);
             if seen >= target {
+                // The final bucket absorbs everything >= 2^(BUCKETS-1) µs,
+                // so its honest upper bound is "unbounded", not 2^BUCKETS.
+                if i == LATENCY_BUCKETS - 1 {
+                    return u64::MAX;
+                }
                 return 1u64 << (i + 1);
             }
         }
@@ -183,6 +197,45 @@ mod tests {
         let s = LatencyHistogram::default().snapshot();
         assert_eq!(s.mean(), Duration::ZERO);
         assert_eq!(s.quantile_upper_bound_us(0.99), 0);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_first_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_nanos(400)); // rounds down to 0 µs
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.total_micros, 0);
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.quantile_upper_bound_us(0.5), 2);
+    }
+
+    #[test]
+    fn max_latency_saturates_instead_of_wrapping() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(u64::MAX));
+        h.record(Duration::from_micros(u64::MAX));
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets[LATENCY_BUCKETS - 1], 2);
+        // Two u64::MAX records would wrap to u64::MAX - 1 under wrapping
+        // addition; saturation pins the total (and the mean stays huge
+        // rather than collapsing toward zero).
+        assert_eq!(s.total_micros, u64::MAX);
+        assert!(s.mean() >= Duration::from_micros(u64::MAX / 2));
+        // The overflow bucket is unbounded: report that honestly.
+        assert_eq!(s.quantile_upper_bound_us(0.99), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_of_overflow_bucket_is_unbounded() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_secs(10_000)); // ~2^33 µs: overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.buckets[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(s.quantile_upper_bound_us(0.5), u64::MAX);
     }
 
     #[test]

@@ -49,7 +49,7 @@
 //! let input = Tensor::random(vec![1, 8, 8], 1.0, 3);
 //! let encrypted_result = infer(&mut fhe, &circuit, &compiled.plan, &input);
 //! let reference = circuit.eval(&[input]);
-//! assert!(encrypted_result.max_abs_diff(&reference) < 0.05);
+//! assert!(encrypted_result.max_abs_diff(&reference) < 0.1);
 //! ```
 
 pub use chet_ckks as ckks;

@@ -21,7 +21,7 @@ fn scales() -> ScaleConfig {
 }
 
 fn find_network(name: &str, full: bool) -> chet::networks::Network {
-    let canonical = ["LeNet-5-small", "LeNet-5-medium", "LeNet-5-large", "Industrial", "SqueezeNet-CIFAR"]
+    let canonical = chet::networks::NETWORK_NAMES
         .iter()
         .find(|n| n.eq_ignore_ascii_case(name))
         .copied()
@@ -35,7 +35,10 @@ fn find_network(name: &str, full: bool) -> chet::networks::Network {
             .find(|n| n.name == canonical)
             .expect("canonical name exists")
     } else {
-        chet::networks::reduced(canonical)
+        chet::networks::try_reduced(canonical).unwrap_or_else(|e| {
+            eprintln!("{e}; try `chet networks`");
+            std::process::exit(2);
+        })
     }
 }
 
