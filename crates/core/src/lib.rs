@@ -54,6 +54,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analysis;
+pub mod artifact;
 pub mod compiler;
 pub mod layout;
 pub mod params;
@@ -62,6 +63,7 @@ pub mod scales;
 pub mod validate;
 pub mod verify;
 
+pub use artifact::{decode_compiled, encode_compiled, ARTIFACT_FORMAT_VERSION};
 pub use compiler::{CompiledCircuit, Compiler, RepairAction, RepairReport};
 pub use layout::{LayoutPolicy, ALL_POLICIES};
 pub use params::{select_parameters, AnalysisOutcome, SelectError};

@@ -38,6 +38,7 @@ pub mod error;
 pub mod keys;
 pub mod params;
 pub mod security;
+pub mod serial;
 
 pub use cost::{CostModel, HisaOp, LevelInfo};
 pub use error::HisaError;

@@ -20,6 +20,16 @@
 use chet_hisa::{Hisa, HisaError};
 use std::collections::BTreeSet;
 
+/// splitmix64: the tiny deterministic mixer every seeded component in this
+/// codebase shares (fault injection, retry jitter, chaos schedules). Pure
+/// counter-mode function of its input — no global RNG, no wall clock.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Which fault classes the injector may fire, and how often.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
@@ -166,11 +176,9 @@ impl<H: Hisa> FaultInjector<H> {
     /// splitmix64 step: counter-mode, so the schedule depends only on the
     /// seed and how many rolls preceded this one.
     fn next_u64(&mut self) -> u64 {
+        let r = splitmix64(self.state);
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        r
     }
 
     /// Rolls one fault decision for an enabled class.

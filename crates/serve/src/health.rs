@@ -1,0 +1,152 @@
+//! Service health reporting: liveness per worker, breaker state, store
+//! integrity and queue age in one structured snapshot.
+//!
+//! [`HealthReport`] is what an operator (or an orchestrator's readiness
+//! probe) reads to answer "is this replica serving, limping, or wedged?"
+//! It is assembled from state the service already maintains — the
+//! watchdog's [`WorkerSlot`](crate::watchdog::WorkerSlot) registry, the
+//! breaker snapshot, the store's integrity counters — so producing one is
+//! cheap enough to poll.
+
+use crate::breaker::BreakerSnapshot;
+use crate::store::StoreIntegrity;
+use crate::watchdog::Escalation;
+use std::time::Duration;
+
+/// Liveness classification for one worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Waiting for work.
+    Idle,
+    /// Executing a request.
+    Busy {
+        /// The request id being executed.
+        job_id: u64,
+        /// How long it has been running.
+        busy_for: Duration,
+        /// Watchdog escalation position for this job.
+        escalation: Escalation,
+    },
+    /// Quarantined by the watchdog; a replacement has been spawned.
+    Quarantined,
+}
+
+/// One worker's health row.
+#[derive(Debug, Clone)]
+pub struct WorkerHealth {
+    /// Pool index (respawned workers get fresh indices).
+    pub worker_id: usize,
+    /// Current liveness state.
+    pub state: WorkerState,
+}
+
+/// Overall verdict, derived from the report's parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthVerdict {
+    /// Accepting and every live worker is responsive.
+    Healthy,
+    /// Serving, but something needs attention: breaker not closed,
+    /// escalated/quarantined workers, or quarantined store records.
+    Degraded,
+    /// Not accepting requests (draining or drained).
+    Draining,
+}
+
+/// Point-in-time service health, from [`crate::InferenceService::health`].
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Whether the service still accepts submissions.
+    pub accepting: bool,
+    /// Per-worker liveness.
+    pub workers: Vec<WorkerHealth>,
+    /// Primary-backend breaker state and history.
+    pub breaker: BreakerSnapshot,
+    /// Requests waiting in the admission queue.
+    pub queue_depth: u64,
+    /// Requests executing right now.
+    pub in_flight: u64,
+    /// Age of the oldest currently-executing request — the "queue age"
+    /// signal: when this grows past typical service time, the pool is
+    /// wedging or the queue is backing up.
+    pub oldest_busy: Option<Duration>,
+    /// Artifact/key store integrity (zeros when no store is configured).
+    pub store: StoreIntegrity,
+    /// Watchdog interventions so far (step 1 + step 2).
+    pub watchdog_escalations: u64,
+    /// Workers the watchdog has replaced.
+    pub workers_respawned: u64,
+}
+
+impl HealthReport {
+    /// Collapses the report into a single verdict.
+    pub fn verdict(&self) -> HealthVerdict {
+        if !self.accepting {
+            return HealthVerdict::Draining;
+        }
+        let breaker_closed =
+            self.breaker.state == crate::breaker::BreakerState::Closed;
+        let workers_clean = self.workers.iter().all(|w| match &w.state {
+            WorkerState::Quarantined => false,
+            WorkerState::Busy { escalation, .. } => *escalation == Escalation::None,
+            WorkerState::Idle => true,
+        });
+        if breaker_closed && workers_clean && self.store.quarantined_records == 0 {
+            HealthVerdict::Healthy
+        } else {
+            HealthVerdict::Degraded
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerState;
+
+    fn base() -> HealthReport {
+        HealthReport {
+            accepting: true,
+            workers: vec![WorkerHealth { worker_id: 0, state: WorkerState::Idle }],
+            breaker: BreakerSnapshot {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                transitions: Vec::new(),
+            },
+            queue_depth: 0,
+            in_flight: 0,
+            oldest_busy: None,
+            store: StoreIntegrity::default(),
+            watchdog_escalations: 0,
+            workers_respawned: 0,
+        }
+    }
+
+    #[test]
+    fn verdict_reflects_the_parts() {
+        assert_eq!(base().verdict(), HealthVerdict::Healthy);
+
+        let mut r = base();
+        r.accepting = false;
+        assert_eq!(r.verdict(), HealthVerdict::Draining);
+
+        let mut r = base();
+        r.breaker.state = BreakerState::Open;
+        assert_eq!(r.verdict(), HealthVerdict::Degraded);
+
+        let mut r = base();
+        r.workers[0].state = WorkerState::Quarantined;
+        assert_eq!(r.verdict(), HealthVerdict::Degraded);
+
+        let mut r = base();
+        r.store.quarantined_records = 1;
+        assert_eq!(r.verdict(), HealthVerdict::Degraded);
+
+        let mut r = base();
+        r.workers[0].state = WorkerState::Busy {
+            job_id: 9,
+            busy_for: Duration::from_millis(5),
+            escalation: Escalation::None,
+        };
+        assert_eq!(r.verdict(), HealthVerdict::Healthy);
+    }
+}

@@ -34,13 +34,24 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod breaker;
+pub mod chaos;
+pub mod health;
 pub mod retry;
 pub mod service;
 pub mod stats;
+pub mod store;
+pub mod watchdog;
 
 pub use breaker::{BreakerConfig, BreakerSnapshot, BreakerState, BreakerTransition, CircuitBreaker};
+pub use chaos::{ChaosInjector, ChaosPlan};
+pub use health::{HealthReport, HealthVerdict, WorkerHealth, WorkerState};
 pub use retry::RetryPolicy;
 pub use service::{
     vet_artifact, InferResponse, InferenceService, ServeConfig, ServeError, Ticket,
 };
 pub use stats::{LatencyHistogram, LatencySnapshot, ServiceStats};
+pub use store::{
+    ArtifactStore, KeyBundleRecord, RecordFault, RecoveryReport, StoreError, StoreIntegrity,
+    StoredArtifact,
+};
+pub use watchdog::{Escalation, WatchdogConfig, WatchdogEvent, WorkerSlot};

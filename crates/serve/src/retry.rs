@@ -2,21 +2,17 @@
 //!
 //! Retrying an FHE inference is expensive — one attempt can cost seconds —
 //! so the policy is deliberately small: a handful of attempts with
-//! exponentially growing pauses. The jitter is *seeded* (splitmix64 over
-//! `seed ^ request id ^ attempt`), not sampled from a global RNG, so a
-//! given service configuration replays the exact same backoff schedule on
-//! every run. That determinism is what lets the soak tests assert breaker
-//! transitions instead of sleeping and hoping.
+//! exponentially growing pauses. The jitter is *seeded*, not sampled from
+//! a global RNG, and the stream is keyed **per request id**: each request
+//! gets its own splitmix64 substream (`splitmix64(seed ^
+//! splitmix64(request_id))`) that the attempt index walks. Nothing about
+//! which worker runs the request, or how many workers exist, enters the
+//! draw — so a chaos soak replays bit-identical backoff schedules across
+//! `CHET_THREADS` settings. That determinism is what lets the soak tests
+//! assert breaker transitions instead of sleeping and hoping.
 
+use chet_runtime::fault::splitmix64;
 use std::time::Duration;
-
-/// splitmix64: the same tiny deterministic mixer the fault injector uses.
-pub(crate) fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
 
 /// Uniform draw in `[0, 1)` from a mixed word.
 fn unit(z: u64) -> f64 {
@@ -54,13 +50,20 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// Pause before retry number `attempt` (1-based: the pause after the
     /// first failure is `backoff(request_id, 1)`). Pure function of the
-    /// policy, the request id and the attempt index.
+    /// policy, the request id and the attempt index — deliberately *not*
+    /// of the worker identity, so the schedule is identical no matter
+    /// which thread of how many picks the request up.
     pub fn backoff(&self, request_id: u64, attempt: u32) -> Duration {
         let exp = self
             .base
             .saturating_mul(1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(u32::MAX))
             .min(self.cap);
-        let draw = unit(self.seed ^ request_id.rotate_left(17) ^ u64::from(attempt));
+        // Per-request substream: hash the request id into its own stream
+        // origin first, then walk it by attempt. XOR-folding the raw id
+        // (the old scheme) let structured ids (sequential counters) land
+        // adjacent requests on correlated draws.
+        let stream = splitmix64(self.seed ^ splitmix64(request_id));
+        let draw = unit(stream.wrapping_add(u64::from(attempt)));
         let factor = 1.0 + self.jitter.clamp(0.0, 1.0) * (2.0 * draw - 1.0);
         exp.mul_f64(factor.max(0.0))
     }

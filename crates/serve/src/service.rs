@@ -28,24 +28,36 @@
 //! and joins every worker before returning the final [`ServiceStats`].
 
 use crate::breaker::{BreakerConfig, CircuitBreaker, Route};
+use crate::chaos::{ChaosInjector, ChaosPlan};
+use crate::health::{HealthReport, WorkerHealth, WorkerState};
 use crate::retry::RetryPolicy;
 use crate::stats::{Counters, LatencyHistogram, ServiceStats};
+use crate::store::{ArtifactStore, StoreIntegrity, StoredArtifact};
+use crate::watchdog::{Escalation, Watchdog, WatchdogConfig, WatchdogHooks, WorkerSlot};
 use chet_ckks::sim::SimCkks;
 use chet_compiler::{verify_compiled, CompiledCircuit, Compiler, SelectError};
 use chet_hisa::params::SchemeKind;
+use chet_hisa::serial::params_fingerprint;
 use chet_hisa::{Hisa, HisaError};
 use chet_runtime::cancel::{CancelReason, CancelToken};
 use chet_runtime::exec::{try_infer_with_control, ExecControl, ExecError, ExecObserver, ExecReport};
 use chet_runtime::kernels::ScaleConfig;
 use chet_tensor::circuit::Circuit;
 use chet_tensor::Tensor;
+use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Store record name for the service's compiled artifact.
+const ARTIFACT_RECORD: &str = "artifact";
+/// Store record name for the artifact's key-bundle metadata.
+const KEY_BUNDLE_RECORD: &str = "key-bundle";
 
 /// Service tuning. [`ServeConfig::default`] is sized for tests and small
 /// deployments: 2 workers, a 32-deep queue, 3 attempts per request.
@@ -70,6 +82,26 @@ pub struct ServeConfig {
     /// Applied via [`chet_runtime::par::set_threads`] at service start,
     /// so it is process-global, not per-service.
     pub threads: Option<usize>,
+    /// Whether exhausted/skipped primary requests fall back to the
+    /// degraded simulator route. `false` turns the fallback off: requests
+    /// the breaker routes away are shed with [`ServeError::Overloaded`]
+    /// (they were never queued against the primary) and exhausted retries
+    /// fail with [`ServeError::Failed`] — the strict mode deployments use
+    /// when a plaintext-simulated answer is worse than no answer.
+    pub degraded_fallback: bool,
+    /// Directory for the crash-safe artifact/key store (`None` = memory
+    /// only). On start the service recovers from it — quarantining
+    /// corrupt records and recompiling if needed — and every repair
+    /// republishes into it.
+    pub store_dir: Option<PathBuf>,
+    /// Deterministic key-generation seed recorded in the store's key
+    /// bundle, binding regenerable key material to the artifact.
+    pub key_seed: u64,
+    /// Watchdog tuning for wedged-worker detection.
+    pub watchdog: WatchdogConfig,
+    /// Seeded serve-layer chaos injection (`None` = no chaos). Test and
+    /// soak machinery — never enable in production.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +114,11 @@ impl Default for ServeConfig {
             breaker: BreakerConfig::default(),
             degraded_seed: 0x5EED,
             threads: None,
+            degraded_fallback: true,
+            store_dir: None,
+            key_seed: 1,
+            watchdog: WatchdogConfig::default(),
+            chaos: None,
         }
     }
 }
@@ -250,12 +287,34 @@ struct ServiceCore {
     latency: LatencyHistogram,
     accepting: AtomicBool,
     next_id: AtomicU64,
+    /// The crash-safe store, when configured; repairs republish into it.
+    store: Option<ArtifactStore>,
+    /// Tokens of requests admitted but not yet replied to — the handle
+    /// deadline-based shutdown uses to cancel everything still queued.
+    pending: Mutex<HashMap<u64, CancelToken>>,
 }
 
 impl ServiceCore {
     fn artifact_snapshot(&self) -> (u64, Arc<CompiledCircuit>) {
         let g = self.artifact.read().unwrap_or_else(|p| p.into_inner());
         (g.version, Arc::clone(&g.compiled))
+    }
+
+    /// Best-effort persistence of the current artifact + key bundle. A
+    /// full disk must not take serving down, so failures are swallowed —
+    /// the next open simply recompiles.
+    fn persist_artifact(&self, state: &ArtifactState) {
+        if let Some(store) = &self.store {
+            let stored = StoredArtifact {
+                version: state.version,
+                compiled: (*state.compiled).clone(),
+                scales: state.scales,
+                extra_margin: state.extra_margin,
+            };
+            let _ = store.put_artifact(ARTIFACT_RECORD, &stored);
+            let bundle = ArtifactStore::key_bundle_for(&state.compiled, self.config.key_seed);
+            let _ = store.put_key_bundle(KEY_BUNDLE_RECORD, &bundle);
+        }
     }
 
     /// Escalates a `LevelExhausted`/`PrecisionLoss` failure into the
@@ -277,6 +336,9 @@ impl ServiceCore {
                 g.extra_margin = margin;
                 g.version += 1;
                 Counters::bump(&self.counters.repairs);
+                // Republish durably so a restart resumes from the
+                // repaired artifact, not the one that needed repairing.
+                self.persist_artifact(&g);
             }
         }
         // A failed recompile (or an artifact the verifier denies) keeps the
@@ -294,7 +356,13 @@ impl ServiceCore {
             cancelled: c.cancelled.load(Ordering::Relaxed),
             retries: c.retries.load(Ordering::Relaxed),
             repairs: c.repairs.load(Ordering::Relaxed),
+            retries_exhausted: c.retries_exhausted.load(Ordering::Relaxed),
             panics_caught: c.panics_caught.load(Ordering::Relaxed),
+            watchdog_escalations: c.watchdog_escalations.load(Ordering::Relaxed),
+            workers_respawned: c.workers_respawned.load(Ordering::Relaxed),
+            quarantined_records: c.quarantined_records.load(Ordering::Relaxed),
+            store_recompiles: c.store_recompiles.load(Ordering::Relaxed),
+            dropped_responses: c.dropped_responses.load(Ordering::Relaxed),
             queue_depth: c.queue_depth.load(Ordering::Relaxed),
             in_flight: c.in_flight.load(Ordering::Relaxed),
             artifact_version: self.artifact_snapshot().0,
@@ -326,13 +394,18 @@ fn classify(e: &ExecError) -> Disposition {
     }
 }
 
-/// Counts circuit nodes executed, for [`InferResponse::ops_executed`].
-#[derive(Default)]
-struct OpCounter(usize);
+/// Counts circuit nodes executed (for [`InferResponse::ops_executed`])
+/// and bumps the worker's watchdog heartbeat: progress the monitor can
+/// see even while the cooperative token goes unchecked.
+struct WorkerObserver<'a> {
+    ops: usize,
+    slot: &'a WorkerSlot,
+}
 
-impl ExecObserver for OpCounter {
+impl ExecObserver for WorkerObserver<'_> {
     fn on_op(&mut self, _op_index: usize, _op: &str) {
-        self.0 += 1;
+        self.ops += 1;
+        self.slot.beat();
     }
 }
 
@@ -341,7 +414,89 @@ impl ExecObserver for OpCounter {
 pub struct InferenceService {
     core: Arc<ServiceCore>,
     sender: Option<SyncSender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    /// Shared with the watchdog, which pushes respawned workers' handles.
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    watchdog: Option<Watchdog>,
+}
+
+/// Spawns one worker thread and its watchdog slot.
+fn spawn_worker<H, F>(
+    worker_id: usize,
+    core: &Arc<ServiceCore>,
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    factory: &Arc<F>,
+) -> (JoinHandle<()>, Arc<WorkerSlot>)
+where
+    H: Hisa + 'static,
+    F: Fn(usize, &CompiledCircuit) -> H + Send + Sync + 'static,
+{
+    let slot = WorkerSlot::new(worker_id);
+    let core = Arc::clone(core);
+    let rx = Arc::clone(rx);
+    let factory = Arc::clone(factory);
+    let slot2 = Arc::clone(&slot);
+    let handle = thread::spawn(move || worker_loop(worker_id, &core, &*factory, &rx, &slot2));
+    (handle, slot)
+}
+
+/// Opens the store (when configured), recovers a usable artifact from it,
+/// and reports `(store, recovered artifact, store-had-damage)`.
+fn recover_from_store(
+    config: &ServeConfig,
+    circuit: &Circuit,
+    counters: &Counters,
+) -> (Option<ArtifactStore>, Option<StoredArtifact>, bool) {
+    let Some(dir) = &config.store_dir else {
+        return (None, None, false);
+    };
+    let Ok((store, report)) = ArtifactStore::open(dir) else {
+        // Unopenable store directory: serve memory-only rather than
+        // refuse to start.
+        return (None, None, false);
+    };
+    for _ in &report.quarantined {
+        Counters::bump(&counters.quarantined_records);
+    }
+    let mut damaged = !report.quarantined.is_empty();
+    let recovered = match store.get_artifact(ARTIFACT_RECORD) {
+        Ok(Some(a)) => {
+            // The key bundle must bind to the artifact's parameters; a
+            // mismatched (or corrupt) pair means the stored state is torn
+            // across records — recompile rather than trust half of it.
+            match store.get_key_bundle(KEY_BUNDLE_RECORD) {
+                Ok(Some(bundle))
+                    if bundle.params_fingerprint == params_fingerprint(&a.compiled.params) =>
+                {
+                    // The static verifier is the last gate, exactly as at
+                    // compile time: a stored artifact that fails vetting
+                    // is as unusable as a corrupt one.
+                    if vet_artifact(circuit, &a.compiled).is_ok() {
+                        Some(a)
+                    } else {
+                        damaged = true;
+                        None
+                    }
+                }
+                Ok(_) => {
+                    damaged = true;
+                    None
+                }
+                Err(_) => {
+                    Counters::bump(&counters.quarantined_records);
+                    damaged = true;
+                    None
+                }
+            }
+        }
+        Ok(None) => None,
+        Err(_) => {
+            // Corrupt at read time (quarantined by the store on the spot).
+            Counters::bump(&counters.quarantined_records);
+            damaged = true;
+            None
+        }
+    };
+    (Some(store), recovered, damaged)
 }
 
 impl InferenceService {
@@ -379,37 +534,99 @@ impl InferenceService {
         if let Some(n) = config.threads {
             chet_runtime::par::set_threads(n);
         }
-        let (compiled, report) =
-            compiler.compile_checked(&circuit, &scales).map_err(ServeError::Compile)?;
-        vet_artifact(&circuit, &compiled)?;
+        let counters = Counters::default();
+        // Crash-safe store first: a usable stored artifact skips the
+        // (expensive) checked compile entirely; damaged or missing state
+        // falls back to recompilation — a corrupt store delays startup,
+        // it never prevents it.
+        let (store, recovered, damaged) = recover_from_store(&config, &circuit, &counters);
+        let recovered_some = recovered.is_some();
+        let state = match recovered {
+            Some(a) => ArtifactState {
+                version: a.version,
+                compiled: Arc::new(a.compiled),
+                scales: a.scales,
+                extra_margin: a.extra_margin,
+            },
+            None => {
+                let (compiled, report) =
+                    compiler.compile_checked(&circuit, &scales).map_err(ServeError::Compile)?;
+                vet_artifact(&circuit, &compiled)?;
+                if damaged {
+                    Counters::bump(&counters.store_recompiles);
+                }
+                ArtifactState {
+                    version: 1,
+                    compiled: Arc::new(compiled),
+                    scales: report.final_scales,
+                    extra_margin: report.extra_levels,
+                }
+            }
+        };
         let core = Arc::new(ServiceCore {
             circuit,
             compiler,
-            artifact: RwLock::new(ArtifactState {
-                version: 1,
-                compiled: Arc::new(compiled),
-                scales: report.final_scales,
-                extra_margin: report.extra_levels,
-            }),
+            artifact: RwLock::new(state),
             breaker: CircuitBreaker::new(config.breaker.clone()),
-            counters: Counters::default(),
+            counters,
             latency: LatencyHistogram::default(),
             accepting: AtomicBool::new(true),
             next_id: AtomicU64::new(1),
+            store,
+            pending: Mutex::new(HashMap::new()),
             config,
         });
+        if !recovered_some {
+            // Persist the freshly compiled artifact so the next start
+            // recovers instead of recompiling.
+            let g = core.artifact.read().unwrap_or_else(|p| p.into_inner());
+            core.persist_artifact(&g);
+        }
         let (tx, rx) = mpsc::sync_channel::<Job>(core.config.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let factory = Arc::new(factory);
-        let workers = (0..core.config.workers.max(1))
-            .map(|worker_id| {
-                let core = Arc::clone(&core);
-                let rx = Arc::clone(&rx);
-                let factory = Arc::clone(&factory);
-                thread::spawn(move || worker_loop(worker_id, &core, &*factory, &rx))
-            })
-            .collect();
-        Ok(InferenceService { core, sender: Some(tx), workers })
+        let mut handles = Vec::new();
+        let mut slots = Vec::new();
+        let worker_count = core.config.workers.max(1);
+        for worker_id in 0..worker_count {
+            let (handle, slot) = spawn_worker(worker_id, &core, &rx, &factory);
+            handles.push(handle);
+            slots.push(slot);
+        }
+        let workers = Arc::new(Mutex::new(handles));
+        let slots = Arc::new(Mutex::new(slots));
+        let next_worker_id = Arc::new(AtomicUsize::new(worker_count));
+        let hooks = {
+            let esc_core = Arc::clone(&core);
+            let spawn_core = Arc::clone(&core);
+            let spawn_rx = Arc::clone(&rx);
+            let spawn_factory = Arc::clone(&factory);
+            WatchdogHooks {
+                on_escalate: Box::new(move |ev| {
+                    Counters::bump(&esc_core.counters.watchdog_escalations);
+                    match ev.action {
+                        // A worker wedging mid-request is a backend
+                        // failure as far as routing is concerned.
+                        Escalation::Cancelled => esc_core.breaker.record_failure(false),
+                        Escalation::Quarantined => {
+                            Counters::bump(&esc_core.counters.workers_respawned)
+                        }
+                        Escalation::None => {}
+                    }
+                }),
+                respawn: Box::new(move |worker_id| {
+                    spawn_worker(worker_id, &spawn_core, &spawn_rx, &spawn_factory)
+                }),
+            }
+        };
+        let watchdog = Watchdog::start(
+            core.config.watchdog.clone(),
+            slots,
+            Arc::clone(&workers),
+            next_worker_id,
+            hooks,
+        );
+        Ok(InferenceService { core, sender: Some(tx), workers, watchdog: Some(watchdog) })
     }
 
     /// Submits a request under the configured default deadline. Returns
@@ -434,23 +651,79 @@ impl InferenceService {
         let id = self.core.next_id.fetch_add(1, Ordering::Relaxed);
         let (reply, rx) = mpsc::channel();
         let job = Job { id, image, token: token.clone(), submitted: Instant::now(), reply };
+        // Register before sending so the deadline-shutdown sweep can never
+        // miss a request that a worker is just picking up.
+        self.core
+            .pending
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(id, token.clone());
         match sender.try_send(job) {
             Ok(()) => {
                 Counters::bump(&self.core.counters.submitted);
                 Counters::bump(&self.core.counters.queue_depth);
                 Ok(Ticket { id, token, rx })
             }
-            Err(TrySendError::Full(_)) => {
-                Counters::bump(&self.core.counters.shed);
-                Err(ServeError::Overloaded { capacity: self.core.config.queue_capacity })
+            Err(e) => {
+                self.core.pending.lock().unwrap_or_else(|p| p.into_inner()).remove(&id);
+                match e {
+                    TrySendError::Full(_) => {
+                        Counters::bump(&self.core.counters.shed);
+                        Err(ServeError::Overloaded { capacity: self.core.config.queue_capacity })
+                    }
+                    TrySendError::Disconnected(_) => Err(ServeError::ShuttingDown),
+                }
             }
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
         }
     }
 
     /// Point-in-time service statistics.
     pub fn stats(&self) -> ServiceStats {
         self.core.stats()
+    }
+
+    /// Watchdog interventions observed so far (step-1 cancellations and
+    /// step-2 quarantines), in order. Empty when the watchdog is off.
+    pub fn watchdog_events(&self) -> Vec<crate::watchdog::WatchdogEvent> {
+        self.watchdog.as_ref().map(Watchdog::events).unwrap_or_default()
+    }
+
+    /// Point-in-time service health: per-worker liveness, breaker state,
+    /// store integrity and queue age. See [`HealthReport`].
+    pub fn health(&self) -> HealthReport {
+        let c = &self.core.counters;
+        let slots = self.watchdog.as_ref().map(Watchdog::slots).unwrap_or_default();
+        let mut oldest_busy: Option<Duration> = None;
+        let workers = slots
+            .iter()
+            .map(|slot| {
+                let state = if slot.is_quarantined() {
+                    WorkerState::Quarantined
+                } else if let Some((job_id, busy_for)) = slot.busy_view() {
+                    oldest_busy = Some(oldest_busy.map_or(busy_for, |o| o.max(busy_for)));
+                    WorkerState::Busy { job_id, busy_for, escalation: slot.escalation() }
+                } else {
+                    WorkerState::Idle
+                };
+                WorkerHealth { worker_id: slot.worker_id(), state }
+            })
+            .collect();
+        HealthReport {
+            accepting: self.core.accepting.load(Ordering::Acquire),
+            workers,
+            breaker: self.core.breaker.snapshot(),
+            queue_depth: c.queue_depth.load(Ordering::Relaxed),
+            in_flight: c.in_flight.load(Ordering::Relaxed),
+            oldest_busy,
+            store: self
+                .core
+                .store
+                .as_ref()
+                .map(ArtifactStore::integrity)
+                .unwrap_or_else(StoreIntegrity::default),
+            watchdog_escalations: c.watchdog_escalations.load(Ordering::Relaxed),
+            workers_respawned: c.workers_respawned.load(Ordering::Relaxed),
+        }
     }
 
     /// Stops admission, drains every queued request, joins the workers
@@ -460,12 +733,76 @@ impl InferenceService {
         self.core.stats()
     }
 
+    /// [`InferenceService::shutdown`] with a drain deadline: requests
+    /// still unresolved when `deadline` elapses have their tokens
+    /// cancelled, so each resolves promptly as
+    /// [`ServeError::Cancelled`] instead of running to completion. Every
+    /// admitted request still gets exactly one typed resolution — drained
+    /// or deadline-shed, never silently dropped.
+    pub fn shutdown_with_deadline(mut self, deadline: Duration) -> ServiceStats {
+        self.core.accepting.store(false, Ordering::Release);
+        self.sender.take();
+        // Deadline sweeper: cancels every still-pending token once the
+        // deadline passes. The condvar lets a fast drain release it early.
+        let core = Arc::clone(&self.core);
+        let done = Arc::new((Mutex::new(false), Condvar::new()));
+        let done2 = Arc::clone(&done);
+        let sweeper = thread::spawn(move || {
+            let (lock, cv) = &*done2;
+            let mut finished = lock.lock().unwrap_or_else(|p| p.into_inner());
+            let wait_until = Instant::now() + deadline;
+            while !*finished {
+                let now = Instant::now();
+                if now >= wait_until {
+                    for token in core.pending.lock().unwrap_or_else(|p| p.into_inner()).values()
+                    {
+                        token.cancel();
+                    }
+                    return;
+                }
+                let (g, _) = cv
+                    .wait_timeout(finished, wait_until - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                finished = g;
+            }
+        });
+        self.join_workers();
+        {
+            let (lock, cv) = &*done;
+            *lock.lock().unwrap_or_else(|p| p.into_inner()) = true;
+            cv.notify_all();
+        }
+        let _ = sweeper.join();
+        if let Some(mut wd) = self.watchdog.take() {
+            wd.stop();
+        }
+        self.core.stats()
+    }
+
+    fn join_workers(&mut self) {
+        // The watchdog may push respawned handles while we join, so keep
+        // sweeping until the registry stays empty.
+        loop {
+            let handles: Vec<JoinHandle<()>> = {
+                let mut g = self.workers.lock().unwrap_or_else(|p| p.into_inner());
+                g.drain(..).collect()
+            };
+            if handles.is_empty() {
+                return;
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
+        }
+    }
+
     fn drain(&mut self) {
         self.core.accepting.store(false, Ordering::Release);
         // Dropping the sender lets workers finish the queue, then exit.
         self.sender.take();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        self.join_workers();
+        if let Some(mut wd) = self.watchdog.take() {
+            wd.stop();
         }
     }
 }
@@ -476,15 +813,27 @@ impl Drop for InferenceService {
     }
 }
 
-fn worker_loop<H, F>(worker_id: usize, core: &ServiceCore, factory: &F, rx: &Mutex<Receiver<Job>>)
-where
+fn worker_loop<H, F>(
+    worker_id: usize,
+    core: &ServiceCore,
+    factory: &F,
+    rx: &Mutex<Receiver<Job>>,
+    slot: &WorkerSlot,
+) where
     H: Hisa,
     F: Fn(usize, &CompiledCircuit) -> H,
 {
     // (artifact version, backend) — rebuilt when the artifact is repaired
-    // or the backend is lost to a caught panic.
-    let mut cached: Option<(u64, H)> = None;
+    // or the backend is lost to a caught panic. The chaos wrapper is
+    // transparent when no plan is configured.
+    let mut cached: Option<(u64, ChaosInjector<H>)> = None;
     loop {
+        // A quarantined worker has been replaced; once it regains control
+        // (its wedged op finally returned and the job was replied to) it
+        // must not take new work.
+        if slot.is_quarantined() {
+            return;
+        }
         let job = {
             let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
             guard.recv()
@@ -494,7 +843,8 @@ where
         };
         Counters::drop_one(&core.counters.queue_depth);
         Counters::bump(&core.counters.in_flight);
-        let result = handle_job(core, factory, worker_id, &mut cached, &job);
+        slot.begin(job.id, &job.token);
+        let result = handle_job(core, factory, worker_id, &mut cached, &job, slot);
         core.latency.record(job.submitted.elapsed());
         match &result {
             Ok(resp) if resp.degraded => Counters::bump(&core.counters.degraded),
@@ -506,7 +856,22 @@ where
             resp.latency = job.submitted.elapsed();
             resp
         });
-        let _ = job.reply.send(result); // caller may have dropped the ticket
+        let dropped = core
+            .config
+            .chaos
+            .as_ref()
+            .is_some_and(|plan| plan.drops_response(job.id));
+        if dropped {
+            // Chaos: the computed response never reaches the caller. The
+            // reply sender is dropped, so the ticket resolves as
+            // `WorkerLost` — a typed error, not a hang.
+            Counters::bump(&core.counters.dropped_responses);
+            drop(job.reply);
+        } else {
+            let _ = job.reply.send(result); // caller may have dropped the ticket
+        }
+        core.pending.lock().unwrap_or_else(|p| p.into_inner()).remove(&job.id);
+        slot.finish();
         Counters::drop_one(&core.counters.in_flight);
     }
 }
@@ -515,8 +880,9 @@ fn handle_job<H, F>(
     core: &ServiceCore,
     factory: &F,
     worker_id: usize,
-    cached: &mut Option<(u64, H)>,
+    cached: &mut Option<(u64, ChaosInjector<H>)>,
     job: &Job,
+    slot: &WorkerSlot,
 ) -> Result<InferResponse, ServeError>
 where
     H: Hisa,
@@ -527,13 +893,28 @@ where
     }
     let route = core.breaker.route();
     let mut attempts = 0usize;
+    let mut last_error = None;
     if route != Route::Degraded {
-        match run_primary(core, factory, worker_id, cached, job, route == Route::Probe) {
+        match run_primary(core, factory, worker_id, cached, job, route == Route::Probe, slot) {
             PrimaryOutcome::Done(result) => return result,
-            PrimaryOutcome::Degrade { attempts_spent } => attempts = attempts_spent,
+            PrimaryOutcome::Degrade { attempts_spent, error } => {
+                attempts = attempts_spent;
+                last_error = error;
+            }
         }
     }
-    run_degraded(core, job, attempts)
+    if !core.config.degraded_fallback {
+        // Strict mode: no simulator fallback. A request the breaker
+        // refused to admit to the primary is shed (it lost the half-open
+        // race, or arrived during cooldown); one whose attempts were
+        // exhausted fails with the last primary error.
+        return match last_error {
+            Some(error) => Err(ServeError::Failed { attempts, error }),
+            None if attempts > 0 => Err(ServeError::WorkerLost),
+            None => Err(ServeError::Overloaded { capacity: core.config.queue_capacity }),
+        };
+    }
+    run_degraded(core, job, attempts, slot)
 }
 
 /// How the primary-attempt loop ended.
@@ -544,16 +925,21 @@ enum PrimaryOutcome {
     Degrade {
         /// Attempts spent before giving up (reported in the response).
         attempts_spent: usize,
+        /// Last primary error, when one was observed (`None` when the
+        /// loop ran zero attempts or every attempt panicked).
+        error: Option<ExecError>,
     },
 }
 
+#[allow(clippy::too_many_arguments)] // internal control loop, one caller
 fn run_primary<H, F>(
     core: &ServiceCore,
     factory: &F,
     worker_id: usize,
-    cached: &mut Option<(u64, H)>,
+    cached: &mut Option<(u64, ChaosInjector<H>)>,
     job: &Job,
     probe: bool,
+    slot: &WorkerSlot,
 ) -> PrimaryOutcome
 where
     H: Hisa,
@@ -564,16 +950,24 @@ where
     while core.config.retry.allows(attempt) {
         let (version, compiled) = core.artifact_snapshot();
         if !matches!(cached, Some((v, _)) if *v == version) {
-            *cached = Some((version, factory(worker_id, &compiled)));
+            *cached = Some((
+                version,
+                ChaosInjector::new(factory(worker_id, &compiled), core.config.chaos.clone()),
+            ));
         }
         let Some((_, backend)) = cached.as_mut() else {
             return PrimaryOutcome::Done(Err(ServeError::WorkerLost));
         };
-        let mut counter = OpCounter::default();
+        // (Re)key the chaos stream for this request: faults are a pure
+        // function of (seed, request id, op index), never of which worker
+        // picked the job up or how many exist.
+        backend.begin_request(job.id);
+        let mut counter = WorkerObserver { ops: 0, slot };
         let mut ctrl = ExecControl { cancel: Some(&job.token), observer: Some(&mut counter) };
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             try_infer_with_control(backend, &core.circuit, &compiled.plan, &job.image, &mut ctrl)
         }));
+        let ops_executed = counter.ops;
         match outcome {
             Ok(Ok((output, report))) => {
                 core.breaker.record_success(probe);
@@ -583,7 +977,7 @@ where
                     degraded: false,
                     attempts: attempt,
                     artifact_version: version,
-                    ops_executed: counter.0,
+                    ops_executed,
                     report,
                     latency: Duration::ZERO, // the worker loop fills this in
                 }));
@@ -620,7 +1014,7 @@ where
         }
         // A failed probe never gets a second chance: the breaker reopened.
         if probe {
-            return PrimaryOutcome::Degrade { attempts_spent: attempt };
+            return PrimaryOutcome::Degrade { attempts_spent: attempt, error: last_error };
         }
         attempt += 1;
         if !core.config.retry.allows(attempt) {
@@ -639,16 +1033,20 @@ where
         }
     }
     // Retries exhausted. If the failure was permanent in nature we'd have
-    // returned above, so degrade; attach nothing — the degraded route
-    // produces the definitive result (and its own error if it too fails).
-    let _ = last_error;
-    PrimaryOutcome::Degrade { attempts_spent: attempt.min(core.config.retry.max_attempts.max(1)) }
+    // returned above; pass the last error along for strict mode, where
+    // there is no degraded route to produce the definitive result.
+    Counters::bump(&core.counters.retries_exhausted);
+    PrimaryOutcome::Degrade {
+        attempts_spent: attempt.min(core.config.retry.max_attempts.max(1)),
+        error: last_error,
+    }
 }
 
 fn run_degraded(
     core: &ServiceCore,
     job: &Job,
     attempts: usize,
+    slot: &WorkerSlot,
 ) -> Result<InferResponse, ServeError> {
     if let Err(reason) = job.token.check() {
         return Err(ServeError::Cancelled(reason));
@@ -656,7 +1054,7 @@ fn run_degraded(
     let (version, compiled) = core.artifact_snapshot();
     let mut sim = SimCkks::new(&compiled.params, &compiled.rotation_keys, core.config.degraded_seed)
         .without_noise();
-    let mut counter = OpCounter::default();
+    let mut counter = WorkerObserver { ops: 0, slot };
     let mut ctrl = ExecControl { cancel: Some(&job.token), observer: Some(&mut counter) };
     match try_infer_with_control(&mut sim, &core.circuit, &compiled.plan, &job.image, &mut ctrl) {
         Ok((output, report)) => Ok(InferResponse {
@@ -665,7 +1063,7 @@ fn run_degraded(
             degraded: true,
             attempts,
             artifact_version: version,
-            ops_executed: counter.0,
+            ops_executed: counter.ops,
             report,
             latency: Duration::ZERO, // the worker loop fills this in
         }),

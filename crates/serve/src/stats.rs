@@ -117,8 +117,21 @@ pub struct Counters {
     pub retries: AtomicU64,
     /// Artifact repair recompilations that produced a new version.
     pub repairs: AtomicU64,
+    /// Requests whose primary attempts were exhausted without success.
+    pub retries_exhausted: AtomicU64,
     /// Worker panics caught and converted to structured errors.
     pub panics_caught: AtomicU64,
+    /// Watchdog interventions (step-1 cancellations and step-2
+    /// quarantines) against wedged workers.
+    pub watchdog_escalations: AtomicU64,
+    /// Replacement workers spawned after a quarantine.
+    pub workers_respawned: AtomicU64,
+    /// Store records quarantined as corrupt (at open or at read).
+    pub quarantined_records: AtomicU64,
+    /// Recompilations forced because the store had no usable artifact.
+    pub store_recompiles: AtomicU64,
+    /// Responses dropped by chaos injection (resolved as `WorkerLost`).
+    pub dropped_responses: AtomicU64,
     /// Requests currently waiting in the queue.
     pub queue_depth: AtomicU64,
     /// Requests currently executing on a worker.
@@ -158,8 +171,20 @@ pub struct ServiceStats {
     pub retries: u64,
     /// Artifact repair recompilations.
     pub repairs: u64,
+    /// Requests whose primary attempts were exhausted without success.
+    pub retries_exhausted: u64,
     /// Worker panics caught.
     pub panics_caught: u64,
+    /// Watchdog interventions against wedged workers.
+    pub watchdog_escalations: u64,
+    /// Replacement workers spawned after a quarantine.
+    pub workers_respawned: u64,
+    /// Store records quarantined as corrupt.
+    pub quarantined_records: u64,
+    /// Recompilations forced by an unusable store record.
+    pub store_recompiles: u64,
+    /// Responses dropped by chaos injection.
+    pub dropped_responses: u64,
     /// Requests waiting in the queue right now.
     pub queue_depth: u64,
     /// Requests executing right now.

@@ -64,6 +64,7 @@ fn config(workers: usize, queue: usize) -> ServeConfig {
         breaker: BreakerConfig { failure_threshold: 3, open_requests: 2, half_open_successes: 1 },
         degraded_seed: 0x5EED,
         threads: None,
+        ..ServeConfig::default()
     }
 }
 

@@ -1,0 +1,20 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace only ever writes `#[derive(Serialize, Deserialize)]` as a
+//! forward-compatibility marker — no serializer crate (serde_json, bincode,
+//! …) is in the dependency tree, and nothing takes `T: Serialize` bounds.
+//! On-disk persistence uses the repo's own length-prefixed, checksummed
+//! binary codec (`chet_hisa::serial`), not serde. The traits here are
+//! empty markers with a blanket impl so the derives are satisfied trivially.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace's `serde` stub defines `Serialize`/`Deserialize` as marker
+//! traits with blanket impls, so the derives have nothing to generate:
+//! they accept the input (including `#[serde(...)]` attributes) and emit
+//! an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
