@@ -385,6 +385,95 @@ impl<H: Hisa> Hisa for ChaosInjector<H> {
     }
 }
 
+/// A named process-kill site inside the durability path. The journal (and
+/// the service's replay loop) call [`CrashPlan::fires`] at each point; the
+/// crash harness uses the names to build its kill-and-restart matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Inside a journal flush cycle, after the framed bytes were handed to
+    /// the OS but **before** `fsync`. The harness models this as a *torn*
+    /// write: half the batch reaches the disk, then the process dies —
+    /// recovery must quarantine the torn tail, and nothing in the batch
+    /// was ever acknowledged.
+    BeforeFsync,
+    /// Immediately **after** `fsync` returned, before the append's caller
+    /// (the admission or completion path) can acknowledge anyone. The
+    /// records are durable but no client saw a response — replay must run
+    /// them (admissions) or serve them from the completed cache
+    /// (completions) without re-executing acknowledged work.
+    AfterFsyncBeforeAck,
+    /// During recovery itself, between two re-enqueued pending requests.
+    /// Replay mutates nothing in the journal, so a crash here must leave
+    /// the *next* recovery able to replay the same pending set.
+    MidReplay,
+}
+
+impl CrashPoint {
+    /// Parses the CLI spelling used by the crash harness and `ci.sh`.
+    pub fn parse(s: &str) -> Option<CrashPoint> {
+        match s {
+            "before-fsync" => Some(CrashPoint::BeforeFsync),
+            "after-fsync" | "after-fsync-before-ack" => Some(CrashPoint::AfterFsyncBeforeAck),
+            "mid-replay" => Some(CrashPoint::MidReplay),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::BeforeFsync => "before-fsync",
+            CrashPoint::AfterFsyncBeforeAck => "after-fsync",
+            CrashPoint::MidReplay => "mid-replay",
+        }
+    }
+}
+
+/// Salt for [`CrashPlan::from_seed`] hit-index draws.
+const CRASH_PLAN_SALT: u64 = 0xC4A5_40D1_E5EE_D00D;
+
+/// A seeded plan to kill the process at the `after`-th hit of one named
+/// [`CrashPoint`]. Test/harness machinery — never enable in production.
+///
+/// The hit counter is shared across clones (the service clones its config
+/// into workers), so the plan fires exactly once per process regardless of
+/// which thread reaches the site.
+#[derive(Debug, Clone)]
+pub struct CrashPlan {
+    /// Which durability site to die at.
+    pub point: CrashPoint,
+    /// Die on the `after`-th hit of that site (1-based; 0 never fires).
+    pub after: u64,
+    hits: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl CrashPlan {
+    /// A plan that fires on the `after`-th hit of `point`.
+    pub fn at(point: CrashPoint, after: u64) -> Self {
+        CrashPlan { point, after, hits: std::sync::Arc::default() }
+    }
+
+    /// Derives the hit index deterministically from a seed: somewhere in
+    /// `[1, span]`, so different seeds kill the process at different
+    /// depths of the same crash point.
+    pub fn from_seed(point: CrashPoint, seed: u64, span: u64) -> Self {
+        let after = 1 + splitmix64(seed ^ CRASH_PLAN_SALT) % span.max(1);
+        CrashPlan::at(point, after)
+    }
+
+    /// Counts one arrival at `point`; returns `true` when this is the
+    /// arrival the plan kills. The *caller* performs the abort (so it can
+    /// stage torn state first); returning `true` more than once is
+    /// impossible because the first true is followed by process death.
+    pub fn fires(&self, point: CrashPoint) -> bool {
+        if point != self.point || self.after == 0 {
+            return false;
+        }
+        let n = self.hits.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+        n == self.after
+    }
+}
+
 /// Truncates a file to `keep` bytes — the "crash mid-write" chaos fault
 /// for store records. Used by the recovery tests and `ci.sh`'s corruption
 /// round-trip.

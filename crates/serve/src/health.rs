@@ -52,6 +52,29 @@ pub enum HealthVerdict {
     Draining,
 }
 
+/// Journal durability signals, folded into the overall verdict.
+#[derive(Debug, Clone, Default)]
+pub struct JournalHealth {
+    /// Whether request journaling is enabled on this service.
+    pub enabled: bool,
+    /// Records staged but not yet fsynced. Under group commit this hovers
+    /// near zero; sustained growth means the disk cannot keep up with
+    /// admissions and acknowledged durability is at risk.
+    pub lag_records: u64,
+    /// Replayed-at-startup requests still unresolved. A replica reporting
+    /// a nonzero backlog is serving, but its answers to recovered clients
+    /// are still in flight — route new traffic elsewhere if possible.
+    pub replay_backlog: u64,
+    /// Torn-tail records quarantined at open. Nonzero is evidence of a
+    /// crash mid-write: recovery handled it, but an operator should know.
+    pub torn_records: u64,
+}
+
+/// Journal lag (staged-not-durable records) above which the verdict
+/// degrades. Transient lag is normal under group commit; a backlog past
+/// this bound means fsync is falling behind admission.
+pub const MAX_HEALTHY_JOURNAL_LAG: u64 = 64;
+
 /// Point-in-time service health, from [`crate::InferenceService::health`].
 #[derive(Debug, Clone)]
 pub struct HealthReport {
@@ -75,6 +98,13 @@ pub struct HealthReport {
     pub watchdog_escalations: u64,
     /// Workers the watchdog has replaced.
     pub workers_respawned: u64,
+    /// Request-journal durability signals (defaults when journaling is
+    /// disabled).
+    pub journal: JournalHealth,
+    /// The watchdog exhausted its respawn budget and requested a
+    /// supervised restart from the journal. The replica keeps serving
+    /// with whatever workers remain, but the supervisor should recycle it.
+    pub restart_requested: bool,
 }
 
 impl HealthReport {
@@ -90,7 +120,16 @@ impl HealthReport {
             WorkerState::Busy { escalation, .. } => *escalation == Escalation::None,
             WorkerState::Idle => true,
         });
-        if breaker_closed && workers_clean && self.store.quarantined_records == 0 {
+        let journal_clean = !self.journal.enabled
+            || (self.journal.lag_records <= MAX_HEALTHY_JOURNAL_LAG
+                && self.journal.replay_backlog == 0
+                && self.journal.torn_records == 0);
+        if breaker_closed
+            && workers_clean
+            && self.store.quarantined_records == 0
+            && journal_clean
+            && !self.restart_requested
+        {
             HealthVerdict::Healthy
         } else {
             HealthVerdict::Degraded
@@ -118,6 +157,8 @@ mod tests {
             store: StoreIntegrity::default(),
             watchdog_escalations: 0,
             workers_respawned: 0,
+            journal: JournalHealth::default(),
+            restart_requested: false,
         }
     }
 
@@ -148,5 +189,44 @@ mod tests {
             escalation: Escalation::None,
         };
         assert_eq!(r.verdict(), HealthVerdict::Healthy);
+    }
+
+    #[test]
+    fn journal_signals_degrade_the_verdict() {
+        // Disabled journal: its counters are ignored.
+        let mut r = base();
+        r.journal = JournalHealth {
+            enabled: false,
+            lag_records: 1_000,
+            replay_backlog: 5,
+            torn_records: 1,
+        };
+        assert_eq!(r.verdict(), HealthVerdict::Healthy);
+
+        // Enabled and clean: healthy, even with bounded transient lag.
+        let mut r = base();
+        r.journal =
+            JournalHealth { enabled: true, lag_records: MAX_HEALTHY_JOURNAL_LAG, ..Default::default() };
+        assert_eq!(r.verdict(), HealthVerdict::Healthy);
+
+        let mut r = base();
+        r.journal = JournalHealth {
+            enabled: true,
+            lag_records: MAX_HEALTHY_JOURNAL_LAG + 1,
+            ..Default::default()
+        };
+        assert_eq!(r.verdict(), HealthVerdict::Degraded);
+
+        let mut r = base();
+        r.journal = JournalHealth { enabled: true, replay_backlog: 1, ..Default::default() };
+        assert_eq!(r.verdict(), HealthVerdict::Degraded);
+
+        let mut r = base();
+        r.journal = JournalHealth { enabled: true, torn_records: 1, ..Default::default() };
+        assert_eq!(r.verdict(), HealthVerdict::Degraded);
+
+        let mut r = base();
+        r.restart_requested = true;
+        assert_eq!(r.verdict(), HealthVerdict::Degraded);
     }
 }

@@ -36,6 +36,7 @@
 pub mod breaker;
 pub mod chaos;
 pub mod health;
+pub mod journal;
 pub mod retry;
 pub mod service;
 pub mod stats;
@@ -43,15 +44,19 @@ pub mod store;
 pub mod watchdog;
 
 pub use breaker::{BreakerConfig, BreakerSnapshot, BreakerState, BreakerTransition, CircuitBreaker};
-pub use chaos::{ChaosInjector, ChaosPlan};
-pub use health::{HealthReport, HealthVerdict, WorkerHealth, WorkerState};
+pub use chaos::{ChaosInjector, ChaosPlan, CrashPlan, CrashPoint};
+pub use health::{HealthReport, HealthVerdict, JournalHealth, WorkerHealth, WorkerState};
+pub use journal::{
+    response_digest, CompletedResponse, FailCode, Journal, JournalConfig, JournalError,
+    JournalRecord, PendingRequest, ReplayReport, TornTail, JOURNAL_FILE, TORN_FILE,
+};
 pub use retry::RetryPolicy;
 pub use service::{
-    vet_artifact, InferResponse, InferenceService, ServeConfig, ServeError, Ticket,
+    vet_artifact, InferResponse, InferenceService, ServeConfig, ServeError, Submission, Ticket,
 };
 pub use stats::{LatencyHistogram, LatencySnapshot, ServiceStats};
 pub use store::{
-    ArtifactStore, KeyBundleRecord, RecordFault, RecoveryReport, StoreError, StoreIntegrity,
-    StoredArtifact,
+    ArtifactStore, KeyBundleRecord, LockError, RecordFault, RecoveryReport, StoreError,
+    StoreIntegrity, StoreLock, StoredArtifact,
 };
 pub use watchdog::{Escalation, WatchdogConfig, WatchdogEvent, WorkerSlot};

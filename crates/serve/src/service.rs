@@ -28,11 +28,14 @@
 //! and joins every worker before returning the final [`ServiceStats`].
 
 use crate::breaker::{BreakerConfig, CircuitBreaker, Route};
-use crate::chaos::{ChaosInjector, ChaosPlan};
-use crate::health::{HealthReport, WorkerHealth, WorkerState};
+use crate::chaos::{ChaosInjector, ChaosPlan, CrashPoint};
+use crate::health::{HealthReport, JournalHealth, WorkerHealth, WorkerState};
+use crate::journal::{
+    response_digest, CompletedResponse, FailCode, Journal, JournalConfig, JournalRecord,
+};
 use crate::retry::RetryPolicy;
 use crate::stats::{Counters, LatencyHistogram, ServiceStats};
-use crate::store::{ArtifactStore, StoreIntegrity, StoredArtifact};
+use crate::store::{ArtifactStore, LockError, StoreIntegrity, StoreLock, StoredArtifact};
 use crate::watchdog::{Escalation, Watchdog, WatchdogConfig, WatchdogHooks, WorkerSlot};
 use chet_ckks::sim::SimCkks;
 use chet_compiler::{verify_compiled, CompiledCircuit, Compiler, SelectError};
@@ -102,6 +105,10 @@ pub struct ServeConfig {
     /// Seeded serve-layer chaos injection (`None` = no chaos). Test and
     /// soak machinery — never enable in production.
     pub chaos: Option<ChaosPlan>,
+    /// Durable request journal ([`crate::journal`]). Requires `store_dir`
+    /// when enabled: the journal lives next to the artifact store, under
+    /// the same advisory lock.
+    pub journal: JournalConfig,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +126,7 @@ impl Default for ServeConfig {
             key_seed: 1,
             watchdog: WatchdogConfig::default(),
             chaos: None,
+            journal: JournalConfig::default(),
         }
     }
 }
@@ -180,6 +188,27 @@ pub enum ServeError {
     /// The executing worker disappeared without replying (it panicked
     /// outside the guarded region, or the service was torn down).
     WorkerLost,
+    /// Another live process holds the store/journal advisory lock. Two
+    /// writers interleaving one journal would corrupt the durable state,
+    /// so the second opener fails at startup instead.
+    StoreLocked {
+        /// PID of the live lock holder.
+        holder_pid: u32,
+    },
+    /// A request with this idempotency key is already admitted and still
+    /// unresolved — resubmitting now would double-execute. Wait on the
+    /// original ticket (request id attached), or retry after it resolves.
+    DuplicatePending {
+        /// Request id of the in-flight original.
+        request_id: u64,
+    },
+    /// The request journal could not make an admission durable (disk
+    /// full, I/O error). The request was NOT accepted: with journaling
+    /// enabled, an acknowledgement the journal cannot back is a lie.
+    JournalUnavailable {
+        /// The underlying journal error.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -198,6 +227,15 @@ impl fmt::Display for ServeError {
                 write!(f, "artifact rejected by static verifier ({denies} deny): {first}")
             }
             ServeError::WorkerLost => write!(f, "worker disappeared without replying"),
+            ServeError::StoreLocked { holder_pid } => {
+                write!(f, "store/journal directory locked by live process {holder_pid}")
+            }
+            ServeError::DuplicatePending { request_id } => {
+                write!(f, "idempotency key already in flight as request {request_id}")
+            }
+            ServeError::JournalUnavailable { detail } => {
+                write!(f, "request journal unavailable: {detail}")
+            }
         }
     }
 }
@@ -261,12 +299,28 @@ pub fn vet_artifact(circuit: &Circuit, compiled: &CompiledCircuit) -> Result<(),
     Ok(())
 }
 
+/// Outcome of a keyed submission ([`InferenceService::submit_keyed`]).
+#[derive(Debug)]
+pub enum Submission {
+    /// The request was admitted (and, with journaling on, its admission
+    /// is already durable). Wait on the ticket as usual.
+    Accepted(Ticket),
+    /// This idempotency key already completed — here is the original
+    /// response, served from the journal's completed cache without
+    /// touching ciphertext compute.
+    Duplicate(CompletedResponse),
+}
+
 struct Job {
     id: u64,
     image: Tensor,
     token: CancelToken,
     submitted: Instant,
     reply: mpsc::Sender<Result<InferResponse, ServeError>>,
+    /// Client idempotency key (empty = unkeyed, no dedup).
+    key: String,
+    /// `true` when this job was re-enqueued from the journal at startup.
+    replayed: bool,
 }
 
 /// The shared compiled artifact, re-versioned by each successful repair.
@@ -289,9 +343,21 @@ struct ServiceCore {
     next_id: AtomicU64,
     /// The crash-safe store, when configured; repairs republish into it.
     store: Option<ArtifactStore>,
+    /// The durable request journal, when enabled.
+    journal: Option<Arc<Journal>>,
+    /// Advisory single-opener lock on the store directory; held for the
+    /// service's lifetime, released (or stolen from our corpse) on exit.
+    _store_lock: Option<StoreLock>,
     /// Tokens of requests admitted but not yet replied to — the handle
     /// deadline-based shutdown uses to cancel everything still queued.
     pending: Mutex<HashMap<u64, CancelToken>>,
+    /// Idempotency keys admitted but not yet resolved (key → request id):
+    /// the double-execution gate for concurrent duplicate submissions.
+    pending_keys: Mutex<HashMap<String, u64>>,
+    /// Set by the watchdog's final rung: the respawn budget is exhausted
+    /// and a supervisor should recycle this process through
+    /// [`InferenceService::restart_from_journal`].
+    restart_requested: AtomicBool,
 }
 
 impl ServiceCore {
@@ -363,11 +429,29 @@ impl ServiceCore {
             quarantined_records: c.quarantined_records.load(Ordering::Relaxed),
             store_recompiles: c.store_recompiles.load(Ordering::Relaxed),
             dropped_responses: c.dropped_responses.load(Ordering::Relaxed),
+            replayed: c.replayed.load(Ordering::Relaxed),
+            deduped: c.deduped.load(Ordering::Relaxed),
+            journal_failed_shutdown: c.journal_failed_shutdown.load(Ordering::Relaxed),
+            replay_backlog: c.replay_backlog.load(Ordering::Relaxed),
+            journal_records: self.journal.as_ref().map_or(0, |j| j.records_appended()),
+            journal_fsyncs: self.journal.as_ref().map_or(0, |j| j.fsyncs()),
+            journal_lag: self.journal.as_ref().map_or(0, |j| j.lag()),
+            journal_torn_records: self.journal.as_ref().map_or(0, |j| j.torn_records()),
             queue_depth: c.queue_depth.load(Ordering::Relaxed),
             in_flight: c.in_flight.load(Ordering::Relaxed),
             artifact_version: self.artifact_snapshot().0,
             breaker: self.breaker.snapshot(),
             latency: self.latency.snapshot(),
+        }
+    }
+
+    /// Journals one record, durably. Journal damage must not take serving
+    /// down mid-request (admission is where unavailability is enforced),
+    /// so worker-path failures are counted into the sticky journal error
+    /// and otherwise swallowed.
+    fn journal_durable(&self, rec: &JournalRecord) {
+        if let Some(j) = &self.journal {
+            let _ = j.append_durable(rec);
         }
     }
 }
@@ -382,6 +466,22 @@ enum Disposition {
     Permanent,
     /// The request's token tripped.
     Cancelled(CancelReason),
+}
+
+/// Maps a request's terminal [`ServeError`] to its journal close-out code.
+fn fail_code(e: &ServeError) -> FailCode {
+    match e {
+        ServeError::Cancelled(_) => FailCode::Cancelled,
+        ServeError::ShuttingDown => FailCode::Shutdown,
+        ServeError::WorkerLost => FailCode::WorkerLost,
+        ServeError::Overloaded { .. } => FailCode::Overloaded,
+        ServeError::Failed { .. }
+        | ServeError::Compile(_)
+        | ServeError::Lint { .. }
+        | ServeError::StoreLocked { .. }
+        | ServeError::DuplicatePending { .. }
+        | ServeError::JournalUnavailable { .. } => FailCode::Exec,
+    }
 }
 
 fn classify(e: &ExecError) -> Disposition {
@@ -534,12 +634,49 @@ impl InferenceService {
         if let Some(n) = config.threads {
             chet_runtime::par::set_threads(n);
         }
+        if config.journal.enabled && config.store_dir.is_none() {
+            return Err(ServeError::JournalUnavailable {
+                detail: "journaling requires a store_dir".to_string(),
+            });
+        }
+        // Advisory lock before anything touches the directory: a second
+        // live opener must fail *here*, not interleave journal appends.
+        let store_lock = match &config.store_dir {
+            Some(dir) => match StoreLock::acquire(dir) {
+                Ok(lock) => Some(lock),
+                Err(LockError::Held { holder_pid }) => {
+                    return Err(ServeError::StoreLocked { holder_pid });
+                }
+                // An unlockable directory (permissions, weird FS) degrades
+                // like an unopenable store: serve without the lock rather
+                // than refuse to start — unless journaling is on, where
+                // unprotected appends are not acceptable.
+                Err(LockError::Io(e)) if config.journal.enabled => {
+                    return Err(ServeError::JournalUnavailable { detail: e.to_string() });
+                }
+                Err(LockError::Io(_)) => None,
+            },
+            None => None,
+        };
         let counters = Counters::default();
         // Crash-safe store first: a usable stored artifact skips the
         // (expensive) checked compile entirely; damaged or missing state
         // falls back to recompilation — a corrupt store delays startup,
         // it never prevents it.
         let (store, recovered, damaged) = recover_from_store(&config, &circuit, &counters);
+        // Open the journal and rebuild the request state machine before
+        // any worker exists: recovery decides what replays.
+        let (journal, replay) = if config.journal.enabled {
+            let dir = config.store_dir.clone().unwrap_or_default();
+            match Journal::open(&dir, &config.journal) {
+                Ok((j, report)) => (Some(Arc::new(j)), Some(report)),
+                Err(e) => {
+                    return Err(ServeError::JournalUnavailable { detail: e.to_string() });
+                }
+            }
+        } else {
+            (None, None)
+        };
         let recovered_some = recovered.is_some();
         let state = match recovered {
             Some(a) => ArtifactState {
@@ -563,6 +700,9 @@ impl InferenceService {
                 }
             }
         };
+        // Request ids resume above everything the journal has seen, so a
+        // replayed id is never reissued to a new request.
+        let next_id = replay.as_ref().map_or(1, |r| r.max_request_id + 1);
         let core = Arc::new(ServiceCore {
             circuit,
             compiler,
@@ -571,9 +711,13 @@ impl InferenceService {
             counters,
             latency: LatencyHistogram::default(),
             accepting: AtomicBool::new(true),
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(next_id),
             store,
+            journal,
+            _store_lock: store_lock,
             pending: Mutex::new(HashMap::new()),
+            pending_keys: Mutex::new(HashMap::new()),
+            restart_requested: AtomicBool::new(false),
             config,
         });
         if !recovered_some {
@@ -611,6 +755,13 @@ impl InferenceService {
                         Escalation::Quarantined => {
                             Counters::bump(&esc_core.counters.workers_respawned)
                         }
+                        // Final rung: pool capacity cannot be repaired
+                        // in-process any more. Raise the supervised-
+                        // restart flag; the journal makes recycling the
+                        // process safe (unresolved requests replay).
+                        Escalation::RestartRequested => {
+                            esc_core.restart_requested.store(true, Ordering::Release);
+                        }
                         Escalation::None => {}
                     }
                 }),
@@ -626,7 +777,80 @@ impl InferenceService {
             next_worker_id,
             hooks,
         );
+        // Re-enqueue every admitted-but-unresolved request from the
+        // journal, in admission order, through the normal worker pool.
+        // The blocking send is deliberate: the replay backlog may exceed
+        // the queue capacity, and shedding a request whose admission was
+        // already acknowledged would break the durability contract.
+        if let Some(report) = replay {
+            for pending in report.pending {
+                let token = match core.config.default_deadline {
+                    Some(budget) => CancelToken::with_deadline(budget),
+                    None => CancelToken::new(),
+                };
+                // The reply receiver is dropped immediately: the original
+                // client connection died with the old process. The result
+                // still lands in the journal (and the completed cache), so
+                // the client's duplicate retry finds it by key.
+                let (reply, _rx) = mpsc::channel();
+                core.pending
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .insert(pending.request_id, token.clone());
+                if !pending.idempotency_key.is_empty() {
+                    core.pending_keys
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .insert(pending.idempotency_key.clone(), pending.request_id);
+                }
+                Counters::bump(&core.counters.submitted);
+                Counters::bump(&core.counters.replayed);
+                Counters::bump(&core.counters.replay_backlog);
+                Counters::bump(&core.counters.queue_depth);
+                let job = Job {
+                    id: pending.request_id,
+                    image: pending.image,
+                    token,
+                    submitted: Instant::now(),
+                    reply,
+                    key: pending.idempotency_key,
+                    replayed: true,
+                };
+                if tx.send(job).is_err() {
+                    break; // workers gone (shutdown raced startup)
+                }
+                if let Some(crash) = &core.config.journal.crash {
+                    // Crash-harness kill site: die with part of the
+                    // backlog re-enqueued. Replay mutates nothing, so the
+                    // next open recovers the identical pending set.
+                    if crash.fires(CrashPoint::MidReplay) {
+                        std::process::abort();
+                    }
+                }
+            }
+        }
         Ok(InferenceService { core, sender: Some(tx), workers, watchdog: Some(watchdog) })
+    }
+
+    /// Supervised-restart entry point: identical to
+    /// [`InferenceService::start_with_compiler`], named for the recovery
+    /// path. A supervisor that sees [`InferenceService::needs_restart`]
+    /// (or a crash) drops/loses the old service and calls this; the new
+    /// instance steals the dead process's advisory lock, replays every
+    /// unresolved request from the journal in admission order, and serves
+    /// completed idempotency keys from the journal's response cache.
+    pub fn restart_from_journal<H, F>(
+        compiler: Compiler,
+        circuit: Circuit,
+        scales: ScaleConfig,
+        config: ServeConfig,
+        factory: F,
+    ) -> Result<Self, ServeError>
+    where
+        H: Hisa + 'static,
+        F: Fn(usize, &CompiledCircuit) -> H + Send + Sync + 'static,
+    {
+        Self::start_with_compiler(compiler, circuit, scales, config, factory)
     }
 
     /// Submits a request under the configured default deadline. Returns
@@ -642,15 +866,106 @@ impl InferenceService {
     /// Submits a request under a caller-supplied [`CancelToken`] (bring
     /// your own deadline, or keep a clone to cancel explicitly).
     pub fn submit_with(&self, image: Tensor, token: CancelToken) -> Result<Ticket, ServeError> {
+        self.submit_inner(image, token, String::new())
+    }
+
+    /// Submits a request under a client-supplied **idempotency key**,
+    /// with exactly-once acknowledgement semantics when journaling is on:
+    ///
+    /// * If this key already **completed** — in this process's lifetime
+    ///   or any journaled predecessor's — the original response comes
+    ///   back as [`Submission::Duplicate`] without re-running ciphertext
+    ///   compute, digest-identical to the first acknowledgement.
+    /// * If this key is already admitted and **in flight**, the duplicate
+    ///   is refused with [`ServeError::DuplicatePending`] (admitting it
+    ///   would double-execute).
+    /// * Otherwise the request is admitted; its `Admitted` journal record
+    ///   is fsynced *before* this method returns, so an accepted
+    ///   submission survives any crash after the ack.
+    pub fn submit_keyed(&self, image: Tensor, key: &str) -> Result<Submission, ServeError> {
+        if let Some(j) = &self.core.journal {
+            if let Some(resp) = j.lookup_completed(key) {
+                Counters::bump(&self.core.counters.deduped);
+                return Ok(Submission::Duplicate(resp));
+            }
+        }
+        let token = match self.core.config.default_deadline {
+            Some(budget) => CancelToken::with_deadline(budget),
+            None => CancelToken::new(),
+        };
+        self.submit_inner(image, token, key.to_string()).map(Submission::Accepted)
+    }
+
+    /// Looks up a completed response by idempotency key without
+    /// submitting anything — how a reconnecting client polls for the
+    /// outcome of a request whose original connection died.
+    pub fn lookup(&self, key: &str) -> Option<CompletedResponse> {
+        self.core.journal.as_ref().and_then(|j| j.lookup_completed(key))
+    }
+
+    /// Whether the watchdog has exhausted its respawn budget and asked
+    /// for a supervised restart ([`InferenceService::restart_from_journal`]).
+    pub fn needs_restart(&self) -> bool {
+        self.core.restart_requested.load(Ordering::Acquire)
+    }
+
+    fn submit_inner(
+        &self,
+        image: Tensor,
+        token: CancelToken,
+        key: String,
+    ) -> Result<Ticket, ServeError> {
         if !self.core.accepting.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
         let Some(sender) = self.sender.as_ref() else {
             return Err(ServeError::ShuttingDown);
         };
+        // Claim the idempotency key before journaling: two concurrent
+        // submissions of the same key race here, and exactly one wins.
+        if !key.is_empty() {
+            let mut keys = self.core.pending_keys.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(&request_id) = keys.get(&key) {
+                return Err(ServeError::DuplicatePending { request_id });
+            }
+            // Reserve with a placeholder id; replaced just below once the
+            // real id is assigned (the map is only read for existence and
+            // for the error's diagnostic id).
+            keys.insert(key.clone(), 0);
+        }
         let id = self.core.next_id.fetch_add(1, Ordering::Relaxed);
+        if !key.is_empty() {
+            self.core
+                .pending_keys
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .insert(key.clone(), id);
+        }
+        // Durable admission before the ack: once this returns Ok, the
+        // request survives any crash.
+        if let Some(j) = &self.core.journal {
+            let rec = JournalRecord::Admitted {
+                request_id: id,
+                idempotency_key: key.clone(),
+                image: image.clone(),
+            };
+            if let Err(e) = j.append_durable(&rec) {
+                if !key.is_empty() {
+                    self.core.pending_keys.lock().unwrap_or_else(|p| p.into_inner()).remove(&key);
+                }
+                return Err(ServeError::JournalUnavailable { detail: e.to_string() });
+            }
+        }
         let (reply, rx) = mpsc::channel();
-        let job = Job { id, image, token: token.clone(), submitted: Instant::now(), reply };
+        let job = Job {
+            id,
+            image,
+            token: token.clone(),
+            submitted: Instant::now(),
+            reply,
+            key: key.clone(),
+            replayed: false,
+        };
         // Register before sending so the deadline-shutdown sweep can never
         // miss a request that a worker is just picking up.
         self.core
@@ -666,12 +981,28 @@ impl InferenceService {
             }
             Err(e) => {
                 self.core.pending.lock().unwrap_or_else(|p| p.into_inner()).remove(&id);
+                if !key.is_empty() {
+                    self.core.pending_keys.lock().unwrap_or_else(|p| p.into_inner()).remove(&key);
+                }
                 match e {
                     TrySendError::Full(_) => {
+                        // The admission is already durable; close it out
+                        // durably too, or replay would resurrect a request
+                        // the client saw shed.
+                        self.core.journal_durable(&JournalRecord::Failed {
+                            request_id: id,
+                            code: FailCode::Overloaded,
+                        });
                         Counters::bump(&self.core.counters.shed);
                         Err(ServeError::Overloaded { capacity: self.core.config.queue_capacity })
                     }
-                    TrySendError::Disconnected(_) => Err(ServeError::ShuttingDown),
+                    TrySendError::Disconnected(_) => {
+                        self.core.journal_durable(&JournalRecord::Failed {
+                            request_id: id,
+                            code: FailCode::Shutdown,
+                        });
+                        Err(ServeError::ShuttingDown)
+                    }
                 }
             }
         }
@@ -723,6 +1054,13 @@ impl InferenceService {
                 .unwrap_or_else(StoreIntegrity::default),
             watchdog_escalations: c.watchdog_escalations.load(Ordering::Relaxed),
             workers_respawned: c.workers_respawned.load(Ordering::Relaxed),
+            journal: JournalHealth {
+                enabled: self.core.journal.is_some(),
+                lag_records: self.core.journal.as_ref().map_or(0, |j| j.lag()),
+                replay_backlog: c.replay_backlog.load(Ordering::Relaxed),
+                torn_records: self.core.journal.as_ref().map_or(0, |j| j.torn_records()),
+            },
+            restart_requested: self.core.restart_requested.load(Ordering::Acquire),
         }
     }
 
@@ -776,7 +1114,36 @@ impl InferenceService {
         if let Some(mut wd) = self.watchdog.take() {
             wd.stop();
         }
+        self.journal_shutdown_sweep();
         self.core.stats()
+    }
+
+    /// Durably closes out any request still pending after the workers
+    /// drained (a quarantined worker that never replied, or queue entries
+    /// orphaned when every worker exited), then flushes and closes the
+    /// journal. Without the `Failed(Shutdown)` records, replay would
+    /// resurrect — and re-run — work the client already saw rejected.
+    fn journal_shutdown_sweep(&self) {
+        let Some(journal) = &self.core.journal else {
+            return;
+        };
+        let leftover: Vec<u64> = {
+            let g = self.core.pending.lock().unwrap_or_else(|p| p.into_inner());
+            let mut ids: Vec<u64> = g.keys().copied().collect();
+            ids.sort_unstable();
+            ids
+        };
+        for id in leftover {
+            // On a closed journal (Drop after an explicit shutdown) the
+            // append refuses; don't count records that were not written.
+            if journal
+                .append(&JournalRecord::Failed { request_id: id, code: FailCode::Shutdown })
+                .is_ok()
+            {
+                Counters::bump(&self.core.counters.journal_failed_shutdown);
+            }
+        }
+        let _ = journal.close(); // close() flushes staged records first
     }
 
     fn join_workers(&mut self) {
@@ -804,6 +1171,7 @@ impl InferenceService {
         if let Some(mut wd) = self.watchdog.take() {
             wd.stop();
         }
+        self.journal_shutdown_sweep();
     }
 }
 
@@ -844,6 +1212,11 @@ fn worker_loop<H, F>(
         Counters::drop_one(&core.counters.queue_depth);
         Counters::bump(&core.counters.in_flight);
         slot.begin(job.id, &job.token);
+        // `Started` is diagnostic (replay keys off Admitted/Completed), so
+        // it rides the next group commit instead of forcing its own fsync.
+        if let Some(j) = &core.journal {
+            let _ = j.append(&JournalRecord::Started { request_id: job.id });
+        }
         let result = handle_job(core, factory, worker_id, &mut cached, &job, slot);
         core.latency.record(job.submitted.elapsed());
         match &result {
@@ -856,6 +1229,36 @@ fn worker_loop<H, F>(
             resp.latency = job.submitted.elapsed();
             resp
         });
+        // Durable resolution BEFORE the reply: a response the client saw
+        // is always recoverable from the journal, so replay never
+        // re-executes an acknowledged request (and a duplicate key gets
+        // the digest-identical answer).
+        match &result {
+            Ok(resp) => {
+                let digest = response_digest(&resp.output, resp.degraded);
+                core.journal_durable(&JournalRecord::Completed {
+                    request_id: job.id,
+                    degraded: resp.degraded,
+                    digest,
+                    output: resp.output.clone(),
+                });
+                if let Some(j) = &core.journal {
+                    j.note_completed(CompletedResponse {
+                        request_id: job.id,
+                        idempotency_key: job.key.clone(),
+                        output: resp.output.clone(),
+                        degraded: resp.degraded,
+                        digest,
+                    });
+                }
+            }
+            Err(e) => {
+                core.journal_durable(&JournalRecord::Failed {
+                    request_id: job.id,
+                    code: fail_code(e),
+                });
+            }
+        }
         let dropped = core
             .config
             .chaos
@@ -864,13 +1267,23 @@ fn worker_loop<H, F>(
         if dropped {
             // Chaos: the computed response never reaches the caller. The
             // reply sender is dropped, so the ticket resolves as
-            // `WorkerLost` — a typed error, not a hang.
+            // `WorkerLost` — a typed error, not a hang. (The journal keeps
+            // the truth: the request *did* execute, so a keyed retry is
+            // served the computed response instead of re-executing.)
             Counters::bump(&core.counters.dropped_responses);
             drop(job.reply);
         } else {
             let _ = job.reply.send(result); // caller may have dropped the ticket
         }
         core.pending.lock().unwrap_or_else(|p| p.into_inner()).remove(&job.id);
+        if !job.key.is_empty() {
+            // Completed keys moved to the journal's completed cache above;
+            // failed keys become submittable again.
+            core.pending_keys.lock().unwrap_or_else(|p| p.into_inner()).remove(&job.key);
+        }
+        if job.replayed {
+            Counters::drop_one(&core.counters.replay_backlog);
+        }
         slot.finish();
         Counters::drop_one(&core.counters.in_flight);
     }

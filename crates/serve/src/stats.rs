@@ -132,6 +132,17 @@ pub struct Counters {
     pub store_recompiles: AtomicU64,
     /// Responses dropped by chaos injection (resolved as `WorkerLost`).
     pub dropped_responses: AtomicU64,
+    /// Requests re-enqueued from the journal at startup (crash recovery).
+    pub replayed: AtomicU64,
+    /// Duplicate idempotency keys served from the completed-response
+    /// cache instead of re-running ciphertext compute.
+    pub deduped: AtomicU64,
+    /// Pending requests marked `Failed(Shutdown)` in the journal by a
+    /// draining shutdown.
+    pub journal_failed_shutdown: AtomicU64,
+    /// Replayed requests not yet resolved (drains to zero as recovery
+    /// catches up; surfaced as a health signal while nonzero).
+    pub replay_backlog: AtomicU64,
     /// Requests currently waiting in the queue.
     pub queue_depth: AtomicU64,
     /// Requests currently executing on a worker.
@@ -185,6 +196,23 @@ pub struct ServiceStats {
     pub store_recompiles: u64,
     /// Responses dropped by chaos injection.
     pub dropped_responses: u64,
+    /// Requests re-enqueued from the journal at startup.
+    pub replayed: u64,
+    /// Duplicate idempotency keys served from the completed cache.
+    pub deduped: u64,
+    /// Pending requests journal-failed by a draining shutdown.
+    pub journal_failed_shutdown: u64,
+    /// Replayed requests not yet resolved.
+    pub replay_backlog: u64,
+    /// Journal records appended since open (0 when journaling is off).
+    pub journal_records: u64,
+    /// Journal fsync batches since open — `journal_records /
+    /// journal_fsyncs` is the realized group-commit batching factor.
+    pub journal_fsyncs: u64,
+    /// Journal records staged but not yet durable.
+    pub journal_lag: u64,
+    /// Torn-tail records quarantined by the journal at open.
+    pub journal_torn_records: u64,
     /// Requests waiting in the queue right now.
     pub queue_depth: u64,
     /// Requests executing right now.

@@ -34,9 +34,10 @@ use chet_compiler::CompiledCircuit;
 use chet_hisa::serial::{fnv1a64, params_fingerprint, CodecError, Reader, Writer};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::fs::{self, File};
+use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write as IoWrite};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Record-file magic: identifies a chet-serve store record, any version.
 const MAGIC: &[u8; 8] = b"CHETSTOR";
@@ -518,6 +519,134 @@ impl ArtifactStore {
     }
 }
 
+/// Advisory lock file name inside a store directory.
+pub const LOCK_FILE: &str = "store.lock";
+
+/// Why [`StoreLock::acquire`] could not take the lock.
+#[derive(Debug)]
+pub enum LockError {
+    /// Another live process holds the lock.
+    Held {
+        /// The holder's PID, as recorded in the lock file.
+        holder_pid: u32,
+    },
+    /// Filesystem error while probing or creating the lock file.
+    Io(io::Error),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Held { holder_pid } => {
+                write!(f, "store directory locked by live process {holder_pid}")
+            }
+            LockError::Io(e) => write!(f, "store lock I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// Monotonic per-process token distinguishing successive locks taken by
+/// the same PID (a supervised in-process restart must not let the *old*
+/// service's `Drop` delete the *new* service's lock file).
+static LOCK_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// An advisory single-opener lock on a store directory.
+///
+/// Two processes concurrently appending to the same `journal.wal` (or
+/// racing artifact rewrites) would interleave records and corrupt the
+/// durable state the journal exists to protect — so the *second* opener
+/// must fail loudly at startup, not scribble quietly. The lock is a
+/// `store.lock` file created with `create_new` (atomic on every platform
+/// this repo targets) holding `pid:token`.
+///
+/// Crash recovery matters more than strictness here: a process killed by
+/// the crash harness leaves its lock file behind, and the restarted
+/// process *must* get through. On Linux the holder's liveness is checked
+/// via `/proc/<pid>`; a dead holder's lock is stolen. A live holder (or
+/// an unverifiable one on non-Linux hosts) yields [`LockError::Held`].
+///
+/// Dropping the lock releases it — but only if the file still carries
+/// this lock's own token, so a stale `Drop` never releases a successor.
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+    token: String,
+}
+
+impl StoreLock {
+    /// Takes the advisory lock on `dir`, stealing it from a dead holder.
+    pub fn acquire(dir: &Path) -> Result<StoreLock, LockError> {
+        fs::create_dir_all(dir).map_err(LockError::Io)?;
+        let path = dir.join(LOCK_FILE);
+        let token = format!(
+            "{}:{}",
+            std::process::id(),
+            LOCK_TOKEN.fetch_add(1, Ordering::Relaxed)
+        );
+        // Bounded steal attempts: each loop either creates the file, sees
+        // a live holder, or removes a stale file and retries.
+        for _ in 0..16 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    f.write_all(token.as_bytes()).map_err(LockError::Io)?;
+                    f.sync_all().map_err(LockError::Io)?;
+                    return Ok(StoreLock { path, token });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let contents = fs::read_to_string(&path).unwrap_or_default();
+                    let holder_pid =
+                        contents.split(':').next().and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder_pid {
+                        Some(pid) if pid != std::process::id() && pid_alive(pid) => {
+                            return Err(LockError::Held { holder_pid: pid });
+                        }
+                        Some(pid) if pid == std::process::id() && contents != token => {
+                            // Another *live* lock in this very process —
+                            // e.g. two services pointed at one store_dir.
+                            return Err(LockError::Held { holder_pid: pid });
+                        }
+                        _ => {
+                            // Dead holder or unreadable file: stale, steal.
+                            match fs::remove_file(&path) {
+                                Ok(()) => {}
+                                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                                Err(e) => return Err(LockError::Io(e)),
+                            }
+                        }
+                    }
+                }
+                Err(e) => return Err(LockError::Io(e)),
+            }
+        }
+        Err(LockError::Io(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            "store lock contended: steal retries exhausted",
+        )))
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        // Release only if the file is still ours: a successor that stole
+        // the lock (same-PID restart) must keep its file.
+        if fs::read_to_string(&self.path).map(|c| c == self.token).unwrap_or(false) {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// Best-effort liveness probe for a PID.
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        // No portable probe without libc: assume alive (strict, safe).
+        true
+    }
+}
+
 fn decode_payload_checked(kind: RecordKind, payload: &[u8]) -> Result<(), RecordFault> {
     match kind {
         RecordKind::Artifact => {
@@ -658,6 +787,50 @@ mod tests {
         let bundle = ArtifactStore::key_bundle_for(&a.compiled, 7);
         assert_eq!(bundle.params_fingerprint, params_fingerprint(&a.compiled.params));
         assert_eq!(bundle.rotation_steps, a.compiled.outcome.rotations);
+    }
+
+    #[test]
+    fn store_lock_excludes_second_opener_and_steals_stale() {
+        let dir = tmpdir("lock");
+        fs::create_dir_all(&dir).unwrap();
+        let lock = StoreLock::acquire(&dir).unwrap();
+        // Second acquisition in the same (live) process is refused.
+        match StoreLock::acquire(&dir) {
+            Err(LockError::Held { holder_pid }) => {
+                assert_eq!(holder_pid, std::process::id());
+            }
+            other => panic!("expected Held, got {other:?}"),
+        }
+        drop(lock);
+        // Released: can be re-acquired.
+        let lock = StoreLock::acquire(&dir).unwrap();
+        drop(lock);
+        // A dead holder's lock is stolen (PID 0 never names a live
+        // process a user can own).
+        fs::write(dir.join(LOCK_FILE), "0:1").unwrap();
+        let lock = StoreLock::acquire(&dir).unwrap();
+        drop(lock);
+        // An unreadable lock file is treated as stale too.
+        fs::write(dir.join(LOCK_FILE), "not a pid").unwrap();
+        let _lock = StoreLock::acquire(&dir).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_drop_does_not_release_a_successor_lock() {
+        let dir = tmpdir("lock-succ");
+        fs::create_dir_all(&dir).unwrap();
+        let first = StoreLock::acquire(&dir).unwrap();
+        // Simulate the crash-harness path: the file survives but the
+        // holder is "dead" — forge a dead PID so a successor steals it.
+        fs::write(dir.join(LOCK_FILE), "0:9").unwrap();
+        let second = StoreLock::acquire(&dir).unwrap();
+        // The first lock's Drop must not delete the second's file.
+        drop(first);
+        assert!(dir.join(LOCK_FILE).exists());
+        drop(second);
+        assert!(!dir.join(LOCK_FILE).exists());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

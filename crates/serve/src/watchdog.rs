@@ -76,6 +76,15 @@ pub enum Escalation {
     Cancelled,
     /// Step 2 fired: worker quarantined, replacement spawned.
     Quarantined,
+    /// Final rung: a worker stayed wedged *after* the respawn budget was
+    /// exhausted. The watchdog cannot recover pool capacity any more, so
+    /// instead of giving up silently it quarantines the worker and raises
+    /// a supervised-restart request — the service flags
+    /// [`restart_requested`](crate::health::HealthReport::restart_requested)
+    /// and a supervisor recycles the process through
+    /// [`InferenceService::restart_from_journal`](crate::InferenceService::restart_from_journal),
+    /// which replays every unresolved request from the durable journal.
+    RestartRequested,
 }
 
 /// What one worker published about its current job.
@@ -97,7 +106,7 @@ pub struct WorkerSlot {
     busy: Mutex<Option<BusyJob>>,
     heartbeat: AtomicU64,
     quarantined: AtomicBool,
-    /// Escalation ladder for the *current* job, encoded 0/1/2.
+    /// Escalation ladder for the *current* job, encoded 0/1/2/3.
     escalation: AtomicU64,
 }
 
@@ -153,7 +162,8 @@ impl WorkerSlot {
         match self.escalation.load(Ordering::Acquire) {
             0 => Escalation::None,
             1 => Escalation::Cancelled,
-            _ => Escalation::Quarantined,
+            2 => Escalation::Quarantined,
+            _ => Escalation::RestartRequested,
         }
     }
 
@@ -358,6 +368,24 @@ fn monitor_loop(
                             job_id: job.job_id,
                             action: Escalation::Quarantined,
                             reason: "still wedged after cancellation",
+                        };
+                        (hooks.on_escalate)(&ev);
+                        events.lock().unwrap_or_else(|p| p.into_inner()).push(ev);
+                        tracks.remove(&idx);
+                    } else if overdue {
+                        // Final rung: the respawn budget is spent, so the
+                        // pool cannot be repaired in-process. Quarantine
+                        // the worker anyway (its thread exits when the op
+                        // returns) and escalate to a supervised restart —
+                        // the journal makes that safe: every unresolved
+                        // request replays from durable state.
+                        slot.quarantined.store(true, Ordering::Release);
+                        slot.escalation.store(3, Ordering::Release);
+                        let ev = WatchdogEvent {
+                            worker_id: slot.worker_id,
+                            job_id: job.job_id,
+                            action: Escalation::RestartRequested,
+                            reason: "respawn budget exhausted",
                         };
                         (hooks.on_escalate)(&ev);
                         events.lock().unwrap_or_else(|p| p.into_inner()).push(ev);

@@ -148,6 +148,9 @@ fn error_label(e: &ServeError) -> String {
         ServeError::Compile(_) => "compile".into(),
         ServeError::Lint { .. } => "lint".into(),
         ServeError::WorkerLost => "worker-lost".into(),
+        ServeError::StoreLocked { .. } => "store-locked".into(),
+        ServeError::DuplicatePending { .. } => "duplicate-pending".into(),
+        ServeError::JournalUnavailable { .. } => "journal-unavailable".into(),
     }
 }
 

@@ -1,0 +1,60 @@
+//! Kill-and-restart acceptance tests, driven through the `chet-crash`
+//! harness binary (see `src/bin/chet-crash.rs`).
+//!
+//! Each scenario spawns real child serving processes that die via
+//! `std::process::abort()` at a seeded crash point, restarts them, and
+//! audits the on-disk journal: zero lost acknowledged requests, zero
+//! double executions, no pending leftovers. The harness exits nonzero
+//! (and these tests fail) if any contract is violated.
+//!
+//! `ci.sh` additionally runs the full crash matrix across two seeds and
+//! `CHET_THREADS=1/4`, diffing the scenario digests; here we keep the
+//! in-tree suite cheap with one seed and a smaller request count.
+
+use std::process::Command;
+
+const SEED: &str = "47";
+
+/// Runs one parent-mode scenario and returns its `digest=` line.
+fn run_scenario(point: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_chet-crash"))
+        .args(["--point", point, "--seed", SEED, "--requests", "12"])
+        .output()
+        .expect("spawn chet-crash");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        out.status.success(),
+        "crash scenario '{point}' failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("digest="))
+        .unwrap_or_else(|| panic!("no digest= line from scenario '{point}':\n{stdout}"))
+        .to_string()
+}
+
+#[test]
+fn before_fsync_crash_recovers_with_no_lost_acks() {
+    run_scenario("before-fsync");
+}
+
+#[test]
+fn after_fsync_crash_recovers_with_no_lost_acks() {
+    run_scenario("after-fsync");
+}
+
+#[test]
+fn mid_replay_crash_recovers_with_no_lost_acks() {
+    run_scenario("mid-replay");
+}
+
+/// The scenario digest is a pure function of the seed and request set:
+/// every crash point — and the crash-free baseline — must converge to
+/// the same completed (key, digest) ledger.
+#[test]
+fn all_crash_points_converge_to_the_same_ledger() {
+    let baseline = run_scenario("none");
+    assert_eq!(run_scenario("before-fsync"), baseline);
+    assert_eq!(run_scenario("after-fsync"), baseline);
+}

@@ -1,0 +1,174 @@
+//! Torn-tail recovery sweep for the request journal.
+//!
+//! Mirrors `store_recovery.rs`: write a known journal, then truncate the
+//! file at *every byte boundary* of the final record and assert that
+//! recovery (a) replays exactly the intact prefix, (b) quarantines the
+//! torn bytes to `journal.torn` rather than deleting evidence, and
+//! (c) truncates the live file so a crash during recovery itself is
+//! idempotent.
+
+use chet_serve::{
+    FailCode, Journal, JournalConfig, JournalRecord, ReplayReport, JOURNAL_FILE, TORN_FILE,
+};
+use chet_tensor::Tensor;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chet-jrnl-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config() -> JournalConfig {
+    JournalConfig { enabled: true, ..JournalConfig::default() }
+}
+
+fn img(seed: u64) -> Tensor {
+    Tensor::random(vec![1, 2, 2], 1.0, seed)
+}
+
+/// Writes a journal with three fully-resolved requests plus one final
+/// Admitted record (the one the sweep will tear), returning the byte
+/// offset where that final record starts.
+fn seed_journal(dir: &Path) -> u64 {
+    let (journal, _) = Journal::open(dir, &config()).unwrap();
+    for id in 1..=3u64 {
+        journal
+            .append(&JournalRecord::Admitted {
+                request_id: id,
+                idempotency_key: format!("key-{id}"),
+                image: img(id),
+            })
+            .unwrap();
+        journal.append(&JournalRecord::Started { request_id: id }).unwrap();
+        if id == 3 {
+            journal
+                .append(&JournalRecord::Failed { request_id: id, code: FailCode::Cancelled })
+                .unwrap();
+        } else {
+            journal
+                .append(&JournalRecord::Completed {
+                    request_id: id,
+                    degraded: false,
+                    digest: 0xD1D1 + id,
+                    output: img(100 + id),
+                })
+                .unwrap();
+        }
+    }
+    journal.flush().unwrap();
+    let prefix_len = fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len();
+    journal
+        .append(&JournalRecord::Admitted {
+            request_id: 4,
+            idempotency_key: "key-4".to_string(),
+            image: img(4),
+        })
+        .unwrap();
+    journal.close().unwrap();
+    prefix_len
+}
+
+fn open_report(dir: &Path) -> ReplayReport {
+    let (_, report) = Journal::open(dir, &config()).unwrap();
+    report
+}
+
+#[test]
+fn torn_final_record_at_every_byte_boundary() {
+    let dir = tmp_dir("sweep");
+    let prefix_len = seed_journal(&dir);
+    let full = fs::read(dir.join(JOURNAL_FILE)).unwrap();
+    let total = full.len() as u64;
+    assert!(prefix_len < total, "final record should add bytes");
+
+    for cut in prefix_len..total {
+        // Rebuild the torn file fresh for each boundary.
+        let _ = fs::remove_file(dir.join(TORN_FILE));
+        fs::write(dir.join(JOURNAL_FILE), &full[..cut as usize]).unwrap();
+
+        let report = open_report(&dir);
+        assert_eq!(report.records, 9, "cut at {cut}: intact prefix must replay fully");
+        assert_eq!(report.completed.len(), 2, "cut at {cut}");
+        assert_eq!(report.failed, 1, "cut at {cut}");
+        assert_eq!(report.double_completions, 0, "cut at {cut}");
+        assert_eq!(report.max_request_id, 3, "cut at {cut}: torn admit must not be counted");
+        assert!(report.pending.is_empty(), "cut at {cut}: torn admit must not be replayed");
+
+        if cut == prefix_len {
+            // Clean truncation exactly at the record boundary: no torn
+            // tail to quarantine.
+            assert!(report.torn.is_none(), "cut at {cut}: boundary cut is not torn");
+        } else {
+            let torn = report.torn.as_ref().unwrap_or_else(|| panic!("cut at {cut}: no torn tail"));
+            assert_eq!(torn.at_offset, prefix_len, "cut at {cut}");
+            assert_eq!(torn.bytes, cut - prefix_len, "cut at {cut}");
+            let quarantined = fs::read(dir.join(TORN_FILE)).unwrap();
+            assert_eq!(
+                quarantined,
+                &full[prefix_len as usize..cut as usize],
+                "cut at {cut}: quarantine must hold the torn bytes verbatim"
+            );
+            // The live file was truncated back to the intact prefix, so
+            // re-opening (a crash during recovery) is idempotent.
+            assert_eq!(
+                fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len(),
+                prefix_len,
+                "cut at {cut}"
+            );
+            let again = open_report(&dir);
+            assert_eq!(again.records, 9, "cut at {cut}: second recovery must agree");
+            assert!(again.torn.is_none(), "cut at {cut}: second recovery sees a clean file");
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_byte_inside_final_record_is_quarantined() {
+    let dir = tmp_dir("flip");
+    let prefix_len = seed_journal(&dir);
+    let full = fs::read(dir.join(JOURNAL_FILE)).unwrap();
+
+    // Flip one payload byte of the final record: framing stays plausible
+    // but the checksum must catch it.
+    let mut bytes = full.clone();
+    let at = prefix_len as usize + 20;
+    bytes[at] ^= 0x5A;
+    fs::write(dir.join(JOURNAL_FILE), &bytes).unwrap();
+
+    let report = open_report(&dir);
+    assert_eq!(report.records, 9);
+    let torn = report.torn.expect("checksum fault must quarantine the tail");
+    assert_eq!(torn.at_offset, prefix_len);
+    assert_eq!(torn.bytes, full.len() as u64 - prefix_len);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovered_journal_accepts_new_appends_after_quarantine() {
+    let dir = tmp_dir("resume");
+    let prefix_len = seed_journal(&dir);
+    let full = fs::read(dir.join(JOURNAL_FILE)).unwrap();
+    // Tear mid-record, then recover and keep writing.
+    fs::write(dir.join(JOURNAL_FILE), &full[..prefix_len as usize + 7]).unwrap();
+
+    let (journal, report) = Journal::open(&dir, &config()).unwrap();
+    assert!(report.torn.is_some());
+    journal
+        .append_durable(&JournalRecord::Admitted {
+            request_id: report.max_request_id + 1,
+            idempotency_key: "key-after-tear".to_string(),
+            image: img(9),
+        })
+        .unwrap();
+    journal.close().unwrap();
+
+    let report = open_report(&dir);
+    assert_eq!(report.records, 10, "post-recovery append must land after the intact prefix");
+    assert_eq!(report.pending.len(), 1);
+    assert_eq!(report.pending[0].idempotency_key, "key-after-tear");
+    let _ = fs::remove_dir_all(&dir);
+}
