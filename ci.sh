@@ -91,6 +91,10 @@ cargo clippy -q -p chet-math -p chet-runtime -p chet-compiler -p chet-serve -p c
 echo "=== static circuit lint (chet-lint over every Table 3 network) ==="
 # Fails on any Deny diagnostic, or on more findings of any code than the
 # checked-in baseline allows — new warnings fail CI instead of accumulating.
+# The baseline covers the IR-analysis family too (CHET-P001..P005 from the
+# rotation/CSE analyzer and CHET-N002 key-pruning notes); regenerate with
+# `chet-lint --write-baseline results/lint_baseline.txt` when findings
+# change deliberately.
 cargo run --release -q --bin chet-lint -- --check results/lint_baseline.txt
 
 echo "=== parallel-scaling record (BENCH_parallel.json) ==="
@@ -130,6 +134,44 @@ print(
     f"{a['group_commit']['fsyncs']}/{a['group_commit']['records']} fsyncs), "
     f"replay {doc['replay_records_per_sec']:.0f} rec/s, "
     f"service overhead {svc['overhead_pct']}%"
+)
+EOF
+
+echo "=== cost-model calibration record (BENCH_rns_ops.json) ==="
+# Regenerated by `cargo run --release -p chet-bench --bin bench_rns_ops --
+# --full`; CI requires that the checked-in record exists, parses, covers
+# every HISA op, and holds the calibration bars: per-op fit drift stays
+# bounded (the asymptotic model must track measurements across the whole
+# (N, r) sweep) and the whole-network prediction for reduced LeNet-5-small
+# lands within 30% of the measured RNS-CKKS run — the paper repro's
+# static-cost-model acceptance bar. `chet-lint --cost` loads these
+# constants, so this gate also protects the lint's latency predictions.
+test -f BENCH_rns_ops.json
+python3 - <<'EOF'
+import json
+with open("BENCH_rns_ops.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == "rns_ops", doc
+ops = {"add", "mulScalar", "mulPlain", "mul", "rotate", "rescale", "encode"}
+assert set(doc["constants"]) == ops, doc["constants"]
+for name, c in doc["constants"].items():
+    assert c > 0, f"non-positive constant for {name}: {c}"
+fits = {f["op"]: f for f in doc["fits"]}
+assert set(fits) == ops, fits
+for f in fits.values():
+    assert f["samples"] >= 3, f"{f['op']}: too few calibration samples ({f['samples']})"
+    assert f["max_rel_err"] <= 2.0, (
+        f"{f['op']}: per-op calibration drift {f['max_rel_err']:.2f} exceeds 2.0 "
+        "(asymptotic model no longer tracks the backend)"
+    )
+net = doc["network"]
+assert net["rel_err"] <= 0.30, (
+    f"network prediction off by {net['rel_err']:.1%} (> 30%): "
+    f"predicted {net['predicted_us']:.0f}us vs measured {net['measured_us']:.0f}us"
+)
+print(
+    f"BENCH_rns_ops.json: {len(doc['ops'])} op samples, "
+    f"{net['name']} predicted within {net['rel_err']:.1%} of measured"
 )
 EOF
 

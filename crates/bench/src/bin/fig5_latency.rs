@@ -79,6 +79,7 @@ fn main() {
             estimated_cost: 0.0,
             outcome: outcome.clone(),
             output_precision: harness_precision(),
+            pruned_rotations: Vec::new(),
         };
         let _ = select_rotation_keys(&outcome); // (manual dev does not use it)
         let t_manual = average_latency(big_backend, &manual, &net.circuit, &net, args.images);

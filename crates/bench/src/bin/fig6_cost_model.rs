@@ -41,6 +41,7 @@ fn main() {
                 estimated_cost: choice.estimated_cost,
                 outcome: choice.outcome.clone(),
                 output_precision: harness_precision(),
+                pruned_rotations: Vec::new(),
             };
             let dt = average_latency(backend, &compiled, &net.circuit, &net, args.images);
             eprintln!("[cell] {} / {}: {}", net.name, choice.policy, dt.as_secs_f64());

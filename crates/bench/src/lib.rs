@@ -248,6 +248,7 @@ pub fn run_layout_table(
                 estimated_cost: choice.estimated_cost,
                 outcome: choice.outcome.clone(),
                 output_precision: harness_precision(),
+                pruned_rotations: Vec::new(),
             };
             let dt = average_latency(backend, &compiled, &net.circuit, &net, args.images);
             let marker = if policy == best { " *" } else { "" };

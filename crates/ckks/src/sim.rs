@@ -179,6 +179,7 @@ impl Hisa for SimCkks {
         if values.len() > self.slots {
             return Err(HisaError::SlotOverflow { len: values.len(), slots: self.slots });
         }
+        self.bump(HisaOp::Encode);
         assert!(scale >= 1.0, "scale must be >= 1");
         let mut v = values.to_vec();
         v.resize(self.slots, 0.0);

@@ -29,7 +29,11 @@ use std::collections::{BTreeSet, HashMap};
 
 /// Format version written at the head of every encoded artifact. Bump on
 /// any layout change; decoders refuse versions they don't know.
-pub const ARTIFACT_FORMAT_VERSION: u8 = 1;
+///
+/// Version history: v1 = original layout; v2 appends the pruned-rotation
+/// list (the `CHET-N002` provenance). v1 payloads still decode (with an
+/// empty list), so stores written before the bump remain readable.
+pub const ARTIFACT_FORMAT_VERSION: u8 = 2;
 
 fn put_scales(w: &mut Writer, s: &ScaleConfig) {
     w.put_f64(s.input);
@@ -170,6 +174,10 @@ pub fn encode_compiled(c: &CompiledCircuit) -> Vec<u8> {
     w.put_f64(c.estimated_cost);
     put_outcome(&mut w, &c.outcome);
     w.put_f64(c.output_precision);
+    w.put_u32(c.pruned_rotations.len() as u32);
+    for &s in &c.pruned_rotations {
+        w.put_usize(s);
+    }
     w.into_bytes()
 }
 
@@ -179,10 +187,10 @@ pub fn decode_compiled(bytes: &[u8]) -> Result<CompiledCircuit, CodecError> {
     let mut r = Reader::new(bytes);
     let at = r.position();
     let version = r.get_u8("artifact format version")?;
-    if version != ARTIFACT_FORMAT_VERSION {
+    if version == 0 || version > ARTIFACT_FORMAT_VERSION {
         return Err(CodecError::BadTag { at, what: "artifact format version", tag: version });
     }
-    let c = CompiledCircuit {
+    let mut c = CompiledCircuit {
         plan: get_plan(&mut r)?,
         params: get_params(&mut r)?,
         rotation_keys: get_rotation_keys(&mut r)?,
@@ -190,7 +198,22 @@ pub fn decode_compiled(bytes: &[u8]) -> Result<CompiledCircuit, CodecError> {
         estimated_cost: r.get_f64("CompiledCircuit.estimated_cost")?,
         outcome: get_outcome(&mut r)?,
         output_precision: r.get_f64("CompiledCircuit.output_precision")?,
+        pruned_rotations: Vec::new(),
     };
+    if version >= 2 {
+        let at = r.position();
+        let len = r.get_u32("CompiledCircuit.pruned_rotations")? as usize;
+        if len.saturating_mul(8) > r.remaining() {
+            return Err(CodecError::BadLength {
+                at,
+                what: "CompiledCircuit.pruned_rotations",
+                len,
+            });
+        }
+        for _ in 0..len {
+            c.pruned_rotations.push(r.get_usize("CompiledCircuit.pruned_rotations")?);
+        }
+    }
     r.finish()?;
     Ok(c)
 }
@@ -236,8 +259,31 @@ mod tests {
         assert_eq!(back.outcome.rotations, c.outcome.rotations);
         assert_eq!(back.outcome.op_counts, c.outcome.op_counts);
         assert_eq!(back.output_precision.to_bits(), c.output_precision.to_bits());
+        assert_eq!(back.pruned_rotations, c.pruned_rotations);
         // Canonical form: re-encoding reproduces the identical bytes.
         assert_eq!(encode_compiled(&back), bytes);
+    }
+
+    #[test]
+    fn pruned_rotations_roundtrip() {
+        let mut c = compiled();
+        c.pruned_rotations = vec![3, 7, 1024];
+        let back = decode_compiled(&encode_compiled(&c)).expect("decode");
+        assert_eq!(back.pruned_rotations, vec![3, 7, 1024]);
+    }
+
+    #[test]
+    fn version_1_artifacts_still_decode() {
+        // A v1 payload is a v2 payload minus the trailing pruned-rotation
+        // list (4-byte empty length prefix), with the version byte at 1.
+        let c = compiled();
+        assert!(c.pruned_rotations.is_empty(), "compiler output prunes nothing");
+        let mut bytes = encode_compiled(&c);
+        bytes[0] = 1;
+        bytes.truncate(bytes.len() - 4);
+        let back = decode_compiled(&bytes).expect("v1 decode");
+        assert_eq!(back.rotation_keys, c.rotation_keys);
+        assert!(back.pruned_rotations.is_empty());
     }
 
     #[test]

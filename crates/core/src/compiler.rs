@@ -53,6 +53,10 @@ pub struct CompiledCircuit {
     /// The output fixed-point precision the compilation targeted (the
     /// static verifier's `CHET-W004` budget).
     pub output_precision: f64,
+    /// Rotation steps the key-pruning pass dropped from the provisional
+    /// key request (surfaced as the `CHET-N002` note). Empty for artifacts
+    /// compiled from an analysis outcome (pruning is a no-op there).
+    pub pruned_rotations: Vec<usize>,
 }
 
 /// One adjustment made by [`Compiler::compile_checked`]'s repair loop.
@@ -174,7 +178,6 @@ impl Compiler {
         let slots = choice.outcome.params.slots();
         let (rotation_keys, extras) =
             prune_rotation_keys(rotation_keys, &choice.outcome.rotations, slots);
-        debug_assert!(extras.is_empty(), "compiler emitted unused rotation keys: {extras:?}");
         CompiledCircuit {
             plan: choice.plan,
             params: choice.outcome.params.clone(),
@@ -183,6 +186,7 @@ impl Compiler {
             estimated_cost: choice.estimated_cost,
             outcome: choice.outcome,
             output_precision: self.output_precision,
+            pruned_rotations: extras,
         }
     }
 
@@ -311,6 +315,17 @@ impl Compiler {
             let failure = match validate_compiled(circuit, &compiled, compiler.repair_tolerance)
             {
                 Ok(()) => {
+                    // Phase 3: whole-circuit IR analysis. The CHET-P
+                    // performance lints ride along in the report (they are
+                    // never deny, so they cannot fail a healthy compile).
+                    let mut lints = lints;
+                    if let Ok(ir) = crate::ir::extract_ir(
+                        circuit,
+                        &compiled,
+                        crate::ir::ExtractMode::Metadata,
+                    ) {
+                        lints.diagnostics.extend(crate::ir::analyze::analyze(&ir));
+                    }
                     return Ok((
                         compiled,
                         RepairReport {

@@ -1,0 +1,210 @@
+//! The rotation/CSE analyzer: whole-program performance lints over an
+//! extracted [`IrGraph`] (the `CHET-P` family).
+//!
+//! These are exactly the findings §5.1's on-the-fly interpretation cannot
+//! make: each needs the *whole* instruction stream at once — duplicate
+//! rotations issued by different kernels, common subexpressions across
+//! tensor ops, computation that never reaches the output, and keyed steps
+//! no instruction requests. All `CHET-P` findings are advisory
+//! (warn/note): they flag optimization opportunities, never correctness.
+//! They are deliberately kept out of [`crate::verify::verify_compiled`] so
+//! the deny-gating surface of the publish path is unchanged.
+
+use super::{IrGraph, IrOp};
+use crate::verify::{Diagnostic, LintCode, OpSpan};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Whole-circuit findings over one IR graph, in code order
+/// (P001 → P005), deduplicated per (code, span) like the verifier's sink.
+pub fn analyze(ir: &IrGraph) -> Vec<Diagnostic> {
+    let mut out = Emitter::default();
+    duplicate_rotations(ir, &mut out);
+    hoistable_rotations(ir, &mut out);
+    common_subexpressions(ir, &mut out);
+    dead_ciphertexts(ir, &mut out);
+    unused_keyed_steps(ir, &mut out);
+    out.diags
+}
+
+#[derive(Default)]
+struct Emitter {
+    diags: Vec<Diagnostic>,
+    seen: BTreeSet<(&'static str, Option<usize>)>,
+}
+
+impl Emitter {
+    fn emit(&mut self, code: LintCode, span: Option<OpSpan>, message: String) {
+        let key = (code.code(), span.as_ref().map(|s| s.op_index));
+        if self.seen.insert(key) {
+            self.diags.push(Diagnostic { code, span, message });
+        }
+    }
+}
+
+/// CHET-P001: the same ciphertext rotated by the same step more than once.
+/// Every repeat is a full (decompose + key-switch + permute) rotation whose
+/// result already exists.
+fn duplicate_rotations(ir: &IrGraph, out: &mut Emitter) {
+    let mut groups: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+    for (id, node) in ir.nodes.iter().enumerate() {
+        if let IrOp::RotLeft { a, step } = node.op {
+            groups.entry((a, step)).or_default().push(id);
+        }
+    }
+    for ((a, step), nodes) in groups {
+        if nodes.len() < 2 {
+            continue;
+        }
+        // Attribute the finding to the first *redundant* occurrence.
+        let dup = nodes[1];
+        out.emit(
+            LintCode::DuplicateRotation,
+            ir.nodes[dup].span.clone(),
+            format!(
+                "ciphertext %{a} is rotated by step {step} {} times ({} redundant \
+                 rotation{}); first at %{}, duplicate at %{dup}",
+                nodes.len(),
+                nodes.len() - 1,
+                if nodes.len() > 2 { "s" } else { "" },
+                nodes[0],
+            ),
+        );
+    }
+}
+
+/// CHET-P002: one ciphertext rotated by several distinct steps. Each
+/// rotation repeats the same key-switch decomposition of the source; a
+/// hoisting rewrite (decompose once, apply every step to the shared
+/// decomposition) would pay it once.
+fn hoistable_rotations(ir: &IrGraph, out: &mut Emitter) {
+    let mut steps_by_src: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    let mut first_rot: BTreeMap<usize, usize> = BTreeMap::new();
+    for (id, node) in ir.nodes.iter().enumerate() {
+        if let IrOp::RotLeft { a, step } = node.op {
+            steps_by_src.entry(a).or_default().insert(step);
+            first_rot.entry(a).or_insert(id);
+        }
+    }
+    for (src, steps) in steps_by_src {
+        if steps.len() < 2 {
+            continue;
+        }
+        let at = first_rot[&src];
+        let preview: Vec<String> = steps.iter().take(6).map(|s| s.to_string()).collect();
+        out.emit(
+            LintCode::HoistableRotation,
+            ir.nodes[at].span.clone(),
+            format!(
+                "ciphertext %{src} is rotated by {} distinct steps ({}{}); the \
+                 key-switch decomposition can be hoisted and shared across them",
+                steps.len(),
+                preview.join(", "),
+                if steps.len() > 6 { ", …" } else { "" },
+            ),
+        );
+    }
+}
+
+/// A structural key identifying an instruction's value: opcode, operand
+/// ids, and immediate bit patterns. Two nodes with equal keys compute the
+/// same ciphertext (SSA ids are stable, encodes are interned by content).
+fn value_key(op: &IrOp) -> Option<(u8, usize, usize, u64, u64)> {
+    Some(match *op {
+        // Inputs are definitions, rotations are P001's business.
+        IrOp::Input { .. } | IrOp::RotLeft { .. } => return None,
+        IrOp::Add { a, b } => (1, a.min(b), a.max(b), 0, 0),
+        IrOp::Sub { a, b } => (2, a, b, 0, 0),
+        IrOp::Mul { a, b } => (3, a.min(b), a.max(b), 0, 0),
+        IrOp::AddPlain { a, pt } => (4, a, pt, 0, 0),
+        IrOp::SubPlain { a, pt } => (5, a, pt, 0, 0),
+        IrOp::MulPlain { a, pt } => (6, a, pt, 0, 0),
+        IrOp::AddScalar { a, x } => (7, a, 0, x.to_bits(), 0),
+        IrOp::MulScalar { a, x, scale } => (8, a, 0, x.to_bits(), scale.to_bits()),
+        IrOp::Rescale { a, divisor } => (9, a, 0, divisor.to_bits(), 0),
+    })
+}
+
+/// CHET-P003: two identical instructions (same opcode, operands and
+/// immediates) — the second is a common subexpression a rewriter could
+/// replace with the first's result.
+fn common_subexpressions(ir: &IrGraph, out: &mut Emitter) {
+    let mut seen: HashMap<(u8, usize, usize, u64, u64), usize> = HashMap::new();
+    for (id, node) in ir.nodes.iter().enumerate() {
+        let Some(key) = value_key(&node.op) else { continue };
+        match seen.get(&key) {
+            None => {
+                seen.insert(key, id);
+            }
+            Some(&first) => {
+                out.emit(
+                    LintCode::CommonSubexpression,
+                    node.span.clone(),
+                    format!(
+                        "%{id} recomputes {} already produced by %{first}",
+                        node.op.mnemonic(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// CHET-P004: instructions whose results never reach an output ciphertext.
+fn dead_ciphertexts(ir: &IrGraph, out: &mut Emitter) {
+    let live = ir.live_nodes();
+    let dead: Vec<usize> = (0..ir.nodes.len()).filter(|&id| !live[id]).collect();
+    if dead.is_empty() {
+        return;
+    }
+    // One finding per span (kernel site), carrying the count.
+    let mut by_span: BTreeMap<Option<usize>, (Option<OpSpan>, usize, usize)> = BTreeMap::new();
+    for &id in &dead {
+        let span = ir.nodes[id].span.clone();
+        let key = span.as_ref().map(|s| s.op_index);
+        let entry = by_span.entry(key).or_insert((span, 0, id));
+        entry.1 += 1;
+    }
+    for (_, (span, count, first)) in by_span {
+        out.emit(
+            LintCode::DeadCiphertext,
+            span,
+            format!(
+                "{count} HISA instruction{} (first: %{first}) never reach the output",
+                if count > 1 { "s" } else { "" },
+            ),
+        );
+    }
+}
+
+/// CHET-P005: keyed rotation steps the instruction stream never requests,
+/// directly or through composition. Complements the verifier's CHET-W002
+/// (which audits the analysis outcome, not the realized trace).
+fn unused_keyed_steps(ir: &IrGraph, out: &mut Emitter) {
+    let requested = ir.requested_rotations();
+    // Steps consumed by composing un-keyed requests also count as used.
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    for step in requested {
+        match chet_hisa::keys::plan_rotation(step, &ir.keyed_steps, ir.slots) {
+            Some(plan) => used.extend(plan),
+            None => {
+                used.insert(step);
+            }
+        }
+    }
+    let unused: Vec<usize> = ir.keyed_steps.difference(&used).copied().collect();
+    if unused.is_empty() {
+        return;
+    }
+    let preview: Vec<String> = unused.iter().take(8).map(|s| s.to_string()).collect();
+    out.emit(
+        LintCode::UnusedKeyedStep,
+        None,
+        format!(
+            "{} rotation key{} never used by the instruction stream (steps {}{})",
+            unused.len(),
+            if unused.len() > 1 { "s are" } else { " is" },
+            preview.join(", "),
+            if unused.len() > 8 { ", …" } else { "" },
+        ),
+    );
+}

@@ -1,0 +1,166 @@
+//! The calibrated static cost model over an extracted [`IrGraph`]:
+//! per-instruction microsecond predictions from [`chet_hisa::cost`]'s
+//! analytic model, summed over the whole instruction stream and attributed
+//! back to circuit spans.
+//!
+//! The analytic model prices one *elementary* HISA op at a given ring
+//! degree and modulus state; this pass supplies what only the whole-stream
+//! view knows — how many elementary ops one inference actually issues:
+//! composed rotations expand to their key-switch plan length, server-side
+//! encodes are counted per call (not per interned plaintext), and every
+//! instruction is priced at the modulus state it executes under.
+
+use super::{EncodeEvent, IrGraph, IrNode, IrOp};
+use crate::verify::OpSpan;
+use chet_hisa::cost::{CostModel, HisaOp, LevelInfo};
+use chet_hisa::keys::plan_rotation;
+use std::collections::BTreeMap;
+
+/// Predicted cost of one (op kind, count) bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpCost {
+    /// The elementary HISA op.
+    pub op: HisaOp,
+    /// Elementary executions (rotations counted per plan element).
+    pub count: u64,
+    /// Predicted microseconds across all executions.
+    pub us: f64,
+}
+
+/// Predicted cost attributed to one circuit node (tensor op).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanCost {
+    /// The circuit node, when the work executed under one.
+    pub span: Option<OpSpan>,
+    /// Elementary HISA executions attributed to the span.
+    pub ops: u64,
+    /// Predicted microseconds.
+    pub us: f64,
+}
+
+/// The full latency prediction for one inference of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostBreakdown {
+    /// Total predicted microseconds.
+    pub total_us: f64,
+    /// Per-elementary-op totals, in [`chet_hisa::cost::ALL_OPS`] order.
+    pub by_op: Vec<OpCost>,
+    /// Per-circuit-node totals, hottest first.
+    pub by_span: Vec<SpanCost>,
+}
+
+impl CostBreakdown {
+    /// The `k` hottest circuit nodes.
+    pub fn hottest(&self, k: usize) -> &[SpanCost] {
+        &self.by_span[..k.min(self.by_span.len())]
+    }
+
+    /// Renders the breakdown as the `chet-lint --cost` report body.
+    pub fn render_text(&self, top: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("predicted latency: {:.1} us\n", self.total_us));
+        out.push_str("per-op breakdown:\n");
+        for oc in &self.by_op {
+            if oc.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:>10}  x{:<8} {:>12.1} us  ({:>5.1}%)\n",
+                oc.op.to_string(),
+                oc.count,
+                oc.us,
+                100.0 * oc.us / self.total_us.max(f64::MIN_POSITIVE),
+            ));
+        }
+        out.push_str(&format!("hottest {} circuit nodes:\n", top.min(self.by_span.len())));
+        for sc in self.hottest(top) {
+            let span = sc
+                .span
+                .as_ref()
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "(no span)".into());
+            out.push_str(&format!(
+                "  {:>12.1} us  ({:>5.1}%)  {} HISA ops  at {span}\n",
+                sc.us,
+                100.0 * sc.us / self.total_us.max(f64::MIN_POSITIVE),
+                sc.ops,
+            ));
+        }
+        out
+    }
+}
+
+/// The elementary op an IR instruction executes as, plus its multiplicity
+/// (rotations expand to the key-switch plan the backend would run).
+fn elementary(ir: &IrGraph, node: &IrNode) -> Option<(HisaOp, u64)> {
+    Some(match node.op {
+        IrOp::Input { .. } => return None,
+        IrOp::Add { .. }
+        | IrOp::Sub { .. }
+        | IrOp::AddPlain { .. }
+        | IrOp::SubPlain { .. }
+        | IrOp::AddScalar { .. } => (HisaOp::Add, 1),
+        IrOp::Mul { .. } => (HisaOp::MulCipher, 1),
+        IrOp::MulPlain { .. } => (HisaOp::MulPlain, 1),
+        IrOp::MulScalar { .. } => (HisaOp::MulScalar, 1),
+        IrOp::RotLeft { step, .. } => {
+            let rotations = plan_rotation(step, &ir.keyed_steps, ir.slots)
+                .map(|plan| plan.len().max(1))
+                .unwrap_or(1);
+            (HisaOp::Rotate, rotations as u64)
+        }
+        IrOp::Rescale { .. } => (HisaOp::Rescale, 1),
+    })
+}
+
+/// Full-chain modulus state (server-side encodes run at the top level).
+fn fresh_level(ir: &IrGraph) -> LevelInfo {
+    LevelInfo { log_q: ir.log_q, rns_len: ir.chain.len().max(1) }
+}
+
+/// Predicts one inference's latency under `model`, with per-op and
+/// per-span attribution.
+pub fn estimate(ir: &IrGraph, model: &CostModel) -> CostBreakdown {
+    let n = ir.degree;
+    let mut by_op: BTreeMap<HisaOp, (u64, f64)> = BTreeMap::new();
+    // Span buckets keyed by op_index (None = outside any circuit node).
+    let mut by_span: BTreeMap<Option<usize>, SpanCost> = BTreeMap::new();
+    let mut total = 0.0;
+
+    {
+        let mut charge = |op: HisaOp, count: u64, lvl: LevelInfo, span: &Option<OpSpan>| {
+            let us = model.op_cost(op, n, lvl) * count as f64;
+            total += us;
+            let e = by_op.entry(op).or_insert((0, 0.0));
+            e.0 += count;
+            e.1 += us;
+            let key = span.as_ref().map(|s| s.op_index);
+            let bucket = by_span
+                .entry(key)
+                .or_insert_with(|| SpanCost { span: span.clone(), ops: 0, us: 0.0 });
+            bucket.ops += count;
+            bucket.us += us;
+        };
+
+        for node in &ir.nodes {
+            if let Some((op, count)) = elementary(ir, node) {
+                charge(op, count, node.level, &node.span);
+            }
+        }
+        let fresh = fresh_level(ir);
+        for EncodeEvent { span, .. } in &ir.encodes {
+            charge(HisaOp::Encode, 1, fresh, span);
+        }
+    }
+
+    let by_op = chet_hisa::cost::ALL_OPS
+        .iter()
+        .map(|&op| {
+            let (count, us) = by_op.get(&op).copied().unwrap_or((0, 0.0));
+            OpCost { op, count, us }
+        })
+        .collect();
+    let mut by_span: Vec<SpanCost> = by_span.into_values().collect();
+    by_span.sort_by(|a, b| b.us.total_cmp(&a.us));
+    CostBreakdown { total_us: total, by_op, by_span }
+}

@@ -56,6 +56,8 @@
 pub mod analysis;
 pub mod artifact;
 pub mod compiler;
+pub mod equiv;
+pub mod ir;
 pub mod layout;
 pub mod params;
 pub mod rotations;
@@ -65,6 +67,8 @@ pub mod verify;
 
 pub use artifact::{decode_compiled, encode_compiled, ARTIFACT_FORMAT_VERSION};
 pub use compiler::{CompiledCircuit, Compiler, RepairAction, RepairReport};
+pub use equiv::{validate_extraction, EquivReport};
+pub use ir::{extract_ir, try_replay_ir, ExtractMode, IrGraph};
 pub use layout::{LayoutPolicy, ALL_POLICIES};
 pub use params::{select_parameters, AnalysisOutcome, SelectError};
 pub use rotations::{prune_rotation_keys, select_rotation_keys};

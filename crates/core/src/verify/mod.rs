@@ -37,6 +37,7 @@ use chet_tensor::circuit::{Circuit, Op};
 use chet_tensor::Tensor;
 use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex};
+use chet_hisa::json::Json;
 use std::fmt;
 
 /// How severe a diagnostic is.
@@ -61,8 +62,10 @@ impl fmt::Display for Severity {
 }
 
 /// Stable lint codes. The `CHET-E…` family is [`Severity::Deny`], `CHET-W…`
-/// is [`Severity::Warn`], `CHET-N…` is [`Severity::Note`]; codes are part of
-/// the tool's public interface and never renumbered.
+/// is [`Severity::Warn`], `CHET-N…` is [`Severity::Note`], and `CHET-P…` is
+/// the performance family from the whole-circuit IR analyzer
+/// ([`crate::ir::analyze`]) with per-code severities; codes are part of the
+/// tool's public interface and never renumbered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LintCode {
     /// CHET-E001: a binary op joins operands with diverged fixed-point
@@ -96,11 +99,30 @@ pub enum LintCode {
     /// CHET-N001: a rotation is served by composing several keyed
     /// rotations instead of one dedicated key.
     DegradedRotation,
+    /// CHET-N002: the compiler's key-pruning pass removed rotation keys the
+    /// layout search had provisionally requested.
+    PrunedRotationKey,
+    /// CHET-P001: the same ciphertext is rotated by the same step more than
+    /// once — the rotation result could be computed once and reused.
+    DuplicateRotation,
+    /// CHET-P002: one ciphertext is rotated by several distinct steps; the
+    /// key-switch decomposition (the dominant cost of every rotation) can
+    /// be computed once and shared across the steps.
+    HoistableRotation,
+    /// CHET-P003: two identical HISA instructions compute the same value —
+    /// a common subexpression a rewriter could eliminate.
+    CommonSubexpression,
+    /// CHET-P004: a HISA instruction's result never reaches the output —
+    /// dead ciphertext computation.
+    DeadCiphertext,
+    /// CHET-P005: the artifact holds rotation keys for steps the traced
+    /// instruction stream never requests.
+    UnusedKeyedStep,
 }
 
 impl LintCode {
     /// Every code, in catalog order.
-    pub const ALL: [LintCode; 11] = [
+    pub const ALL: [LintCode; 17] = [
         LintCode::ScaleMismatch,
         LintCode::LevelExhaustion,
         LintCode::MissingRotationKey,
@@ -112,6 +134,12 @@ impl LintCode {
         LintCode::DeadOp,
         LintCode::PrecisionBudget,
         LintCode::DegradedRotation,
+        LintCode::PrunedRotationKey,
+        LintCode::DuplicateRotation,
+        LintCode::HoistableRotation,
+        LintCode::CommonSubexpression,
+        LintCode::DeadCiphertext,
+        LintCode::UnusedKeyedStep,
     ];
 
     /// The stable code string, e.g. `"CHET-E001"`.
@@ -128,6 +156,12 @@ impl LintCode {
             LintCode::DeadOp => "CHET-W003",
             LintCode::PrecisionBudget => "CHET-W004",
             LintCode::DegradedRotation => "CHET-N001",
+            LintCode::PrunedRotationKey => "CHET-N002",
+            LintCode::DuplicateRotation => "CHET-P001",
+            LintCode::HoistableRotation => "CHET-P002",
+            LintCode::CommonSubexpression => "CHET-P003",
+            LintCode::DeadCiphertext => "CHET-P004",
+            LintCode::UnusedKeyedStep => "CHET-P005",
         }
     }
 
@@ -145,6 +179,12 @@ impl LintCode {
             LintCode::DeadOp => "dead-output",
             LintCode::PrecisionBudget => "precision-budget",
             LintCode::DegradedRotation => "degraded-rotation",
+            LintCode::PrunedRotationKey => "pruned-rotation-key",
+            LintCode::DuplicateRotation => "duplicate-rotation",
+            LintCode::HoistableRotation => "hoistable-rotation",
+            LintCode::CommonSubexpression => "common-subexpression",
+            LintCode::DeadCiphertext => "dead-ciphertext",
+            LintCode::UnusedKeyedStep => "unused-keyed-step",
         }
     }
 
@@ -160,8 +200,14 @@ impl LintCode {
             LintCode::RedundantRescale
             | LintCode::UnusedRotationKey
             | LintCode::DeadOp
-            | LintCode::PrecisionBudget => Severity::Warn,
-            LintCode::DegradedRotation => Severity::Note,
+            | LintCode::PrecisionBudget
+            | LintCode::DuplicateRotation
+            | LintCode::CommonSubexpression
+            | LintCode::DeadCiphertext => Severity::Warn,
+            LintCode::DegradedRotation
+            | LintCode::PrunedRotationKey
+            | LintCode::HoistableRotation
+            | LintCode::UnusedKeyedStep => Severity::Note,
         }
     }
 
@@ -189,6 +235,25 @@ impl LintCode {
             LintCode::DegradedRotation => {
                 "a rotation is composed from several keyed rotations"
             }
+            LintCode::PrunedRotationKey => {
+                "the key-pruning pass dropped provisionally requested rotation keys"
+            }
+            LintCode::DuplicateRotation => {
+                "the same ciphertext is rotated by the same step more than once"
+            }
+            LintCode::HoistableRotation => {
+                "one ciphertext is rotated by several steps; the key-switch \
+                 decomposition could be hoisted and shared"
+            }
+            LintCode::CommonSubexpression => {
+                "identical HISA instructions compute the same value twice"
+            }
+            LintCode::DeadCiphertext => {
+                "a HISA instruction's result never reaches the output"
+            }
+            LintCode::UnusedKeyedStep => {
+                "rotation keys exist for steps the instruction stream never uses"
+            }
         }
     }
 
@@ -206,6 +271,12 @@ impl LintCode {
             LintCode::DeadOp => "§3",
             LintCode::PrecisionBudget => "§5.5",
             LintCode::DegradedRotation => "§5.4",
+            LintCode::PrunedRotationKey => "§5.4",
+            LintCode::DuplicateRotation => "§5.1/§5.4",
+            LintCode::HoistableRotation => "§5.4/§6",
+            LintCode::CommonSubexpression => "§5.1",
+            LintCode::DeadCiphertext => "§5.1",
+            LintCode::UnusedKeyedStep => "§5.4",
         }
     }
 
@@ -268,11 +339,52 @@ impl Diagnostic {
         self.code.severity()
     }
 
-    /// One-line machine-readable rendering:
-    /// `CODE<TAB>severity<TAB>span<TAB>message`.
+    /// One-line machine-readable rendering: a single JSON object with the
+    /// keys `code`, `name`, `severity`, `op_index`, `kernel`, `message`
+    /// (`op_index`/`kernel` are `null` for whole-artifact findings).
+    /// Message strings are fully escaped, so each line is valid JSON —
+    /// the `chet-lint --machine` stream is JSON-lines.
     pub fn render_machine(&self) -> String {
-        let span = self.span.as_ref().map(|s| s.to_string()).unwrap_or_else(|| "-".into());
-        format!("{}\t{}\t{}\t{}", self.code.code(), self.severity(), span, self.message)
+        Json::Obj(self.machine_obj()).render()
+    }
+
+    /// [`Self::render_machine`] with a `network` key identifying which
+    /// circuit produced the finding — the `chet-lint --machine` line
+    /// format (one valid JSON object per line, nothing outside it).
+    pub fn render_machine_for(&self, network: &str) -> String {
+        let mut obj = self.machine_obj();
+        obj.insert("network".to_string(), Json::Str(network.to_string()));
+        Json::Obj(obj).render()
+    }
+
+    fn machine_obj(&self) -> std::collections::BTreeMap<String, Json> {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("code".to_string(), Json::Str(self.code.code().to_string()));
+        obj.insert("name".to_string(), Json::Str(self.code.name().to_string()));
+        obj.insert("severity".to_string(), Json::Str(self.severity().to_string()));
+        let (op_index, kernel) = match &self.span {
+            Some(s) => (Json::Num(s.op_index as f64), Json::Str(s.kernel.clone())),
+            None => (Json::Null, Json::Null),
+        };
+        obj.insert("op_index".to_string(), op_index);
+        obj.insert("kernel".to_string(), kernel);
+        obj.insert("message".to_string(), Json::Str(self.message.clone()));
+        obj
+    }
+
+    /// Parses one [`Diagnostic::render_machine`] line back into a
+    /// diagnostic (the round-trip contract machine consumers rely on).
+    pub fn parse_machine(line: &str) -> Option<Diagnostic> {
+        let v = chet_hisa::json::parse(line).ok()?;
+        let code = LintCode::from_code(v.get("code")?.as_str()?)?;
+        let message = v.get("message")?.as_str()?.to_string();
+        let span = match (v.get("op_index"), v.get("kernel")) {
+            (Some(Json::Num(i)), Some(Json::Str(k))) => {
+                Some(OpSpan::new(*i as usize, k.clone()))
+            }
+            _ => None,
+        };
+        Some(Diagnostic { code, span, message })
     }
 }
 
@@ -547,6 +659,21 @@ pub fn verify_compiled(circuit: &Circuit, compiled: &CompiledCircuit) -> Diagnos
             format!(
                 "{} rotation key(s) generated for steps the circuit never uses: {unused:?}",
                 unused.len()
+            ),
+        );
+    }
+
+    // Post-walk audit: pruned keys (CHET-N002). Compiler-produced artifacts
+    // never record any (pruning is a no-op for outcome-derived key sets),
+    // so this only fires on artifacts whose key request was trimmed.
+    if !compiled.pruned_rotations.is_empty() {
+        sink.lock().unwrap_or_else(|e| e.into_inner()).emit_at(
+            LintCode::PrunedRotationKey,
+            None,
+            format!(
+                "key pruning dropped {} provisionally requested rotation step(s): {:?}",
+                compiled.pruned_rotations.len(),
+                compiled.pruned_rotations
             ),
         );
     }

@@ -264,3 +264,77 @@ proptest! {
         prop_assert!(probe.is_ok(), "static verifier passed but probe failed: {:?}", probe);
     }
 }
+
+#[test]
+fn pruned_rotation_keys_are_noted() {
+    let circuit = healthy();
+    let mut compiled = compile(&circuit);
+    // Simulate the key-pruning pass having dropped two provisional steps.
+    compiled.pruned_rotations = vec![3, 5];
+    let report = verify_compiled(&circuit, &compiled);
+    assert!(!report.has_deny(), "{}", report.render_text());
+    let note = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == LintCode::PrunedRotationKey)
+        .unwrap_or_else(|| panic!("want CHET-N002 in:\n{}", report.render_text()));
+    assert_eq!(note.severity(), Severity::Note);
+    assert!(note.message.contains("[3, 5]"), "{}", note.message);
+}
+
+/// `--machine` lines must be valid JSON that parses back into the exact
+/// diagnostic — the round-trip contract machine consumers rely on.
+#[test]
+fn machine_rendering_round_trips() {
+    let circuit = healthy();
+    let mut compiled = compile(&circuit);
+    compiled.rotation_keys = RotationKeyPolicy::Exact(BTreeSet::new());
+    compiled.pruned_rotations = vec![7];
+    let report = verify_compiled(&circuit, &compiled);
+    assert!(!report.diagnostics.is_empty());
+    // Both spanned (E003) and span-free (N002) findings must survive.
+    assert!(report.diagnostics.iter().any(|d| d.span.is_some()));
+    assert!(report.diagnostics.iter().any(|d| d.span.is_none()));
+    for d in &report.diagnostics {
+        let line = d.render_machine();
+        assert!(!line.contains('\n'), "one line per diagnostic: {line}");
+        let back = chet_compiler::Diagnostic::parse_machine(&line)
+            .unwrap_or_else(|| panic!("unparseable machine line: {line}"));
+        assert_eq!(&back, d, "round-trip mutated the diagnostic: {line}");
+        // The --machine flavor with a network key parses identically.
+        let with_net = d.render_machine_for("LeNet-5-small");
+        let back = chet_compiler::Diagnostic::parse_machine(&with_net).unwrap();
+        assert_eq!(&back, d);
+    }
+}
+
+/// Messages containing JSON metacharacters must be escaped, not break the
+/// line format.
+#[test]
+fn machine_rendering_escapes_messages() {
+    let d = chet_compiler::Diagnostic {
+        code: LintCode::DeadCiphertext,
+        span: Some(chet_compiler::OpSpan::new(4, "conv2d".to_string())),
+        message: "tricky \"quoted\" text, a back\\slash and a\nnewline".to_string(),
+    };
+    let line = d.render_machine();
+    assert!(!line.contains('\n'), "newline must be escaped: {line}");
+    let back = chet_compiler::Diagnostic::parse_machine(&line).unwrap();
+    assert_eq!(back, d);
+}
+
+/// The lint catalog: every code is unique, parseable back from its string
+/// form, and the IR-analysis family (CHET-P) is present.
+#[test]
+fn lint_catalog_is_complete() {
+    assert_eq!(LintCode::ALL.len(), 17);
+    let codes: BTreeSet<&str> = LintCode::ALL.iter().map(|c| c.code()).collect();
+    assert_eq!(codes.len(), LintCode::ALL.len(), "duplicate lint code strings");
+    for c in LintCode::ALL {
+        assert_eq!(LintCode::from_code(c.code()), Some(c), "{}", c.code());
+        assert!(!c.name().is_empty() && !c.description().is_empty());
+    }
+    for p in ["CHET-P001", "CHET-P002", "CHET-P003", "CHET-P004", "CHET-P005", "CHET-N002"] {
+        assert!(codes.contains(p), "missing {p}");
+    }
+}

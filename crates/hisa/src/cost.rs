@@ -9,7 +9,7 @@ use crate::params::SchemeKind;
 use serde::{Deserialize, Serialize};
 
 /// The HISA primitive kinds that appear in circuit execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum HisaOp {
     /// Ciphertext ± ciphertext (also covers the scalar-add flavors, which
     /// cost the same).
@@ -24,16 +24,22 @@ pub enum HisaOp {
     Rotate,
     /// Rescaling.
     Rescale,
+    /// Plaintext vector encoding (an NTT per RNS limb). Kernels encode
+    /// weight vectors per call, so encoding is a first-class cost, not
+    /// free setup. Appended last so the artifact codec's `ALL_OPS`-index
+    /// tags for the original six ops stay stable.
+    Encode,
 }
 
 /// All [`HisaOp`] variants, for iteration in calibration and reports.
-pub const ALL_OPS: [HisaOp; 6] = [
+pub const ALL_OPS: [HisaOp; 7] = [
     HisaOp::Add,
     HisaOp::MulScalar,
     HisaOp::MulPlain,
     HisaOp::MulCipher,
     HisaOp::Rotate,
     HisaOp::Rescale,
+    HisaOp::Encode,
 ];
 
 impl std::fmt::Display for HisaOp {
@@ -45,9 +51,15 @@ impl std::fmt::Display for HisaOp {
             HisaOp::MulCipher => "mul",
             HisaOp::Rotate => "rotate",
             HisaOp::Rescale => "rescale",
+            HisaOp::Encode => "encode",
         };
         f.write_str(s)
     }
+}
+
+/// Inverse of [`HisaOp`]'s `Display` names, for parsing calibration files.
+pub fn op_from_name(name: &str) -> Option<HisaOp> {
+    ALL_OPS.iter().copied().find(|op| op.to_string() == name)
 }
 
 /// Modulus state of a ciphertext at the point an op executes: costs grow
@@ -71,6 +83,7 @@ pub struct CostModel {
     mul_cipher: f64,
     rotate: f64,
     rescale: f64,
+    encode: f64,
 }
 
 impl CostModel {
@@ -90,6 +103,7 @@ impl CostModel {
                 mul_cipher: 2.2,
                 rotate: 2.0,
                 rescale: 0.6,
+                encode: 0.8,
             },
             SchemeKind::RnsCkks => CostModel {
                 kind,
@@ -99,6 +113,7 @@ impl CostModel {
                 mul_cipher: 2.5,
                 rotate: 2.2,
                 rescale: 0.8,
+                encode: 1.0,
             },
         }
     }
@@ -117,8 +132,29 @@ impl CostModel {
             HisaOp::MulCipher => &mut self.mul_cipher,
             HisaOp::Rotate => &mut self.rotate,
             HisaOp::Rescale => &mut self.rescale,
+            HisaOp::Encode => &mut self.encode,
         };
         *slot = value;
+    }
+
+    /// The tunable constant for one op (the value [`Self::set_constant`]
+    /// writes), used by calibration reports.
+    pub fn constant(&self, op: HisaOp) -> f64 {
+        match op {
+            HisaOp::Add => self.add,
+            HisaOp::MulScalar => self.mul_scalar,
+            HisaOp::MulPlain => self.mul_plain,
+            HisaOp::MulCipher => self.mul_cipher,
+            HisaOp::Rotate => self.rotate,
+            HisaOp::Rescale => self.rescale,
+            HisaOp::Encode => self.encode,
+        }
+    }
+
+    /// The op's cost with its constant factored out — the "unit work" that
+    /// calibration fits a microsecond-per-unit constant against.
+    pub fn unit_work(&self, op: HisaOp, n: usize, lvl: LevelInfo) -> f64 {
+        self.op_cost(op, n, lvl) / self.constant(op)
     }
 
     /// Estimated cost of one op at ring degree `n` and modulus state `lvl`
@@ -137,6 +173,7 @@ impl CostModel {
                     HisaOp::MulCipher => self.mul_cipher * nf * log_n * m_q,
                     HisaOp::Rotate => self.rotate * nf * log_n * m_q,
                     HisaOp::Rescale => self.rescale * nf * lvl.log_q.max(1.0),
+                    HisaOp::Encode => self.encode * nf * log_n * m_q,
                 }
             }
             SchemeKind::RnsCkks => {
@@ -148,10 +185,76 @@ impl CostModel {
                     HisaOp::MulCipher => self.mul_cipher * nf * log_n * r * r,
                     HisaOp::Rotate => self.rotate * nf * log_n * r * r,
                     HisaOp::Rescale => self.rescale * nf * log_n * r,
+                    // One negacyclic NTT per RNS limb.
+                    HisaOp::Encode => self.encode * nf * log_n * r,
                 }
             }
         }
     }
+}
+
+/// One microbenchmark observation: `op` ran at ring degree `n` and modulus
+/// state `lvl` and took `measured_us` microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostSample {
+    pub op: HisaOp,
+    pub n: usize,
+    pub lvl: LevelInfo,
+    pub measured_us: f64,
+}
+
+/// Per-op result of [`calibrate`]: the fitted microsecond constant and the
+/// worst relative prediction error over that op's samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpFit {
+    pub op: HisaOp,
+    /// Fitted constant (µs per unit of Table 1 work). 0.0 if no samples.
+    pub constant: f64,
+    /// Number of samples the fit used.
+    pub samples: usize,
+    /// max over samples of |predicted − measured| / measured.
+    pub max_rel_err: f64,
+}
+
+/// Fits per-op microsecond constants to microbenchmark samples by
+/// least-squares through the origin: for each op, with `u_i` the Table 1
+/// unit work of sample `i` and `t_i` its measured microseconds, the
+/// constant is `k = Σ(u_i·t_i) / Σ(u_i²)` — the scale that minimizes
+/// Σ(k·u_i − t_i)². Ops with no samples keep the default constant (whose
+/// absolute magnitude is then meaningless next to calibrated ones, so
+/// calibration benchmarks should cover every op they want priced).
+///
+/// The returned model predicts *microseconds* from [`CostModel::op_cost`].
+pub fn calibrate(kind: SchemeKind, samples: &[CostSample]) -> (CostModel, Vec<OpFit>) {
+    let unit = CostModel::for_scheme(kind);
+    let mut model = CostModel::for_scheme(kind);
+    let mut fits = Vec::new();
+    for op in ALL_OPS {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        let mut n_samples = 0;
+        for s in samples.iter().filter(|s| s.op == op) {
+            let u = unit.unit_work(op, s.n, s.lvl);
+            num += u * s.measured_us;
+            den += u * u;
+            n_samples += 1;
+        }
+        if n_samples == 0 || den == 0.0 {
+            fits.push(OpFit { op, constant: 0.0, samples: 0, max_rel_err: 0.0 });
+            continue;
+        }
+        let k = num / den;
+        model.set_constant(op, k);
+        let mut max_rel_err = 0.0f64;
+        for s in samples.iter().filter(|s| s.op == op) {
+            let predicted = model.op_cost(op, s.n, s.lvl);
+            if s.measured_us > 0.0 {
+                max_rel_err = max_rel_err.max((predicted - s.measured_us).abs() / s.measured_us);
+            }
+        }
+        fits.push(OpFit { op, constant: k, samples: n_samples, max_rel_err });
+    }
+    (model, fits)
 }
 
 #[cfg(test)]
@@ -208,6 +311,52 @@ mod tests {
                 let large = m.op_cost(op, 32768, lvl(100.0, 3));
                 assert!(large > small, "{op} cost must grow with N under {kind:?}");
             }
+        }
+    }
+
+    #[test]
+    fn calibrate_recovers_exact_constants() {
+        // Samples generated from a known model must fit back to it exactly.
+        let mut truth = CostModel::for_scheme(SchemeKind::RnsCkks);
+        truth.set_constant(HisaOp::Rotate, 3.25e-3);
+        truth.set_constant(HisaOp::Add, 1.5e-5);
+        let mut samples = Vec::new();
+        for r in [2usize, 4, 6] {
+            for op in [HisaOp::Rotate, HisaOp::Add] {
+                samples.push(CostSample {
+                    op,
+                    n: 8192,
+                    lvl: lvl(60.0 * r as f64, r),
+                    measured_us: truth.op_cost(op, 8192, lvl(60.0 * r as f64, r)),
+                });
+            }
+        }
+        let (fitted, fits) = calibrate(SchemeKind::RnsCkks, &samples);
+        for op in [HisaOp::Rotate, HisaOp::Add] {
+            assert!((fitted.constant(op) - truth.constant(op)).abs() / truth.constant(op) < 1e-9);
+            let fit = fits.iter().find(|f| f.op == op).unwrap();
+            assert_eq!(fit.samples, 3);
+            assert!(fit.max_rel_err < 1e-9);
+        }
+        // Unsampled ops report a zero-sample fit and keep defaults.
+        let enc = fits.iter().find(|f| f.op == HisaOp::Encode).unwrap();
+        assert_eq!(enc.samples, 0);
+    }
+
+    #[test]
+    fn op_names_roundtrip() {
+        for op in ALL_OPS {
+            assert_eq!(op_from_name(&op.to_string()), Some(op));
+        }
+        assert_eq!(op_from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn unit_work_factors_out_constant() {
+        let m = CostModel::for_scheme(SchemeKind::RnsCkks);
+        for op in ALL_OPS {
+            let u = m.unit_work(op, 8192, lvl(120.0, 3));
+            assert!((u * m.constant(op) - m.op_cost(op, 8192, lvl(120.0, 3))).abs() < 1e-9);
         }
     }
 

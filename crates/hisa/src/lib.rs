@@ -35,6 +35,7 @@
 
 pub mod cost;
 pub mod error;
+pub mod json;
 pub mod keys;
 pub mod params;
 pub mod security;

@@ -52,7 +52,8 @@ pub use journal::{
 };
 pub use retry::RetryPolicy;
 pub use service::{
-    vet_artifact, InferResponse, InferenceService, ServeConfig, ServeError, Submission, Ticket,
+    vet_artifact, vet_artifact_with_budget, InferResponse, InferenceService, ServeConfig,
+    ServeError, Submission, Ticket,
 };
 pub use stats::{LatencyHistogram, LatencySnapshot, ServiceStats};
 pub use store::{

@@ -38,7 +38,9 @@ use crate::stats::{Counters, LatencyHistogram, ServiceStats};
 use crate::store::{ArtifactStore, LockError, StoreIntegrity, StoreLock, StoredArtifact};
 use crate::watchdog::{Escalation, Watchdog, WatchdogConfig, WatchdogHooks, WorkerSlot};
 use chet_ckks::sim::SimCkks;
+use chet_compiler::ir::{cost as ir_cost, extract_ir, ExtractMode};
 use chet_compiler::{verify_compiled, CompiledCircuit, Compiler, SelectError};
+use chet_hisa::cost::CostModel;
 use chet_hisa::params::SchemeKind;
 use chet_hisa::serial::params_fingerprint;
 use chet_hisa::{Hisa, HisaError};
@@ -109,6 +111,17 @@ pub struct ServeConfig {
     /// when enabled: the journal lives next to the artifact store, under
     /// the same advisory lock.
     pub journal: JournalConfig,
+    /// Publish-gate latency budget in microseconds (`None` = no budget).
+    /// When set, the gate prices one inference of the artifact with the
+    /// calibrated static cost model and refuses to publish
+    /// ([`ServeError::CostBudget`]) artifacts predicted to exceed it — the
+    /// deny knob that keeps a pathological recompile from silently turning
+    /// a 100 ms service into a 10 s one.
+    pub cost_budget_us: Option<f64>,
+    /// Cost model the budget gate prices with (`None` = the scheme's
+    /// default constants). Deployments load calibrated constants from
+    /// `BENCH_rns_ops.json` fits here.
+    pub cost_model: Option<CostModel>,
 }
 
 impl Default for ServeConfig {
@@ -127,6 +140,8 @@ impl Default for ServeConfig {
             watchdog: WatchdogConfig::default(),
             chaos: None,
             journal: JournalConfig::default(),
+            cost_budget_us: None,
+            cost_model: None,
         }
     }
 }
@@ -209,6 +224,14 @@ pub enum ServeError {
         /// The underlying journal error.
         detail: String,
     },
+    /// The publish gate's static cost model predicts the artifact exceeds
+    /// the configured latency budget; the service refuses to publish it.
+    CostBudget {
+        /// Predicted per-inference latency, microseconds.
+        predicted_us: f64,
+        /// The configured budget, microseconds.
+        budget_us: f64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -235,6 +258,13 @@ impl fmt::Display for ServeError {
             }
             ServeError::JournalUnavailable { detail } => {
                 write!(f, "request journal unavailable: {detail}")
+            }
+            ServeError::CostBudget { predicted_us, budget_us } => {
+                write!(
+                    f,
+                    "artifact rejected by cost budget: predicted {predicted_us:.0} us \
+                     per inference exceeds the {budget_us:.0} us budget"
+                )
             }
         }
     }
@@ -295,6 +325,35 @@ pub fn vet_artifact(circuit: &Circuit, compiled: &CompiledCircuit) -> Result<(),
             .map(|d| d.to_string())
             .unwrap_or_else(|| "unknown deny diagnostic".to_string());
         return Err(ServeError::Lint { denies: report.deny_count(), first });
+    }
+    Ok(())
+}
+
+/// [`vet_artifact`] plus the cost-budget deny knob: when `budget_us` is
+/// set, extracts the artifact's HISA IR and prices one inference with the
+/// static cost model; a prediction over budget refuses publication as
+/// [`ServeError::CostBudget`].
+pub fn vet_artifact_with_budget(
+    circuit: &Circuit,
+    compiled: &CompiledCircuit,
+    budget_us: Option<f64>,
+    model: Option<&CostModel>,
+) -> Result<(), ServeError> {
+    vet_artifact(circuit, compiled)?;
+    let Some(budget_us) = budget_us else { return Ok(()) };
+    // The verifier above proved the artifact executable, so extraction
+    // (which runs the same executor) cannot realistically fail; if it ever
+    // does, an unpriceable artifact should not be refused on cost grounds.
+    let Ok(ir) = extract_ir(circuit, compiled, ExtractMode::Metadata) else {
+        return Ok(());
+    };
+    let model = match model {
+        Some(m) => m.clone(),
+        None => CostModel::for_scheme(compiled.params.kind()),
+    };
+    let predicted_us = ir_cost::estimate(&ir, &model).total_us;
+    if predicted_us > budget_us {
+        return Err(ServeError::CostBudget { predicted_us, budget_us });
     }
     Ok(())
 }
@@ -396,7 +455,14 @@ impl ServiceCore {
         let margin = g.extra_margin + 1;
         let compiler = self.compiler.clone().with_margin_levels(margin);
         if let Ok((compiled, report)) = compiler.compile_checked(&self.circuit, &g.scales) {
-            if vet_artifact(&self.circuit, &compiled).is_ok() {
+            if vet_artifact_with_budget(
+                &self.circuit,
+                &compiled,
+                self.config.cost_budget_us,
+                self.config.cost_model.as_ref(),
+            )
+            .is_ok()
+            {
                 g.scales = report.final_scales;
                 g.compiled = Arc::new(compiled);
                 g.extra_margin = margin;
@@ -480,7 +546,8 @@ fn fail_code(e: &ServeError) -> FailCode {
         | ServeError::Lint { .. }
         | ServeError::StoreLocked { .. }
         | ServeError::DuplicatePending { .. }
-        | ServeError::JournalUnavailable { .. } => FailCode::Exec,
+        | ServeError::JournalUnavailable { .. }
+        | ServeError::CostBudget { .. } => FailCode::Exec,
     }
 }
 
@@ -570,7 +637,14 @@ fn recover_from_store(
                     // The static verifier is the last gate, exactly as at
                     // compile time: a stored artifact that fails vetting
                     // is as unusable as a corrupt one.
-                    if vet_artifact(circuit, &a.compiled).is_ok() {
+                    if vet_artifact_with_budget(
+                        circuit,
+                        &a.compiled,
+                        config.cost_budget_us,
+                        config.cost_model.as_ref(),
+                    )
+                    .is_ok()
+                    {
                         Some(a)
                     } else {
                         damaged = true;
@@ -688,7 +762,12 @@ impl InferenceService {
             None => {
                 let (compiled, report) =
                     compiler.compile_checked(&circuit, &scales).map_err(ServeError::Compile)?;
-                vet_artifact(&circuit, &compiled)?;
+                vet_artifact_with_budget(
+                    &circuit,
+                    &compiled,
+                    config.cost_budget_us,
+                    config.cost_model.as_ref(),
+                )?;
                 if damaged {
                     Counters::bump(&counters.store_recompiles);
                 }

@@ -151,6 +151,7 @@ fn error_label(e: &ServeError) -> String {
         ServeError::StoreLocked { .. } => "store-locked".into(),
         ServeError::DuplicatePending { .. } => "duplicate-pending".into(),
         ServeError::JournalUnavailable { .. } => "journal-unavailable".into(),
+        ServeError::CostBudget { .. } => "cost-budget".into(),
     }
 }
 

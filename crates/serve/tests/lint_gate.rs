@@ -60,3 +60,40 @@ fn lint_error_displays_the_diagnostic() {
     assert!(rendered.contains("static verifier"), "{rendered}");
     assert!(rendered.contains("CHET-E003"), "{rendered}");
 }
+
+#[test]
+fn cost_budget_gate_denies_expensive_artifacts() {
+    let (circuit, compiled) = compile();
+    // A 1 µs budget is below any circuit's predicted latency, so the
+    // budgeted gate must refuse what the plain verifier accepts.
+    assert_eq!(chet_serve::vet_artifact(&circuit, &compiled), Ok(()));
+    match chet_serve::vet_artifact_with_budget(&circuit, &compiled, Some(1.0), None) {
+        Err(ServeError::CostBudget { predicted_us, budget_us }) => {
+            assert!(predicted_us > budget_us, "{predicted_us} vs {budget_us}");
+            assert_eq!(budget_us, 1.0);
+        }
+        other => panic!("expected a cost-budget refusal, got {other:?}"),
+    }
+}
+
+#[test]
+fn cost_budget_gate_passes_within_budget() {
+    let (circuit, compiled) = compile();
+    // No budget: identical to the plain gate.
+    assert_eq!(chet_serve::vet_artifact_with_budget(&circuit, &compiled, None, None), Ok(()));
+    // A huge budget admits the artifact.
+    assert_eq!(
+        chet_serve::vet_artifact_with_budget(&circuit, &compiled, Some(1e12), None),
+        Ok(())
+    );
+}
+
+#[test]
+fn cost_budget_error_displays_both_sides() {
+    let (circuit, compiled) = compile();
+    let err =
+        chet_serve::vet_artifact_with_budget(&circuit, &compiled, Some(1.0), None).unwrap_err();
+    let rendered = err.to_string();
+    assert!(rendered.contains("budget"), "{rendered}");
+    assert!(rendered.contains("1.0") || rendered.contains("1 us"), "{rendered}");
+}
