@@ -152,7 +152,7 @@ import json
 with open("BENCH_rns_ops.json") as f:
     doc = json.load(f)
 assert doc["bench"] == "rns_ops", doc
-ops = {"add", "mulScalar", "mulPlain", "mul", "rotate", "rescale", "encode"}
+ops = {"add", "mulScalar", "mulPlain", "mul", "rotate", "rescale", "encode", "rotateHoisted"}
 assert set(doc["constants"]) == ops, doc["constants"]
 for name, c in doc["constants"].items():
     assert c > 0, f"non-positive constant for {name}: {c}"
@@ -174,5 +174,41 @@ print(
     f"{net['name']} predicted within {net['rel_err']:.1%} of measured"
 )
 EOF
+
+echo "=== per-op perf regression (fresh bench_rns_ops vs committed record) ==="
+# Re-measures every HISA op family on this host and fails if any fitted
+# per-op constant regressed by more than 1.5x against the committed
+# BENCH_rns_ops.json — the guard that keeps the RNS hot-path overhaul
+# (lazy NTT, limb pool, hoisted rotations) from silently eroding. The
+# fresh run lands in a temp dir so the committed record is untouched.
+# Absolute timings are host-dependent: set CHET_SKIP_PERF_GATE=1 on hosts
+# slower than the one that produced the committed record.
+if [ "${CHET_SKIP_PERF_GATE:-0}" = "1" ]; then
+    echo "skipped (CHET_SKIP_PERF_GATE=1)"
+else
+    cargo build --release -q -p chet-bench --bin bench_rns_ops
+    repo_dir=$(pwd)
+    perf_dir=$(mktemp -d)
+    trap 'rm -rf "$perf_dir"' EXIT
+    (cd "$perf_dir" && "$repo_dir/target/release/bench_rns_ops" > bench.log) \
+        || { cat "$perf_dir/bench.log" >&2; exit 1; }
+    FRESH_JSON="$perf_dir/BENCH_rns_ops.json" python3 - <<'EOF'
+import json, os
+with open("BENCH_rns_ops.json") as f:
+    committed = json.load(f)["constants"]
+with open(os.environ["FRESH_JSON"]) as f:
+    fresh = json.load(f)["constants"]
+bad = []
+for op, base in sorted(committed.items()):
+    now = fresh[op]
+    ratio = now / base
+    flag = " <-- REGRESSION" if ratio > 1.5 else ""
+    print(f"  {op:>14}: committed {base:.4f}us  fresh {now:.4f}us  ({ratio:.2f}x){flag}")
+    if ratio > 1.5:
+        bad.append(op)
+assert not bad, f"per-op perf regression > 1.5x in: {', '.join(bad)}"
+print("per-op perf gate passed")
+EOF
+fi
 
 echo "CI gate passed."

@@ -44,7 +44,7 @@ fn main() {
 
         // Wall time on the real backend (exact keys for each strategy).
         let time_real = |bsgs: bool| {
-            let mut probe =
+            let probe =
                 SimCkks::new(&params, &RotationKeyPolicy::PowersOfTwo, 1).without_noise();
             let layout = Layout::dense_vector(inp, probe.slots());
             // Collect the exact rotation steps by replaying on the analyzer-ish sim.

@@ -43,7 +43,11 @@ fn bench_op(mut f: impl FnMut(), reps: usize) -> Duration {
 fn sample_config(n: usize, r: usize, prime_bits: u32, reps: usize) -> Vec<CostSample> {
     let params =
         EncryptionParams::rns_ckks(n, prime_bits, r).with_security(SecurityLevel::Insecure);
-    let policy = RotationKeyPolicy::Exact([1usize].into_iter().collect());
+    // Several distinct rotation keys, cycled below: real inference streams a
+    // different key almost every rotation, so a single hot key would
+    // under-measure the memory-bound key-switch cost by nearly half.
+    const KEY_STEPS: usize = 8;
+    let policy = RotationKeyPolicy::Exact((1..=KEY_STEPS).collect());
     let mut h = RnsCkks::new(&params, &policy, 7);
 
     let scale = 2f64.powi(i32::try_from(prime_bits).unwrap_or(40));
@@ -59,14 +63,32 @@ fn sample_config(n: usize, r: usize, prime_bits: u32, reps: usize) -> Vec<CostSa
     let divisor = h.max_rescale(&prod, 2f64.powi(i32::try_from(prime_bits + 1).unwrap_or(41)));
 
     let lvl = LevelInfo { log_q: f64::from(prime_bits) * r as f64, rns_len: r };
+    // Cycle through the keyed steps so every rotation pulls a different key,
+    // like the network does.
+    let mut next_step = 0usize;
+    let t_rotate = bench_op(
+        || {
+            next_step = next_step % KEY_STEPS + 1;
+            drop(h.rot_left(&a, next_step));
+        },
+        reps * KEY_STEPS,
+    );
+    // Hoisted rotations: one batched call rotating the same ciphertext by
+    // every keyed step shares a single key-switch decomposition; the
+    // per-extra-rotation cost beyond the first full rotation is the
+    // `rotateHoisted` sample.
+    let steps: Vec<usize> = (1..=KEY_STEPS).collect();
+    let t_batch = bench_op(|| drop(h.rot_left_many(&a, &steps)), reps);
+    let t_hoisted = t_batch.saturating_sub(t_rotate) / (KEY_STEPS as u32 - 1);
     let timed: Vec<(HisaOp, Duration)> = vec![
         (HisaOp::Add, bench_op(|| drop(h.add(&a, &b)), reps)),
         (HisaOp::MulScalar, bench_op(|| drop(h.mul_scalar(&a, 1.5, scale)), reps)),
         (HisaOp::MulPlain, bench_op(|| drop(h.mul_plain(&a, &pt)), reps)),
         (HisaOp::MulCipher, bench_op(|| drop(h.mul(&a, &b)), reps)),
-        (HisaOp::Rotate, bench_op(|| drop(h.rot_left(&a, 1)), reps)),
+        (HisaOp::Rotate, t_rotate),
         (HisaOp::Rescale, bench_op(|| drop(h.rescale(&prod, divisor)), reps)),
         (HisaOp::Encode, bench_op(|| drop(h.encode(&vals, scale)), reps)),
+        (HisaOp::RotateHoisted, t_hoisted),
     ];
     timed
         .into_iter()
@@ -86,9 +108,12 @@ fn measure_network(model: &chet_hisa::cost::CostModel, reps: usize) -> (String, 
         .expect("LeNet-5-small compiles");
     let image = net.sample_image(11);
 
-    let mut total = Duration::ZERO;
-    for _ in 0..reps {
-        let mut h = RnsCkks::new(&compiled.params, &compiled.rotation_keys, 7);
+    // One backend across all reps: the first inference warms the limb pool
+    // (and is discarded), the rest measure steady-state latency. The median
+    // damps the large run-to-run variance of a multi-second single-core run.
+    let mut h = RnsCkks::new(&compiled.params, &compiled.rotation_keys, 7);
+    let mut times = Vec::with_capacity(reps);
+    for rep in 0..=reps {
         let input = try_encrypt_input(&mut h, &net.circuit, &compiled.plan, &image)
             .expect("input encrypts");
         let t0 = Instant::now();
@@ -100,19 +125,25 @@ fn measure_network(model: &chet_hisa::cost::CostModel, reps: usize) -> (String, 
             &mut ExecControl::none(),
         )
         .expect("encrypted run succeeds");
-        total += t0.elapsed();
+        if rep > 0 {
+            times.push(t0.elapsed());
+        }
     }
-    let measured_us = total.as_secs_f64() * 1e6 / reps as f64;
+    times.sort();
+    let measured_us = times[times.len() / 2].as_secs_f64() * 1e6;
 
     let ir = extract_ir(&net.circuit, &compiled, ExtractMode::Metadata).expect("IR extracts");
-    let predicted_us = ir_cost::estimate(&ir, model).total_us;
-    (net.name.to_string(), measured_us, predicted_us)
+    let breakdown = ir_cost::estimate(&ir, model);
+    for line in breakdown.render_text(3).lines() {
+        println!("  {line}");
+    }
+    (net.name.to_string(), measured_us, breakdown.total_us)
 }
 
 fn main() {
     let args = HarnessArgs::parse();
     let reps = if args.full { 20 } else { 5 };
-    let net_reps = if args.full { 3 } else { 1 };
+    let net_reps = if args.full { 5 } else { 3 };
     // The static model prices sequential op streams; pin the runtime to
     // one thread so measured and predicted describe the same execution.
     set_threads(1);
@@ -120,10 +151,13 @@ fn main() {
     println!("== RNS-CKKS cost-model calibration ==\n");
 
     let prime_bits = 40u32;
+    // (16384, 8) anchors the fit near the reduced network's own operating
+    // point (N=16384, chain 10); without it the r≤4 configs extrapolate a
+    // 3× span in the rotation weight r·(r+log n).
     let configs: &[(usize, usize)] = if args.full {
         &[(4096, 2), (8192, 2), (8192, 4), (16384, 4), (16384, 8)]
     } else {
-        &[(4096, 2), (8192, 2), (8192, 4)]
+        &[(4096, 2), (8192, 2), (8192, 4), (16384, 8)]
     };
 
     let mut samples = Vec::new();

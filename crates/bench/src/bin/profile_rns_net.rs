@@ -1,0 +1,226 @@
+//! Per-op wall-clock attribution for one end-to-end encrypted inference —
+//! the measurement-side complement of the static cost model.
+//!
+//! Wraps the real RNS-CKKS backend in a timing shim that buckets every
+//! HISA call by op family (forwarding the batched rotation entry points so
+//! hoisted key switching still fires), runs the reduced LeNet-5-small
+//! through the same executor path `bench_rns_ops` times, and prints where
+//! the seconds actually go. Use this when the calibration gate's
+//! measured-vs-predicted gap moves: it says *which* op family the static
+//! model is mispricing.
+
+use chet_ckks::rns::RnsCkks;
+use chet_compiler::Compiler;
+use chet_hisa::params::SchemeKind;
+use chet_hisa::{Hisa, HisaError};
+use chet_runtime::exec::{try_encrypt_input, try_run_encrypted_with, ExecControl};
+use chet_runtime::kernels::ScaleConfig;
+use chet_runtime::par::set_threads;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Timing wrapper: forwards every op to the inner backend and accumulates
+/// wall-clock per bucket. Single-threaded by construction (`fork` returns
+/// `None`), so the buckets sum to the run's critical path.
+struct Timed {
+    inner: RnsCkks,
+    buckets: BTreeMap<&'static str, (u64, Duration)>,
+}
+
+impl Timed {
+    fn new(inner: RnsCkks) -> Self {
+        Timed { inner, buckets: BTreeMap::new() }
+    }
+
+    fn time<T>(&mut self, bucket: &'static str, ops: u64, f: impl FnOnce(&mut RnsCkks) -> T) -> T {
+        let t0 = Instant::now();
+        let out = f(&mut self.inner);
+        let e = self.buckets.entry(bucket).or_insert((0, Duration::ZERO));
+        e.0 += ops;
+        e.1 += t0.elapsed();
+        out
+    }
+
+    fn report(&self) {
+        let total: Duration = self.buckets.values().map(|&(_, d)| d).sum();
+        println!("per-op wall-clock attribution (total in-op {:.2} s):", total.as_secs_f64());
+        let mut rows: Vec<_> = self.buckets.iter().collect();
+        rows.sort_by(|a, b| b.1 .1.cmp(&a.1 .1));
+        for (name, (count, dur)) in rows {
+            println!(
+                "  {name:>14}  x{count:<6} {:>9.1} ms  ({:>5.1}%)",
+                dur.as_secs_f64() * 1e3,
+                100.0 * dur.as_secs_f64() / total.as_secs_f64().max(f64::MIN_POSITIVE),
+            );
+        }
+    }
+}
+
+impl Hisa for Timed {
+    type Ct = <RnsCkks as Hisa>::Ct;
+    type Pt = <RnsCkks as Hisa>::Pt;
+
+    fn slots(&self) -> usize {
+        self.inner.slots()
+    }
+
+    fn encode(&mut self, values: &[f64], scale: f64) -> Self::Pt {
+        self.time("encode", 1, |h| h.encode(values, scale))
+    }
+
+    fn decode(&mut self, p: &Self::Pt) -> Vec<f64> {
+        self.inner.decode(p)
+    }
+
+    fn encrypt(&mut self, p: &Self::Pt) -> Self::Ct {
+        self.inner.encrypt(p)
+    }
+
+    fn decrypt(&mut self, c: &Self::Ct) -> Self::Pt {
+        self.inner.decrypt(c)
+    }
+
+    fn rot_left(&mut self, c: &Self::Ct, x: usize) -> Self::Ct {
+        self.time("rotate", 1, |h| h.rot_left(c, x))
+    }
+
+    fn rot_right(&mut self, c: &Self::Ct, x: usize) -> Self::Ct {
+        self.time("rotate", 1, |h| h.rot_right(c, x))
+    }
+
+    fn rot_left_many(&mut self, c: &Self::Ct, steps: &[usize]) -> Vec<Self::Ct> {
+        self.time("rotateBatched", steps.len() as u64, |h| h.rot_left_many(c, steps))
+    }
+
+    fn rot_right_many(&mut self, c: &Self::Ct, steps: &[usize]) -> Vec<Self::Ct> {
+        self.time("rotateBatched", steps.len() as u64, |h| h.rot_right_many(c, steps))
+    }
+
+    fn try_rot_left_many(
+        &mut self,
+        c: &Self::Ct,
+        steps: &[usize],
+    ) -> Result<Vec<Self::Ct>, HisaError> {
+        self.time("rotateBatched", steps.len() as u64, |h| h.try_rot_left_many(c, steps))
+    }
+
+    fn try_rot_right_many(
+        &mut self,
+        c: &Self::Ct,
+        steps: &[usize],
+    ) -> Result<Vec<Self::Ct>, HisaError> {
+        self.time("rotateBatched", steps.len() as u64, |h| h.try_rot_right_many(c, steps))
+    }
+
+    fn add(&mut self, a: &Self::Ct, b: &Self::Ct) -> Self::Ct {
+        self.time("add", 1, |h| h.add(a, b))
+    }
+
+    fn add_assign(&mut self, a: &mut Self::Ct, b: &Self::Ct) {
+        self.time("add", 1, |h| h.add_assign(a, b))
+    }
+
+    fn sub_assign(&mut self, a: &mut Self::Ct, b: &Self::Ct) {
+        self.time("add", 1, |h| h.sub_assign(a, b))
+    }
+
+    fn add_plain_assign(&mut self, a: &mut Self::Ct, p: &Self::Pt) {
+        self.time("add", 1, |h| h.add_plain_assign(a, p))
+    }
+
+    fn sub_plain_assign(&mut self, a: &mut Self::Ct, p: &Self::Pt) {
+        self.time("add", 1, |h| h.sub_plain_assign(a, p))
+    }
+
+    fn mul_plain_assign(&mut self, a: &mut Self::Ct, p: &Self::Pt) {
+        self.time("mulPlain", 1, |h| h.mul_plain_assign(a, p))
+    }
+
+    fn add_scalar_assign(&mut self, a: &mut Self::Ct, x: f64) {
+        self.time("add", 1, |h| h.add_scalar_assign(a, x))
+    }
+
+    fn sub_scalar_assign(&mut self, a: &mut Self::Ct, x: f64) {
+        self.time("add", 1, |h| h.sub_scalar_assign(a, x))
+    }
+
+    fn mul_scalar_assign(&mut self, a: &mut Self::Ct, x: f64, scale: f64) {
+        self.time("mulScalar", 1, |h| h.mul_scalar_assign(a, x, scale))
+    }
+
+    fn add_plain(&mut self, a: &Self::Ct, p: &Self::Pt) -> Self::Ct {
+        self.time("add", 1, |h| h.add_plain(a, p))
+    }
+
+    fn add_scalar(&mut self, a: &Self::Ct, x: f64) -> Self::Ct {
+        self.time("add", 1, |h| h.add_scalar(a, x))
+    }
+
+    fn sub(&mut self, a: &Self::Ct, b: &Self::Ct) -> Self::Ct {
+        self.time("add", 1, |h| h.sub(a, b))
+    }
+
+    fn sub_plain(&mut self, a: &Self::Ct, p: &Self::Pt) -> Self::Ct {
+        self.time("add", 1, |h| h.sub_plain(a, p))
+    }
+
+    fn sub_scalar(&mut self, a: &Self::Ct, x: f64) -> Self::Ct {
+        self.time("add", 1, |h| h.sub_scalar(a, x))
+    }
+
+    fn mul(&mut self, a: &Self::Ct, b: &Self::Ct) -> Self::Ct {
+        self.time("mul", 1, |h| h.mul(a, b))
+    }
+
+    fn mul_plain(&mut self, a: &Self::Ct, p: &Self::Pt) -> Self::Ct {
+        self.time("mulPlain", 1, |h| h.mul_plain(a, p))
+    }
+
+    fn mul_scalar(&mut self, a: &Self::Ct, x: f64, scale: f64) -> Self::Ct {
+        self.time("mulScalar", 1, |h| h.mul_scalar(a, x, scale))
+    }
+
+    fn rescale(&mut self, c: &Self::Ct, divisor: f64) -> Self::Ct {
+        self.time("rescale", 1, |h| h.rescale(c, divisor))
+    }
+
+    fn max_rescale(&mut self, c: &Self::Ct, ub: f64) -> f64 {
+        self.inner.max_rescale(c, ub)
+    }
+
+    fn scale_of(&self, c: &Self::Ct) -> f64 {
+        self.inner.scale_of(c)
+    }
+
+    fn available_rotations(&self) -> Option<std::collections::BTreeSet<usize>> {
+        self.inner.available_rotations()
+    }
+
+    // No forking: every op runs (and is timed) on this wrapper.
+}
+
+fn main() {
+    set_threads(1);
+    let net = chet_networks::try_reduced("LeNet-5-small").expect("known network");
+    let scales = ScaleConfig::from_log2(25, 12, 12, 10);
+    let compiled = Compiler::new(SchemeKind::RnsCkks)
+        .with_output_precision(2f64.powi(25))
+        .compile(&net.circuit, &scales)
+        .expect("LeNet-5-small compiles");
+    println!(
+        "reduced LeNet-5-small: N={}, chain={}, {} rotation keys",
+        compiled.params.degree,
+        compiled.params.modulus.chain_len(),
+        compiled.rotation_keys.steps(compiled.params.degree / 2).len(),
+    );
+    let image = net.sample_image(11);
+
+    let mut h = Timed::new(RnsCkks::new(&compiled.params, &compiled.rotation_keys, 7));
+    let input =
+        try_encrypt_input(&mut h, &net.circuit, &compiled.plan, &image).expect("input encrypts");
+    let t0 = Instant::now();
+    let _ = try_run_encrypted_with(&mut h, &net.circuit, &compiled.plan, input, &mut ExecControl::none())
+        .expect("encrypted run succeeds");
+    println!("end-to-end: {:.2} s", t0.elapsed().as_secs_f64());
+    h.report();
+}

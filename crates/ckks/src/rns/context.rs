@@ -3,7 +3,9 @@
 use crate::encoding::CkksEncoder;
 use chet_hisa::params::{EncryptionParams, ModulusSpec};
 use chet_math::modint::inv_mod;
-use chet_math::ntt::NttTable;
+use chet_math::ntt::{bit_reverse, NttTable};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Immutable per-instance data: the modulus chain, NTT tables, pairwise
 /// modular inverses and the slot encoder.
@@ -21,6 +23,10 @@ pub struct RnsContext {
     /// `inv[i][j] = moduli[i]^{-1} mod moduli[j]` (diagonal unused).
     inv: Vec<Vec<u64>>,
     encoder: CkksEncoder,
+    /// Lazily built NTT-domain automorphism tables, keyed by Galois
+    /// element: `perm[i]` is the evaluation slot that moves to slot `i`
+    /// under `X → X^g`.
+    auto_perms: Mutex<HashMap<usize, Arc<Vec<u32>>>>,
 }
 
 impl RnsContext {
@@ -56,7 +62,15 @@ impl RnsContext {
                 }
             }
         }
-        RnsContext { degree, moduli, num_chain, ntt, inv, encoder: CkksEncoder::new(degree) }
+        RnsContext {
+            degree,
+            moduli,
+            num_chain,
+            ntt,
+            inv,
+            encoder: CkksEncoder::new(degree),
+            auto_perms: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Ring degree `N`.
@@ -103,5 +117,43 @@ impl RnsContext {
     /// The slot encoder.
     pub fn encoder(&self) -> &CkksEncoder {
         &self.encoder
+    }
+
+    /// The NTT-domain permutation realizing the Galois automorphism
+    /// `X → X^g` directly on evaluation slots, built once per Galois
+    /// element and cached.
+    ///
+    /// Derivation: the forward NTT places `a(ψ^{2·brv(i)+1})` at slot `i`
+    /// (pinned by `chet-math`'s `forward_output_order_is_bitrev_odd_powers`
+    /// test). `σ_g(a)` evaluated there is `a(ψ^{(2·brv(i)+1)·g mod 2n})`,
+    /// which the untransformed input holds at the slot whose odd exponent
+    /// matches — so `perm[i] = brv(((2·brv(i)+1)·g mod 2n − 1) / 2)`.
+    /// No sign corrections: evaluation slots carry values, not monomial
+    /// coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is even (even powers are not ring automorphisms of
+    /// `Z[X]/(X^N + 1)`).
+    pub fn auto_perm(&self, g: usize) -> Arc<Vec<u32>> {
+        assert!(g % 2 == 1, "galois element must be odd");
+        let mut cache = self
+            .auto_perms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(p) = cache.get(&g) {
+            return Arc::clone(p);
+        }
+        let n = self.degree;
+        let m = 2 * n;
+        let log_n = n.trailing_zeros();
+        let mut perm = Vec::with_capacity(n);
+        for i in 0..n {
+            let e = (2 * bit_reverse(i, log_n) + 1) * g % m;
+            perm.push(bit_reverse((e - 1) / 2, log_n) as u32);
+        }
+        let perm = Arc::new(perm);
+        cache.insert(g, Arc::clone(&perm));
+        perm
     }
 }

@@ -65,8 +65,64 @@ impl Hisa for RnsEvaluator {
         self.inner.rot_right(c, x)
     }
 
+    fn rot_left_many(&mut self, c: &Self::Ct, steps: &[usize]) -> Vec<Self::Ct> {
+        self.inner.rot_left_many(c, steps)
+    }
+
+    fn rot_right_many(&mut self, c: &Self::Ct, steps: &[usize]) -> Vec<Self::Ct> {
+        self.inner.rot_right_many(c, steps)
+    }
+
+    fn try_rot_left_many(
+        &mut self,
+        c: &Self::Ct,
+        steps: &[usize],
+    ) -> Result<Vec<Self::Ct>, chet_hisa::HisaError> {
+        self.inner.try_rot_left_many(c, steps)
+    }
+
+    fn try_rot_right_many(
+        &mut self,
+        c: &Self::Ct,
+        steps: &[usize],
+    ) -> Result<Vec<Self::Ct>, chet_hisa::HisaError> {
+        self.inner.try_rot_right_many(c, steps)
+    }
+
     fn add(&mut self, a: &Self::Ct, b: &Self::Ct) -> Self::Ct {
         self.inner.add(a, b)
+    }
+
+    fn add_assign(&mut self, a: &mut Self::Ct, b: &Self::Ct) {
+        self.inner.add_assign(a, b)
+    }
+
+    fn sub_assign(&mut self, a: &mut Self::Ct, b: &Self::Ct) {
+        self.inner.sub_assign(a, b)
+    }
+
+    fn add_plain_assign(&mut self, a: &mut Self::Ct, p: &Self::Pt) {
+        self.inner.add_plain_assign(a, p)
+    }
+
+    fn sub_plain_assign(&mut self, a: &mut Self::Ct, p: &Self::Pt) {
+        self.inner.sub_plain_assign(a, p)
+    }
+
+    fn mul_plain_assign(&mut self, a: &mut Self::Ct, p: &Self::Pt) {
+        self.inner.mul_plain_assign(a, p)
+    }
+
+    fn add_scalar_assign(&mut self, a: &mut Self::Ct, x: f64) {
+        self.inner.add_scalar_assign(a, x)
+    }
+
+    fn sub_scalar_assign(&mut self, a: &mut Self::Ct, x: f64) {
+        self.inner.sub_scalar_assign(a, x)
+    }
+
+    fn mul_scalar_assign(&mut self, a: &mut Self::Ct, x: f64, scale: f64) {
+        self.inner.mul_scalar_assign(a, x, scale)
     }
 
     fn add_plain(&mut self, a: &Self::Ct, p: &Self::Pt) -> Self::Ct {

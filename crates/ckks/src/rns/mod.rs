@@ -3,6 +3,7 @@
 pub mod context;
 pub mod evaluator;
 pub mod poly;
+pub mod pool;
 pub mod scheme;
 pub mod wire;
 

@@ -1,8 +1,12 @@
 //! RNS ring elements: polynomials in `Z_Q[X]/(X^N + 1)` stored as one
 //! residue vector per active modulus.
+//!
+//! Limb storage is recycled through the process-wide [`pool`]: `RnsPoly`
+//! acquires its residue vectors from the pool and returns them on drop,
+//! so steady-state evaluation allocates nothing.
 
 use super::context::RnsContext;
-use crate::encoding::apply_automorphism;
+use super::pool;
 use chet_math::modint::{add_mod, mul_mod, neg_mod, sub_mod};
 use chet_math::par;
 
@@ -11,7 +15,7 @@ use chet_math::par;
 ///
 /// `data[i]` holds residues modulo `ctx.modulus(i)` for `i < level`; when
 /// `special` is set, the last entry holds residues modulo the special prime.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RnsPoly {
     /// Number of active chain primes.
     pub level: usize,
@@ -21,6 +25,29 @@ pub struct RnsPoly {
     pub ntt_form: bool,
     /// Residue vectors, one per active modulus.
     pub data: Vec<Vec<u64>>,
+}
+
+impl Clone for RnsPoly {
+    fn clone(&self) -> Self {
+        let data = self
+            .data
+            .iter()
+            .map(|limb| {
+                let mut out = pool::acquire_uninit(limb.len());
+                out.copy_from_slice(limb);
+                out
+            })
+            .collect();
+        RnsPoly { level: self.level, special: self.special, ntt_form: self.ntt_form, data }
+    }
+}
+
+impl Drop for RnsPoly {
+    fn drop(&mut self) {
+        for limb in self.data.drain(..) {
+            pool::release(limb);
+        }
+    }
 }
 
 impl RnsPoly {
@@ -36,7 +63,19 @@ impl RnsPoly {
             level,
             special,
             ntt_form,
-            data: vec![vec![0u64; ctx.degree()]; comps],
+            data: (0..comps).map(|_| pool::acquire_zeroed(ctx.degree())).collect(),
+        }
+    }
+
+    /// An uninitialized polynomial at `level`: every limb is pool-acquired
+    /// with arbitrary contents. Callers must overwrite every residue.
+    pub(crate) fn uninit(ctx: &RnsContext, level: usize, special: bool, ntt_form: bool) -> Self {
+        let comps = level + special as usize;
+        RnsPoly {
+            level,
+            special,
+            ntt_form,
+            data: (0..comps).map(|_| pool::acquire_uninit(ctx.degree())).collect(),
         }
     }
 
@@ -44,7 +83,7 @@ impl RnsPoly {
     /// requested), in coefficient form.
     pub fn from_signed(ctx: &RnsContext, coeffs: &[i64], level: usize, special: bool) -> Self {
         assert_eq!(coeffs.len(), ctx.degree());
-        let mut poly = RnsPoly::zero(ctx, level, special, false);
+        let mut poly = RnsPoly::uninit(ctx, level, special, false);
         let comps = poly.data.len();
         par::par_iter_mut(&mut poly.data, |k, comp| {
             let q = ctx.modulus(mod_index_of(special, comps, ctx, k));
@@ -82,12 +121,33 @@ impl RnsPoly {
         assert_eq!(self.ntt_form, other.ntt_form, "NTT form mismatch");
     }
 
+    /// Compatibility for prefix ops: `other` may sit at a *higher* chain
+    /// level — its first `self.data.len()` components align with ours.
+    fn check_prefix_compatible(&self, other: &RnsPoly) {
+        assert!(other.level >= self.level, "RNS level mismatch");
+        assert!(!self.special && !other.special, "prefix ops are chain-only");
+        assert_eq!(self.ntt_form, other.ntt_form, "NTT form mismatch");
+    }
+
     /// `self += other`.
     pub fn add_assign(&mut self, ctx: &RnsContext, other: &RnsPoly) {
         self.check_compatible(other);
         let (special, comps) = (self.special, self.data.len());
         par::par_iter_mut(&mut self.data, |k, comp| {
             let q = ctx.modulus(mod_index_of(special, comps, ctx, k));
+            for (a, &b) in comp.iter_mut().zip(&other.data[k]) {
+                *a = add_mod(*a, b, q);
+            }
+        });
+    }
+
+    /// `self += other` where `other` may live at a higher level; only the
+    /// aligned chain prefix is read. Lets ciphertext-plaintext ops reuse a
+    /// full-level plaintext without cloning and truncating it first.
+    pub fn add_assign_prefix(&mut self, ctx: &RnsContext, other: &RnsPoly) {
+        self.check_prefix_compatible(other);
+        par::par_iter_mut(&mut self.data, |k, comp| {
+            let q = ctx.modulus(k);
             for (a, &b) in comp.iter_mut().zip(&other.data[k]) {
                 *a = add_mod(*a, b, q);
             }
@@ -106,14 +166,26 @@ impl RnsPoly {
         });
     }
 
+    /// `self -= other` with prefix alignment (see [`Self::add_assign_prefix`]).
+    pub fn sub_assign_prefix(&mut self, ctx: &RnsContext, other: &RnsPoly) {
+        self.check_prefix_compatible(other);
+        par::par_iter_mut(&mut self.data, |k, comp| {
+            let q = ctx.modulus(k);
+            for (a, &b) in comp.iter_mut().zip(&other.data[k]) {
+                *a = sub_mod(*a, b, q);
+            }
+        });
+    }
+
     /// `self = -self`.
     pub fn neg_assign(&mut self, ctx: &RnsContext) {
-        for k in 0..self.data.len() {
-            let q = ctx.modulus(self.mod_index(ctx, k));
-            for a in self.data[k].iter_mut() {
+        let (special, comps) = (self.special, self.data.len());
+        par::par_iter_mut(&mut self.data, |k, comp| {
+            let q = ctx.modulus(mod_index_of(special, comps, ctx, k));
+            for a in comp.iter_mut() {
                 *a = neg_mod(*a, q);
             }
-        }
+        });
     }
 
     /// Pointwise product (both operands must be in NTT form).
@@ -130,6 +202,18 @@ impl RnsPoly {
         let (special, comps) = (self.special, self.data.len());
         par::par_iter_mut(&mut self.data, |k, comp| {
             let q = ctx.modulus(mod_index_of(special, comps, ctx, k));
+            for (a, &b) in comp.iter_mut().zip(&other.data[k]) {
+                *a = mul_mod(*a, b, q);
+            }
+        });
+    }
+
+    /// `self *= other` pointwise with prefix alignment (NTT form).
+    pub fn mul_assign_prefix(&mut self, ctx: &RnsContext, other: &RnsPoly) {
+        self.check_prefix_compatible(other);
+        assert!(self.ntt_form, "ring products require NTT form");
+        par::par_iter_mut(&mut self.data, |k, comp| {
+            let q = ctx.modulus(k);
             for (a, &b) in comp.iter_mut().zip(&other.data[k]) {
                 *a = mul_mod(*a, b, q);
             }
@@ -163,11 +247,39 @@ impl RnsPoly {
     /// Applies the Galois automorphism `X → X^g` (coefficient form only).
     pub fn automorphism(&self, ctx: &RnsContext, g: usize) -> RnsPoly {
         assert!(!self.ntt_form, "apply automorphisms in coefficient form");
-        let mut out = self.clone();
+        let mut out = RnsPoly::uninit(ctx, self.level, self.special, false);
         let (special, comps) = (self.special, self.data.len());
+        let n = ctx.degree();
+        let m = 2 * n;
         par::par_iter_mut(&mut out.data, |k, comp| {
             let q = ctx.modulus(mod_index_of(special, comps, ctx, k));
-            *comp = apply_automorphism(&self.data[k], g, |&c| neg_mod(c, q));
+            // k·g mod 2n is a bijection on [0, 2n) for odd g, so every
+            // output index is written exactly once.
+            for (i, &c) in self.data[k].iter().enumerate() {
+                let idx = i * g % m;
+                if idx < n {
+                    comp[idx] = c;
+                } else {
+                    comp[idx - n] = neg_mod(c, q);
+                }
+            }
+        });
+        out
+    }
+
+    /// Applies a Galois automorphism directly in evaluation form via a
+    /// precomputed slot permutation (see [`RnsContext::auto_perm`]):
+    /// `out[i] = self[perm[i]]` on every component. Exact — NTT evaluation
+    /// slots carry no signs, the automorphism just permutes them.
+    pub fn permute_ntt(&self, ctx: &RnsContext, perm: &[u32]) -> RnsPoly {
+        assert!(self.ntt_form, "slot permutation requires NTT form");
+        assert_eq!(perm.len(), ctx.degree());
+        let mut out = RnsPoly::uninit(ctx, self.level, self.special, true);
+        par::par_iter_mut(&mut out.data, |k, comp| {
+            let src = &self.data[k];
+            for (o, &p) in comp.iter_mut().zip(perm) {
+                *o = src[p as usize];
+            }
         });
         out
     }
@@ -177,8 +289,18 @@ impl RnsPoly {
     pub fn drop_to_level(&mut self, new_level: usize) {
         assert!(!self.special, "cannot drop levels while special prime is attached");
         assert!(new_level >= 1 && new_level <= self.level, "invalid target level");
-        self.data.truncate(new_level);
+        while self.data.len() > new_level {
+            if let Some(limb) = self.data.pop() {
+                pool::release(limb);
+            }
+        }
         self.level = new_level;
+    }
+
+    /// Detaches the last component and returns it (caller owns the buffer
+    /// and is responsible for returning it to the pool).
+    pub(crate) fn pop_component(&mut self) -> Option<Vec<u64>> {
+        self.data.pop()
     }
 }
 
@@ -247,6 +369,55 @@ mod tests {
     }
 
     #[test]
+    fn prefix_ops_match_truncated_ops() {
+        let c = ctx();
+        let a_coeffs: Vec<i64> = (0..1024).map(|i| i as i64 % 90 - 40).collect();
+        let b_coeffs: Vec<i64> = (0..1024).map(|i| i as i64 % 70 - 30).collect();
+        let a = RnsPoly::from_signed(&c, &a_coeffs, 2, false);
+        let full = RnsPoly::from_signed(&c, &b_coeffs, 3, false); // higher level
+        let mut truncated = full.clone();
+        truncated.drop_to_level(2);
+
+        let mut via_prefix = a.clone();
+        via_prefix.add_assign_prefix(&c, &full);
+        let mut via_trunc = a.clone();
+        via_trunc.add_assign(&c, &truncated);
+        assert_eq!(via_prefix.data, via_trunc.data);
+
+        let mut via_prefix = a.clone();
+        via_prefix.sub_assign_prefix(&c, &full);
+        let mut via_trunc = a.clone();
+        via_trunc.sub_assign(&c, &truncated);
+        assert_eq!(via_prefix.data, via_trunc.data);
+
+        let mut an = a.clone();
+        an.ntt_forward(&c);
+        let mut fln = full.clone();
+        fln.ntt_forward(&c);
+        let mut trn = truncated.clone();
+        trn.ntt_forward(&c);
+        let mut via_prefix = an.clone();
+        via_prefix.mul_assign_prefix(&c, &fln);
+        let mut via_trunc = an.clone();
+        via_trunc.mul_assign(&c, &trn);
+        assert_eq!(via_prefix.data, via_trunc.data);
+    }
+
+    #[test]
+    fn neg_assign_is_additive_inverse() {
+        let c = ctx();
+        let coeffs: Vec<i64> = (0..1024).map(|i| i as i64 % 200 - 100).collect();
+        let a = RnsPoly::from_signed(&c, &coeffs, 3, true);
+        let mut n = a.clone();
+        n.neg_assign(&c);
+        let mut s = a.clone();
+        s.add_assign(&c, &n);
+        for comp in &s.data {
+            assert!(comp.iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
     fn ntt_mul_matches_schoolbook_on_small_poly() {
         let c = ctx();
         // a = 3 + 2X, b = 1 − X  ⇒ ab = 3 − X − 2X²
@@ -286,6 +457,25 @@ mod tests {
         let out = h.automorphism(&c, 5);
         // 1023*5 = 5115; 5115 mod 2048 = 1019 < 1024, even number of wraps -> positive
         assert_eq!(out.data[0][1019], 1);
+    }
+
+    #[test]
+    fn ntt_domain_automorphism_matches_coefficient_domain() {
+        // The tentpole identity: NTT(σ_g(x)) == permute(NTT(x)) for the
+        // context's precomputed permutation tables.
+        let c = ctx();
+        let coeffs: Vec<i64> = (0..1024).map(|i| (i as i64 * 37) % 1000 - 500).collect();
+        let x = RnsPoly::from_signed(&c, &coeffs, 3, true);
+        for g in [5usize, 25, 2047, 1229] {
+            let mut via_coeff = x.automorphism(&c, g);
+            via_coeff.ntt_forward(&c);
+            let mut xn = x.clone();
+            xn.ntt_forward(&c);
+            let via_perm = xn.permute_ntt(&c, &c.auto_perm(g));
+            assert_eq!(via_coeff.data, via_perm.data, "g={g}");
+            assert_eq!(via_coeff.level, via_perm.level);
+            assert!(via_perm.ntt_form);
+        }
     }
 
     #[test]

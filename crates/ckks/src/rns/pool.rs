@@ -1,0 +1,136 @@
+//! A process-wide free-list of RNS limb buffers.
+//!
+//! Steady-state encrypted inference on the RNS backend allocates and frees
+//! the same `Vec<u64>` residue vectors (one per modulus, all of length
+//! `N`) millions of times. This pool recycles them: [`RnsPoly`] limbs are
+//! acquired here and returned on drop, so after a warm-up inference the
+//! evaluator performs **zero** limb allocations — asserted by the
+//! hot-path test suite via the hit/miss counters.
+//!
+//! Ownership rules (see DESIGN.md §16):
+//! * Buffers are keyed by *length*. Every limb of a given context has
+//!   length `N`, so in practice one size class per ring degree is live.
+//! * A buffer acquired from the pool is exclusively owned by its
+//!   `RnsPoly` (or local scratch user) until released; the pool never
+//!   hands the same buffer out twice.
+//! * Each size class is capped ([`MAX_PER_CLASS`]); beyond that, released
+//!   buffers are genuinely freed. The cap bounds worst-case residency at a
+//!   few hundred MB for production degrees while still covering the peak
+//!   working set of an inference.
+//!
+//! [`RnsPoly`]: super::poly::RnsPoly
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{LazyLock, Mutex};
+
+/// Maximum number of retained buffers per size class.
+const MAX_PER_CLASS: usize = 4096;
+
+struct LimbPool {
+    classes: Mutex<HashMap<usize, Vec<Vec<u64>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+static POOL: LazyLock<LimbPool> = LazyLock::new(|| LimbPool {
+    classes: Mutex::new(HashMap::new()),
+    hits: AtomicU64::new(0),
+    misses: AtomicU64::new(0),
+});
+
+fn lock_classes() -> std::sync::MutexGuard<'static, HashMap<usize, Vec<Vec<u64>>>> {
+    // Poisoning cannot leave the free-list inconsistent (push/pop are
+    // atomic with respect to the guard), so recover instead of unwrapping.
+    POOL.classes.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Acquires a buffer of length `len` with unspecified (but valid) contents.
+/// Use when every element is about to be overwritten.
+pub fn acquire_uninit(len: usize) -> Vec<u64> {
+    let recycled = lock_classes().get_mut(&len).and_then(Vec::pop);
+    match recycled {
+        Some(buf) => {
+            POOL.hits.fetch_add(1, Ordering::Relaxed);
+            debug_assert_eq!(buf.len(), len);
+            buf
+        }
+        None => {
+            POOL.misses.fetch_add(1, Ordering::Relaxed);
+            vec![0u64; len]
+        }
+    }
+}
+
+/// Acquires a zero-filled buffer of length `len`.
+pub fn acquire_zeroed(len: usize) -> Vec<u64> {
+    let mut buf = acquire_uninit(len);
+    buf.iter_mut().for_each(|x| *x = 0);
+    buf
+}
+
+/// Returns a buffer to the pool (or frees it if its class is full).
+pub fn release(buf: Vec<u64>) {
+    if buf.is_empty() {
+        return;
+    }
+    let len = buf.len();
+    let mut classes = lock_classes();
+    let class = classes.entry(len).or_default();
+    if class.len() < MAX_PER_CLASS {
+        class.push(buf);
+    }
+    // else: drop normally — the class is saturated.
+}
+
+/// `(hits, misses)` since process start or the last [`reset_stats`].
+pub fn stats() -> (u64, u64) {
+    (POOL.hits.load(Ordering::Relaxed), POOL.misses.load(Ordering::Relaxed))
+}
+
+/// Zeroes the hit/miss counters (the free-lists themselves are kept).
+pub fn reset_stats() {
+    POOL.hits.store(0, Ordering::Relaxed);
+    POOL.misses.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_buffers_by_length() {
+        // Use an odd length no other test shares, so concurrent test
+        // threads cannot steal our buffer between release and acquire.
+        let len = 12_347;
+        let a = acquire_zeroed(len);
+        release(a);
+        let (h0, _) = stats();
+        let b = acquire_uninit(len);
+        assert_eq!(b.len(), len);
+        let (h1, _) = stats();
+        assert!(h1 > h0, "second acquire should hit the free-list");
+        release(b);
+    }
+
+    #[test]
+    fn zeroed_acquire_is_zero_even_after_reuse() {
+        let len = 12_349;
+        let mut a = acquire_zeroed(len);
+        a.iter_mut().for_each(|x| *x = 0xDEAD);
+        release(a);
+        let b = acquire_zeroed(len);
+        assert!(b.iter().all(|&x| x == 0));
+        release(b);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_pooled() {
+        release(Vec::new());
+        let (_, m0) = stats();
+        let v = acquire_uninit(0);
+        assert!(v.is_empty());
+        let (_, m1) = stats();
+        assert!(m1 > m0, "zero-length acquire should not hit");
+    }
+}

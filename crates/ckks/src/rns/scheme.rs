@@ -10,6 +10,7 @@
 
 use super::context::RnsContext;
 use super::poly::{centered_switch, RnsPoly};
+use super::pool;
 use chet_hisa::keys::{normalize_rotation, plan_rotation, RotationKeyPolicy};
 use chet_hisa::params::EncryptionParams;
 use chet_hisa::{Hisa, HisaError};
@@ -17,7 +18,7 @@ use chet_math::crt::CrtBasis;
 use chet_math::modint::{mul_mod, sub_mod};
 use chet_math::par;
 use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -67,6 +68,22 @@ pub struct RnsPlaintext {
 #[derive(Debug, Clone)]
 struct KsKey {
     rows: Vec<(RnsPoly, RnsPoly)>,
+}
+
+/// The hoistable half of a key switch: the gadget digits of a polynomial,
+/// base-converted to the full (chain-prefix + special) basis and
+/// NTT-transformed.
+///
+/// Computing these digits — `level × (level+1)` base conversions and NTTs —
+/// is the dominant cost of a key switch and depends only on the switched
+/// polynomial, never on the key. [`RnsCkks::rot_left_many`] therefore
+/// computes them once per source ciphertext and reuses them for every
+/// requested rotation (nGraph-HE2's hoisting).
+struct KsDigits {
+    level: usize,
+    /// `digits[i]`: digit `i` (the residues modulo chain prime `i`) over
+    /// the full basis, NTT form.
+    digits: Vec<RnsPoly>,
 }
 
 /// The RNS-CKKS scheme instance: parameters, secret/public/evaluation keys
@@ -126,7 +143,9 @@ impl RnsCkks {
             let e = Self::sample_error_ntt(&ctx, &mut rng, stddev, r, false);
             let mut sk_chain = sk.clone();
             sk_chain.special = false;
-            sk_chain.data.truncate(r);
+            if let Some(limb) = sk_chain.pop_component() {
+                pool::release(limb);
+            }
             let mut b = a.mul(&ctx, &sk_chain);
             b.add_assign(&ctx, &e);
             b.neg_assign(&ctx);
@@ -147,18 +166,16 @@ impl RnsCkks {
         };
 
         // Relinearization key: switch from s² to s.
-        let s_sq = scheme.sk.mul(&scheme.ctx.clone(), &scheme.sk);
+        let s_sq = scheme.sk.mul(&scheme.ctx, &scheme.sk);
         scheme.relin = Arc::new(scheme.gen_ks_key(&s_sq));
 
         // Rotation keys for the policy's steps.
         let steps = policy.steps(scheme.ctx.slots());
         for &step in &steps {
             let g = scheme.ctx.encoder().galois_element(step);
-            let mut s_rot =
-                RnsPoly::from_signed(&scheme.ctx.clone(), &scheme.sk_coeffs, r, true);
-            let s_rot_coeff = s_rot.automorphism(&scheme.ctx.clone(), g);
-            s_rot = s_rot_coeff;
-            s_rot.ntt_forward(&scheme.ctx.clone());
+            let mut s_rot = RnsPoly::from_signed(&scheme.ctx, &scheme.sk_coeffs, r, true)
+                .automorphism(&scheme.ctx, g);
+            s_rot.ntt_forward(&scheme.ctx);
             let key = scheme.gen_ks_key(&s_rot);
             scheme.galois.insert(step, Arc::new(key));
         }
@@ -206,11 +223,16 @@ impl RnsCkks {
         level: usize,
         special: bool,
     ) -> RnsPoly {
-        let mut p = RnsPoly::zero(ctx, level, special, true);
+        // Fill pooled limbs in place (same draw order as
+        // `sampling::uniform_mod`: component-major, coefficient-minor).
+        let mut p = RnsPoly::uninit(ctx, level, special, true);
         let comps = p.data.len();
         for k in 0..comps {
             let idx = if special && k == comps - 1 { ctx.special_index() } else { k };
-            p.data[k] = crate::sampling::uniform_mod(rng, ctx.degree(), ctx.modulus(idx));
+            let q = ctx.modulus(idx);
+            for c in p.data[k].iter_mut() {
+                *c = rng.gen_range(0..q);
+            }
         }
         p
     }
@@ -231,15 +253,16 @@ impl RnsCkks {
     /// Generates a key-switching key from secret `s_from` (full-basis NTT)
     /// to the scheme secret `s`.
     fn gen_ks_key(&mut self, s_from: &RnsPoly) -> KsKey {
-        let ctx = self.ctx.clone();
+        // Disjoint field borrows: the context is read while the RNG mutates.
+        let RnsCkks { ctx, rng, sk, error_stddev, .. } = self;
         let r = ctx.max_level();
         let mut rows = Vec::with_capacity(r);
         for i in 0..r {
-            let a = Self::sample_uniform_ntt(&ctx, &mut self.rng, r, true);
-            let e = Self::sample_error_ntt(&ctx, &mut self.rng, self.error_stddev, r, true);
-            let mut b = a.mul(&ctx, &self.sk);
-            b.add_assign(&ctx, &e);
-            b.neg_assign(&ctx);
+            let a = Self::sample_uniform_ntt(ctx, rng, r, true);
+            let e = Self::sample_error_ntt(ctx, rng, *error_stddev, r, true);
+            let mut b = a.mul(ctx, sk);
+            b.add_assign(ctx, &e);
+            b.neg_assign(ctx);
             // Gadget: add (p mod q_i)·s_from on component i only.
             let q_i = ctx.modulus(i);
             let p_mod = ctx.special() % q_i;
@@ -251,71 +274,125 @@ impl RnsCkks {
         KsKey { rows }
     }
 
-    /// Key-switches a coefficient-form polynomial `t` (valid under some
-    /// secret `s_from`) into a pair `(acc0, acc1)` valid under `s`, at `t`'s
-    /// level, NTT form.
+    /// Computes the hoistable half of a key switch: the gadget digits of a
+    /// coefficient-form, chain-only polynomial `t`, base-converted to the
+    /// full (chain-prefix + special) basis and NTT-transformed.
     ///
-    /// The loop nest is component-outer: each output limb `k` accumulates
-    /// over every decomposition digit independently, so the limbs fan out
-    /// across the [`par`] pool with a fixed (index-ordered) write target —
-    /// results are bit-identical at any thread count.
-    fn switch_key(&self, t: &RnsPoly, key: &KsKey) -> (RnsPoly, RnsPoly) {
-        let ctx = &self.ctx;
+    /// The `(digit, component)` work items are flattened into one parallel
+    /// region ([`par`] regions do not nest), each with a fixed index-ordered
+    /// write target — results are bit-identical at any thread count.
+    fn decompose(ctx: &RnsContext, t: &RnsPoly) -> KsDigits {
         assert!(!t.ntt_form && !t.special);
         let level = t.level;
-        let n = ctx.degree();
-        let mut acc0 = RnsPoly::zero(ctx, level, true, true);
-        let mut acc1 = RnsPoly::zero(ctx, level, true, true);
         let comps = level + 1; // chain prefix + special
+        let mut digits: Vec<RnsPoly> =
+            (0..level).map(|_| RnsPoly::uninit(ctx, level, true, true)).collect();
+        let mut jobs: Vec<(usize, usize, &mut Vec<u64>)> = Vec::with_capacity(level * comps);
+        for (i, digit) in digits.iter_mut().enumerate() {
+            for (k, limb) in digit.data.iter_mut().enumerate() {
+                jobs.push((i, k, limb));
+            }
+        }
+        par::par_iter_mut(&mut jobs, |_, (i, k, limb)| {
+            let mod_idx = if *k == comps - 1 { ctx.special_index() } else { *k };
+            let q = ctx.modulus(mod_idx);
+            // Base-convert the unsigned decomposition digit, then NTT.
+            for (dst, &v) in limb.iter_mut().zip(&t.data[*i]) {
+                *dst = if v >= q { v % q } else { v };
+            }
+            ctx.ntt(mod_idx).forward(limb);
+        });
+        KsDigits { level, digits }
+    }
+
+    /// Inner products of precomputed digits with a key's rows, one output
+    /// limb per full-basis modulus (NTT form). `perm`, when given, applies a
+    /// Galois slot permutation to the digits on the fly — the hoisted
+    /// rotation path — at zero extra passes over the data.
+    ///
+    /// Products of canonical residues (< 2^62) are accumulated in `u128`
+    /// and reduced every 8 digits instead of per term: 8·(2^62−1)² plus a
+    /// carried partial stays below 2^128.
+    fn accumulate(
+        ctx: &RnsContext,
+        digits: &KsDigits,
+        key: &KsKey,
+        perm: Option<&[u32]>,
+    ) -> (RnsPoly, RnsPoly) {
+        let level = digits.level;
+        let n = ctx.degree();
+        let comps = level + 1;
+        let mut acc0 = RnsPoly::uninit(ctx, level, true, true);
+        let mut acc1 = RnsPoly::uninit(ctx, level, true, true);
         par::par_zip_mut(&mut acc0.data, &mut acc1.data, |k, acc0_k, acc1_k| {
             let mod_idx = if k == comps - 1 { ctx.special_index() } else { k };
-            let q = ctx.modulus(mod_idx);
+            let q = ctx.modulus(mod_idx) as u128;
             // Key rows live at the full basis: chain j ↔ data[j],
             // special ↔ data[r].
             let key_k = if k == comps - 1 { ctx.max_level() } else { k };
-            for i in 0..level {
-                let d = &t.data[i];
-                let (row_b, row_a) = &key.rows[i];
-                // Base-convert the unsigned decomposition digit, then NTT.
-                let mut tmp: Vec<u64> =
-                    d.iter().map(|&v| if v >= q { v % q } else { v }).collect();
-                ctx.ntt(mod_idx).forward(&mut tmp);
-                let b_comp = &row_b.data[key_k];
-                let a_comp = &row_a.data[key_k];
-                for idx in 0..n {
-                    acc0_k[idx] =
-                        (acc0_k[idx] + mul_mod(tmp[idx], b_comp[idx], q)) % q;
-                    acc1_k[idx] =
-                        (acc1_k[idx] + mul_mod(tmp[idx], a_comp[idx], q)) % q;
+            let dlimbs: Vec<&[u64]> =
+                (0..level).map(|i| digits.digits[i].data[k].as_slice()).collect();
+            let rows: Vec<(&[u64], &[u64])> = (0..level)
+                .map(|i| {
+                    (key.rows[i].0.data[key_k].as_slice(), key.rows[i].1.data[key_k].as_slice())
+                })
+                .collect();
+            for idx in 0..n {
+                let src = perm.map_or(idx, |p| p[idx] as usize);
+                let mut s0: u128 = 0;
+                let mut s1: u128 = 0;
+                for (i, (dl, row)) in dlimbs.iter().zip(&rows).enumerate() {
+                    let d = dl[src] as u128;
+                    s0 += d * row.0[idx] as u128;
+                    s1 += d * row.1[idx] as u128;
+                    if i % 8 == 7 {
+                        s0 %= q;
+                        s1 %= q;
+                    }
                 }
+                acc0_k[idx] = (s0 % q) as u64;
+                acc1_k[idx] = (s1 % q) as u64;
             }
         });
-        (self.mod_down_special(acc0), self.mod_down_special(acc1))
+        (acc0, acc1)
+    }
+
+    /// Key-switches a coefficient-form polynomial `t` (valid under some
+    /// secret `s_from`) into a pair `(acc0, acc1)` valid under `s`, at `t`'s
+    /// level, NTT form.
+    fn switch_key(&self, t: &RnsPoly, key: &KsKey) -> (RnsPoly, RnsPoly) {
+        let ctx = &self.ctx;
+        let digits = Self::decompose(ctx, t);
+        let (acc0, acc1) = Self::accumulate(ctx, &digits, key, None);
+        (Self::mod_down_special(ctx, acc0), Self::mod_down_special(ctx, acc1))
     }
 
     /// Divides a (chain + special)-basis polynomial by the special prime
     /// with rounding, returning a chain-only polynomial (NTT form).
-    fn mod_down_special(&self, mut poly: RnsPoly) -> RnsPoly {
-        let ctx = &self.ctx;
+    fn mod_down_special(ctx: &RnsContext, mut poly: RnsPoly) -> RnsPoly {
         assert!(poly.special && poly.ntt_form);
         let level = poly.level;
         let p = ctx.special();
         // Bring the special component to coefficient form.
-        let mut sp = poly.data.pop().expect("special component present");
+        let mut sp = poly.pop_component().expect("special component present");
         ctx.ntt(ctx.special_index()).inverse(&mut sp);
         poly.special = false;
         debug_assert_eq!(poly.data.len(), level);
         let sp_ref = &sp;
         par::par_iter_mut(&mut poly.data, |j, comp| {
             let q = ctx.modulus(j);
-            let mut t: Vec<u64> =
-                sp_ref.iter().map(|&v| centered_switch(v, p, q)).collect();
+            let mut t = pool::acquire_uninit(sp_ref.len());
+            for (dst, &v) in t.iter_mut().zip(sp_ref.iter()) {
+                *dst = centered_switch(v, p, q);
+            }
             ctx.ntt(j).forward(&mut t);
             let inv_p = ctx.inv_mod_of(ctx.special_index(), j);
-            for (a, &b) in comp.iter_mut().zip(&t) {
+            for (a, &b) in comp.iter_mut().zip(t.iter()) {
                 *a = mul_mod(sub_mod(*a, b, q), inv_p, q);
             }
+            pool::release(t);
         });
+        pool::release(sp);
         poly
     }
 
@@ -346,53 +423,69 @@ impl RnsCkks {
         let l = level - 1;
         let q_l = ctx.modulus(l);
         for c in [&mut ct.c0, &mut ct.c1] {
-            let mut last = c.data.pop().expect("component");
+            let mut last = c.pop_component().expect("component");
             ctx.ntt(l).inverse(&mut last);
             c.level = l;
             let last_ref = &last;
             par::par_iter_mut(&mut c.data, |j, comp| {
                 let q = ctx.modulus(j);
-                let mut t: Vec<u64> =
-                    last_ref.iter().map(|&v| centered_switch(v, q_l, q)).collect();
+                let mut t = pool::acquire_uninit(last_ref.len());
+                for (dst, &v) in t.iter_mut().zip(last_ref.iter()) {
+                    *dst = centered_switch(v, q_l, q);
+                }
                 ctx.ntt(j).forward(&mut t);
                 let inv = ctx.inv_mod_of(l, j);
-                for (a, &b) in comp.iter_mut().zip(&t) {
+                for (a, &b) in comp.iter_mut().zip(t.iter()) {
                     *a = mul_mod(sub_mod(*a, b, q), inv, q);
                 }
+                pool::release(t);
             });
+            pool::release(last);
         }
         ct.scale /= q_l as f64;
     }
 
-    fn crt_basis(&mut self, level: usize) -> &CrtBasis {
-        let ctx = self.ctx.clone();
-        self.crt_cache.entry(level).or_insert_with(|| {
-            CrtBasis::new((0..level).map(|i| ctx.modulus(i)).collect())
-        })
+    /// Gadget-decomposes `ct.c1` — the hoistable (key-independent) half of
+    /// a rotation's key switch.
+    fn decompose_c1(&self, ct: &RnsCiphertext) -> KsDigits {
+        let mut c1 = ct.c1.clone();
+        c1.ntt_inverse(&self.ctx);
+        Self::decompose(&self.ctx, &c1)
+    }
+
+    /// Finishes one rotation from precomputed digits of `ct.c1`: the Galois
+    /// automorphism is a slot permutation in evaluation form, folded into
+    /// the key-switch inner product ([`Self::accumulate`]) and applied to
+    /// `c0` via [`RnsPoly::permute_ntt`] — no NTT round-trips per rotation.
+    fn rotate_hoisted(
+        &self,
+        ct: &RnsCiphertext,
+        digits: &KsDigits,
+        step: usize,
+    ) -> Result<RnsCiphertext, HisaError> {
+        let ctx = &self.ctx;
+        let g = ctx.encoder().galois_element(step);
+        let key = self.galois.get(&step).ok_or_else(|| HisaError::MissingRotationKey {
+            step,
+            available: self.key_steps.iter().copied().collect(),
+        })?;
+        let perm = ctx.auto_perm(g);
+        let (acc0, acc1) = Self::accumulate(ctx, digits, key, Some(&perm));
+        let ks0 = Self::mod_down_special(ctx, acc0);
+        let ks1 = Self::mod_down_special(ctx, acc1);
+        let mut out0 = ct.c0.permute_ntt(ctx, &perm);
+        out0.add_assign(ctx, &ks0);
+        Ok(RnsCiphertext { c0: out0, c1: ks1, scale: ct.scale })
     }
 
     /// Applies one elementary rotation (a step with a dedicated key).
-    fn rotate_step(&mut self, ct: &RnsCiphertext, step: usize) -> Result<RnsCiphertext, HisaError> {
-        let ctx = self.ctx.clone();
-        let g = ctx.encoder().galois_element(step);
-        // Arc clone only: the rows stay shared with the key table.
-        let key = Arc::clone(self.galois.get(&step).ok_or_else(|| {
-            HisaError::MissingRotationKey {
-                step,
-                available: self.key_steps.iter().copied().collect(),
-            }
-        })?);
-        let mut c0 = ct.c0.clone();
-        let mut c1 = ct.c1.clone();
-        c0.ntt_inverse(&ctx);
-        c1.ntt_inverse(&ctx);
-        let mut c0g = c0.automorphism(&ctx, g);
-        let c1g = c1.automorphism(&ctx, g);
-        c0g.ntt_forward(&ctx);
-        let (ks0, ks1) = self.switch_key(&c1g, &key);
-        let mut out0 = c0g;
-        out0.add_assign(&ctx, &ks0);
-        Ok(RnsCiphertext { c0: out0, c1: ks1, scale: ct.scale })
+    ///
+    /// Decompose-first: the single-rotation path is the hoisted path with a
+    /// one-element batch, so singles and [`Hisa::rot_left_many`] are
+    /// bit-identical by construction.
+    fn rotate_step(&self, ct: &RnsCiphertext, step: usize) -> Result<RnsCiphertext, HisaError> {
+        let digits = self.decompose_c1(ct);
+        self.rotate_hoisted(ct, &digits, step)
     }
 }
 
@@ -427,31 +520,35 @@ impl Hisa for RnsCkks {
     }
 
     fn encrypt(&mut self, p: &RnsPlaintext) -> RnsCiphertext {
-        let ctx = self.ctx.clone();
+        // Disjoint field borrows: keys/context are read, only the RNG
+        // mutates.
+        let RnsCkks { ctx, rng, pk, error_stddev, .. } = self;
         let r = ctx.max_level();
-        let u_coeffs = crate::sampling::ternary(&mut self.rng, ctx.degree());
-        let mut u = RnsPoly::from_signed(&ctx, &u_coeffs, r, false);
-        u.ntt_forward(&ctx);
-        let e0 = Self::sample_error_ntt(&ctx, &mut self.rng, self.error_stddev, r, false);
-        let e1 = Self::sample_error_ntt(&ctx, &mut self.rng, self.error_stddev, r, false);
-        let mut c0 = self.pk.0.mul(&ctx, &u);
-        c0.add_assign(&ctx, &e0);
-        c0.add_assign(&ctx, &p.poly);
-        let mut c1 = self.pk.1.mul(&ctx, &u);
-        c1.add_assign(&ctx, &e1);
+        let u_coeffs = crate::sampling::ternary(rng, ctx.degree());
+        let mut u = RnsPoly::from_signed(ctx, &u_coeffs, r, false);
+        u.ntt_forward(ctx);
+        let e0 = Self::sample_error_ntt(ctx, rng, *error_stddev, r, false);
+        let e1 = Self::sample_error_ntt(ctx, rng, *error_stddev, r, false);
+        let mut c0 = pk.0.mul(ctx, &u);
+        c0.add_assign(ctx, &e0);
+        c0.add_assign(ctx, &p.poly);
+        let mut c1 = pk.1.mul(ctx, &u);
+        c1.add_assign(ctx, &e1);
         RnsCiphertext { c0, c1, scale: p.scale }
     }
 
     fn decrypt(&mut self, c: &RnsCiphertext) -> RnsPlaintext {
-        let ctx = self.ctx.clone();
+        let RnsCkks { ctx, sk, crt_cache, .. } = self;
         let level = c.level();
-        let mut sk_l = self.sk.clone();
+        let mut sk_l = sk.clone();
         sk_l.special = false;
-        sk_l.data.truncate(ctx.max_level());
+        if let Some(limb) = sk_l.pop_component() {
+            pool::release(limb);
+        }
         sk_l.drop_to_level(level);
-        let mut m = c.c1.mul(&ctx, &sk_l);
-        m.add_assign(&ctx, &c.c0);
-        m.ntt_inverse(&ctx);
+        let mut m = c.c1.mul(ctx, &sk_l);
+        m.add_assign(ctx, &c.c0);
+        m.ntt_inverse(ctx);
         // CRT-reconstruct centered coefficients to floats.
         let n = ctx.degree();
         let coeffs: Vec<f64> = if level == 1 {
@@ -461,7 +558,9 @@ impl Hisa for RnsCkks {
                 .map(|&v| if v > q0 / 2 { -((q0 - v) as f64) } else { v as f64 })
                 .collect()
         } else {
-            let basis = self.crt_basis(level).clone();
+            let basis = crt_cache.entry(level).or_insert_with(|| {
+                CrtBasis::new((0..level).map(|i| ctx.modulus(i)).collect())
+            });
             (0..n)
                 .map(|k| {
                     let residues: Vec<u64> = (0..level).map(|i| m.data[i][k]).collect();
@@ -519,6 +618,76 @@ impl Hisa for RnsCkks {
         self.try_rot_left(c, step)
     }
 
+    fn rot_left_many(&mut self, c: &RnsCiphertext, steps: &[usize]) -> Vec<RnsCiphertext> {
+        self.try_rot_left_many(c, steps).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn rot_right_many(&mut self, c: &RnsCiphertext, steps: &[usize]) -> Vec<RnsCiphertext> {
+        self.try_rot_right_many(c, steps).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Hoisted multi-rotation: the gadget decomposition of `c1` — the
+    /// dominant cost of a rotation's key switch — is computed once and
+    /// shared by the first hop of every requested step. Remaining hops of
+    /// composite plans fall back to single [`Self::rotate_step`]s, which
+    /// use the same decompose-first path, so every output is bit-identical
+    /// to the corresponding single-rotation call.
+    fn try_rot_left_many(
+        &mut self,
+        c: &RnsCiphertext,
+        steps: &[usize],
+    ) -> Result<Vec<RnsCiphertext>, HisaError> {
+        let slots = self.slots();
+        // Plan every step up front so a missing key fails the whole batch
+        // before any work is done.
+        let mut plans = Vec::with_capacity(steps.len());
+        let mut any = false;
+        for &x in steps {
+            let step = normalize_rotation(x as i64, slots);
+            if step == 0 {
+                plans.push(None);
+            } else {
+                let plan = plan_rotation(step, &self.key_steps, slots).ok_or_else(|| {
+                    HisaError::MissingRotationKey {
+                        step,
+                        available: self.key_steps.iter().copied().collect(),
+                    }
+                })?;
+                any = true;
+                plans.push(Some(plan));
+            }
+        }
+        if !any {
+            return Ok(plans.iter().map(|_| c.clone()).collect());
+        }
+        let digits = self.decompose_c1(c);
+        let mut out = Vec::with_capacity(steps.len());
+        for plan in &plans {
+            match plan {
+                None => out.push(c.clone()),
+                Some(hops) => {
+                    let mut cur = self.rotate_hoisted(c, &digits, hops[0])?;
+                    for &s in &hops[1..] {
+                        cur = self.rotate_step(&cur, s)?;
+                    }
+                    out.push(cur);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn try_rot_right_many(
+        &mut self,
+        c: &RnsCiphertext,
+        steps: &[usize],
+    ) -> Result<Vec<RnsCiphertext>, HisaError> {
+        let slots = self.slots();
+        let lefts: Vec<usize> =
+            steps.iter().map(|&x| normalize_rotation(-(x as i64), slots)).collect();
+        self.try_rot_left_many(c, &lefts)
+    }
+
     fn add(&mut self, a: &RnsCiphertext, b: &RnsCiphertext) -> RnsCiphertext {
         self.try_add(a, b).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -537,6 +706,19 @@ impl Hisa for RnsCkks {
         Ok(x)
     }
 
+    fn add_assign(&mut self, a: &mut RnsCiphertext, b: &RnsCiphertext) {
+        Self::check_scales(a.scale, b.scale).unwrap_or_else(|e| panic!("{e}"));
+        let level = a.level().min(b.level());
+        if a.level() > level {
+            a.c0.drop_to_level(level);
+            a.c1.drop_to_level(level);
+        }
+        // `b` may sit at a higher level; the prefix ops read its aligned
+        // chain prefix in place — no clone, no truncation.
+        a.c0.add_assign_prefix(&self.ctx, &b.c0);
+        a.c1.add_assign_prefix(&self.ctx, &b.c1);
+    }
+
     fn add_plain(&mut self, a: &RnsCiphertext, p: &RnsPlaintext) -> RnsCiphertext {
         self.try_add_plain(a, p).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -547,18 +729,29 @@ impl Hisa for RnsCkks {
         p: &RnsPlaintext,
     ) -> Result<RnsCiphertext, HisaError> {
         Self::check_scales(a.scale, p.scale)?;
-        let mut pt = p.poly.clone();
-        pt.drop_to_level(a.level());
         let mut out = a.clone();
-        out.c0.add_assign(&self.ctx, &pt);
+        out.c0.add_assign_prefix(&self.ctx, &p.poly);
         Ok(out)
     }
 
+    fn add_plain_assign(&mut self, a: &mut RnsCiphertext, p: &RnsPlaintext) {
+        Self::check_scales(a.scale, p.scale).unwrap_or_else(|e| panic!("{e}"));
+        a.c0.add_assign_prefix(&self.ctx, &p.poly);
+    }
+
     fn add_scalar(&mut self, a: &RnsCiphertext, x: f64) -> RnsCiphertext {
-        let k = (x * a.scale).round() as i128;
         let mut out = a.clone();
-        out.c0.add_scalar_all_slots_assign(&self.ctx, k);
+        self.add_scalar_assign(&mut out, x);
         out
+    }
+
+    fn add_scalar_assign(&mut self, a: &mut RnsCiphertext, x: f64) {
+        let k = (x * a.scale).round() as i128;
+        a.c0.add_scalar_all_slots_assign(&self.ctx, k);
+    }
+
+    fn sub_scalar_assign(&mut self, a: &mut RnsCiphertext, x: f64) {
+        self.add_scalar_assign(a, -x);
     }
 
     fn sub(&mut self, a: &RnsCiphertext, b: &RnsCiphertext) -> RnsCiphertext {
@@ -579,6 +772,17 @@ impl Hisa for RnsCkks {
         Ok(x)
     }
 
+    fn sub_assign(&mut self, a: &mut RnsCiphertext, b: &RnsCiphertext) {
+        Self::check_scales(a.scale, b.scale).unwrap_or_else(|e| panic!("{e}"));
+        let level = a.level().min(b.level());
+        if a.level() > level {
+            a.c0.drop_to_level(level);
+            a.c1.drop_to_level(level);
+        }
+        a.c0.sub_assign_prefix(&self.ctx, &b.c0);
+        a.c1.sub_assign_prefix(&self.ctx, &b.c1);
+    }
+
     fn sub_plain(&mut self, a: &RnsCiphertext, p: &RnsPlaintext) -> RnsCiphertext {
         self.try_sub_plain(a, p).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -589,11 +793,14 @@ impl Hisa for RnsCkks {
         p: &RnsPlaintext,
     ) -> Result<RnsCiphertext, HisaError> {
         Self::check_scales(a.scale, p.scale)?;
-        let mut pt = p.poly.clone();
-        pt.drop_to_level(a.level());
         let mut out = a.clone();
-        out.c0.sub_assign(&self.ctx, &pt);
+        out.c0.sub_assign_prefix(&self.ctx, &p.poly);
         Ok(out)
+    }
+
+    fn sub_plain_assign(&mut self, a: &mut RnsCiphertext, p: &RnsPlaintext) {
+        Self::check_scales(a.scale, p.scale).unwrap_or_else(|e| panic!("{e}"));
+        a.c0.sub_assign_prefix(&self.ctx, &p.poly);
     }
 
     fn sub_scalar(&mut self, a: &RnsCiphertext, x: f64) -> RnsCiphertext {
@@ -601,43 +808,48 @@ impl Hisa for RnsCkks {
     }
 
     fn mul(&mut self, a: &RnsCiphertext, b: &RnsCiphertext) -> RnsCiphertext {
-        let ctx = self.ctx.clone();
+        let ctx = &self.ctx;
         let level = a.level().min(b.level());
         let x = self.align_level(a, level);
         let y = self.align_level(b, level);
-        let d0 = x.c0.mul(&ctx, &y.c0);
-        let mut d1 = x.c0.mul(&ctx, &y.c1);
-        d1.add_assign(&ctx, &x.c1.mul(&ctx, &y.c0));
-        let mut d2 = x.c1.mul(&ctx, &y.c1);
+        let d0 = x.c0.mul(ctx, &y.c0);
+        let mut d1 = x.c0.mul(ctx, &y.c1);
+        d1.add_assign(ctx, &x.c1.mul(ctx, &y.c0));
+        let mut d2 = x.c1.mul(ctx, &y.c1);
         // Relinearize d2·s² back to a degree-1 ciphertext.
-        d2.ntt_inverse(&ctx);
-        let relin = Arc::clone(&self.relin);
-        let (ks0, ks1) = self.switch_key(&d2, &relin);
+        d2.ntt_inverse(ctx);
+        let (ks0, ks1) = self.switch_key(&d2, &self.relin);
         let mut c0 = d0;
-        c0.add_assign(&ctx, &ks0);
+        c0.add_assign(ctx, &ks0);
         let mut c1 = d1;
-        c1.add_assign(&ctx, &ks1);
+        c1.add_assign(ctx, &ks1);
         RnsCiphertext { c0, c1, scale: x.scale * y.scale }
     }
 
     fn mul_plain(&mut self, a: &RnsCiphertext, p: &RnsPlaintext) -> RnsCiphertext {
-        let mut pt = p.poly.clone();
-        pt.drop_to_level(a.level());
         let mut out = a.clone();
-        out.c0.mul_assign(&self.ctx, &pt);
-        out.c1.mul_assign(&self.ctx, &pt);
-        out.scale = a.scale * p.scale;
+        self.mul_plain_assign(&mut out, p);
         out
     }
 
+    fn mul_plain_assign(&mut self, a: &mut RnsCiphertext, p: &RnsPlaintext) {
+        a.c0.mul_assign_prefix(&self.ctx, &p.poly);
+        a.c1.mul_assign_prefix(&self.ctx, &p.poly);
+        a.scale *= p.scale;
+    }
+
     fn mul_scalar(&mut self, a: &RnsCiphertext, x: f64, scale: f64) -> RnsCiphertext {
+        let mut out = a.clone();
+        self.mul_scalar_assign(&mut out, x, scale);
+        out
+    }
+
+    fn mul_scalar_assign(&mut self, a: &mut RnsCiphertext, x: f64, scale: f64) {
         assert!(scale >= 1.0, "scalar scale must be >= 1");
         let k = (x * scale).round() as i128;
-        let mut out = a.clone();
-        out.c0.mul_scalar_assign(&self.ctx, k);
-        out.c1.mul_scalar_assign(&self.ctx, k);
-        out.scale = a.scale * scale;
-        out
+        a.c0.mul_scalar_assign(&self.ctx, k);
+        a.c1.mul_scalar_assign(&self.ctx, k);
+        a.scale *= scale;
     }
 
     fn rescale(&mut self, c: &RnsCiphertext, divisor: f64) -> RnsCiphertext {

@@ -14,7 +14,8 @@ use super::{EncodeEvent, IrGraph, IrNode, IrOp};
 use crate::verify::OpSpan;
 use chet_hisa::cost::{CostModel, HisaOp, LevelInfo};
 use chet_hisa::keys::plan_rotation;
-use std::collections::BTreeMap;
+use chet_hisa::params::SchemeKind;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Predicted cost of one (op kind, count) bucket.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,9 +93,9 @@ impl CostBreakdown {
 
 /// The elementary op an IR instruction executes as, plus its multiplicity
 /// (rotations expand to the key-switch plan the backend would run).
-fn elementary(ir: &IrGraph, node: &IrNode) -> Option<(HisaOp, u64)> {
+fn elementary(node: &IrNode) -> Option<(HisaOp, u64)> {
     Some(match node.op {
-        IrOp::Input { .. } => return None,
+        IrOp::Input { .. } | IrOp::RotLeft { .. } => return None,
         IrOp::Add { .. }
         | IrOp::Sub { .. }
         | IrOp::AddPlain { .. }
@@ -103,12 +104,6 @@ fn elementary(ir: &IrGraph, node: &IrNode) -> Option<(HisaOp, u64)> {
         IrOp::Mul { .. } => (HisaOp::MulCipher, 1),
         IrOp::MulPlain { .. } => (HisaOp::MulPlain, 1),
         IrOp::MulScalar { .. } => (HisaOp::MulScalar, 1),
-        IrOp::RotLeft { step, .. } => {
-            let rotations = plan_rotation(step, &ir.keyed_steps, ir.slots)
-                .map(|plan| plan.len().max(1))
-                .unwrap_or(1);
-            (HisaOp::Rotate, rotations as u64)
-        }
         IrOp::Rescale { .. } => (HisaOp::Rescale, 1),
     })
 }
@@ -142,8 +137,33 @@ pub fn estimate(ir: &IrGraph, model: &CostModel) -> CostBreakdown {
             bucket.us += us;
         };
 
+        // Rotation pricing mirrors the RNS backend's hoisted key switching:
+        // the runtime kernels batch rotations of one source ciphertext
+        // through `rot_left_many`, which computes the gadget decomposition
+        // once and reuses it for every rotation in the batch. In the IR
+        // those batches appear as multiple `RotLeft` nodes sharing a source
+        // id, so the first rotation of each source is priced as a full
+        // `Rotate` (it pays the decomposition) and the rest as
+        // `RotateHoisted`. Composed multi-hop rotations hoist only their
+        // first hop; later hops rotate fresh intermediates at full price.
+        let hoisting = model.kind() == SchemeKind::RnsCkks;
+        let mut rotated_sources: BTreeSet<usize> = BTreeSet::new();
         for node in &ir.nodes {
-            if let Some((op, count)) = elementary(ir, node) {
+            if let IrOp::RotLeft { a, step } = node.op {
+                let plan_len = plan_rotation(step, &ir.keyed_steps, ir.slots)
+                    .map(|plan| plan.len().max(1))
+                    .unwrap_or(1) as u64;
+                if hoisting && !rotated_sources.insert(a) {
+                    charge(HisaOp::RotateHoisted, 1, node.level, &node.span);
+                    if plan_len > 1 {
+                        charge(HisaOp::Rotate, plan_len - 1, node.level, &node.span);
+                    }
+                } else {
+                    charge(HisaOp::Rotate, plan_len, node.level, &node.span);
+                }
+                continue;
+            }
+            if let Some((op, count)) = elementary(node) {
                 charge(op, count, node.level, &node.span);
             }
         }

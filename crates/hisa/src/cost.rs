@@ -29,10 +29,18 @@ pub enum HisaOp {
     /// free setup. Appended last so the artifact codec's `ALL_OPS`-index
     /// tags for the original six ops stay stable.
     Encode,
+    /// A rotation that shares a *hoisted* key-switch decomposition with an
+    /// earlier rotation of the same ciphertext (nGraph-HE2 style batching,
+    /// implemented by the RNS backend's `rot_left_many`). The gadget
+    /// decomposition — the `O(N log N · r²)` base conversions and NTTs that
+    /// dominate a full rotation — is paid once per source ciphertext; each
+    /// extra rotation only pays the key inner product and modulus-down
+    /// switch. Appended after `Encode` for the same tag-stability reason.
+    RotateHoisted,
 }
 
 /// All [`HisaOp`] variants, for iteration in calibration and reports.
-pub const ALL_OPS: [HisaOp; 7] = [
+pub const ALL_OPS: [HisaOp; 8] = [
     HisaOp::Add,
     HisaOp::MulScalar,
     HisaOp::MulPlain,
@@ -40,6 +48,7 @@ pub const ALL_OPS: [HisaOp; 7] = [
     HisaOp::Rotate,
     HisaOp::Rescale,
     HisaOp::Encode,
+    HisaOp::RotateHoisted,
 ];
 
 impl std::fmt::Display for HisaOp {
@@ -52,6 +61,7 @@ impl std::fmt::Display for HisaOp {
             HisaOp::Rotate => "rotate",
             HisaOp::Rescale => "rescale",
             HisaOp::Encode => "encode",
+            HisaOp::RotateHoisted => "rotateHoisted",
         };
         f.write_str(s)
     }
@@ -84,6 +94,9 @@ pub struct CostModel {
     rotate: f64,
     rescale: f64,
     encode: f64,
+    /// Added after the original seven constants (appended last in
+    /// [`ALL_OPS`] so older artifacts' op tags stay stable).
+    rotate_hoisted: f64,
 }
 
 impl CostModel {
@@ -104,6 +117,7 @@ impl CostModel {
                 rotate: 2.0,
                 rescale: 0.6,
                 encode: 0.8,
+                rotate_hoisted: 2.0,
             },
             SchemeKind::RnsCkks => CostModel {
                 kind,
@@ -114,6 +128,7 @@ impl CostModel {
                 rotate: 2.2,
                 rescale: 0.8,
                 encode: 1.0,
+                rotate_hoisted: 1.0,
             },
         }
     }
@@ -133,6 +148,7 @@ impl CostModel {
             HisaOp::Rotate => &mut self.rotate,
             HisaOp::Rescale => &mut self.rescale,
             HisaOp::Encode => &mut self.encode,
+            HisaOp::RotateHoisted => &mut self.rotate_hoisted,
         };
         *slot = value;
     }
@@ -148,6 +164,7 @@ impl CostModel {
             HisaOp::Rotate => self.rotate,
             HisaOp::Rescale => self.rescale,
             HisaOp::Encode => self.encode,
+            HisaOp::RotateHoisted => self.rotate_hoisted,
         }
     }
 
@@ -174,6 +191,9 @@ impl CostModel {
                     HisaOp::Rotate => self.rotate * nf * log_n * m_q,
                     HisaOp::Rescale => self.rescale * nf * lvl.log_q.max(1.0),
                     HisaOp::Encode => self.encode * nf * log_n * m_q,
+                    // The bigint backend has no hoisting; price as a full
+                    // rotation so mixed-scheme callers stay conservative.
+                    HisaOp::RotateHoisted => self.rotate_hoisted * nf * log_n * m_q,
                 }
             }
             SchemeKind::RnsCkks => {
@@ -187,6 +207,11 @@ impl CostModel {
                     HisaOp::Rescale => self.rescale * nf * log_n * r,
                     // One negacyclic NTT per RNS limb.
                     HisaOp::Encode => self.encode * nf * log_n * r,
+                    // Shares the O(N log N · r²) gadget decomposition with an
+                    // earlier rotation of the same ciphertext: pays only the
+                    // key inner product (N·r²) and the special-prime
+                    // mod-down NTTs (N log N · r).
+                    HisaOp::RotateHoisted => self.rotate_hoisted * nf * r * (r + log_n),
                 }
             }
         }

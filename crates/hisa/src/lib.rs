@@ -114,6 +114,24 @@ pub trait Hisa: Send {
     /// Rotates slots right by `x`.
     fn rot_right(&mut self, c: &Self::Ct, x: usize) -> Self::Ct;
 
+    /// Rotates the *same* ciphertext left by each step in `steps`,
+    /// returning the results in step order.
+    ///
+    /// The default loops [`Hisa::rot_left`]; backends with an expensive
+    /// per-ciphertext setup (key-switch decomposition) override this to
+    /// *hoist* that setup across all requested rotations (nGraph-HE2's
+    /// optimization). Implementations must produce results bit-identical
+    /// to the single-rotation path.
+    fn rot_left_many(&mut self, c: &Self::Ct, steps: &[usize]) -> Vec<Self::Ct> {
+        steps.iter().map(|&x| self.rot_left(c, x)).collect()
+    }
+
+    /// Rotates the same ciphertext right by each step in `steps` (see
+    /// [`Hisa::rot_left_many`]).
+    fn rot_right_many(&mut self, c: &Self::Ct, steps: &[usize]) -> Vec<Self::Ct> {
+        steps.iter().map(|&x| self.rot_right(c, x)).collect()
+    }
+
     /// Ciphertext + ciphertext.
     fn add(&mut self, a: &Self::Ct, b: &Self::Ct) -> Self::Ct;
     /// Ciphertext + plaintext.
@@ -224,6 +242,25 @@ pub trait Hisa: Send {
     /// Fallible [`Hisa::rot_right`].
     fn try_rot_right(&mut self, c: &Self::Ct, x: usize) -> Result<Self::Ct, HisaError> {
         Ok(self.rot_right(c, x))
+    }
+
+    /// Fallible [`Hisa::rot_left_many`]. Fails fast: the first rotation
+    /// whose keys are missing aborts the batch.
+    fn try_rot_left_many(
+        &mut self,
+        c: &Self::Ct,
+        steps: &[usize],
+    ) -> Result<Vec<Self::Ct>, HisaError> {
+        steps.iter().map(|&x| self.try_rot_left(c, x)).collect()
+    }
+
+    /// Fallible [`Hisa::rot_right_many`].
+    fn try_rot_right_many(
+        &mut self,
+        c: &Self::Ct,
+        steps: &[usize],
+    ) -> Result<Vec<Self::Ct>, HisaError> {
+        steps.iter().map(|&x| self.try_rot_right(c, x)).collect()
     }
 
     /// Fallible [`Hisa::add`]: [`HisaError::ScaleMismatch`] on diverged

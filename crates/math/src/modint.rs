@@ -126,6 +126,21 @@ impl ShoupMul {
             r
         }
     }
+
+    /// Lazy Shoup product: returns `a * self.value mod q` *plus possibly
+    /// one extra `q`*, i.e. a value in `[0, 2q)` congruent to the product.
+    ///
+    /// Valid for **any** `a: u64` (not just reduced inputs): with
+    /// `hi = ⌊a·quotient / 2^64⌋` and `quotient = ⌊value·2^64 / q⌋`, the
+    /// estimate `hi` undershoots `⌊a·value / q⌋` by at most one, so the
+    /// wrapping difference lands in `[0, 2q)`. Skipping the final
+    /// conditional subtraction is the heart of the Harvey lazy-reduction
+    /// butterflies (requires `q < 2^63` so `2q` fits in `u64`).
+    #[inline(always)]
+    pub fn mul_lazy(&self, a: u64, q: u64) -> u64 {
+        let hi = ((a as u128 * self.quotient as u128) >> 64) as u64;
+        a.wrapping_mul(self.value).wrapping_sub(hi.wrapping_mul(q))
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +200,21 @@ mod tests {
         let shoup = ShoupMul::new(w, q);
         for a in [0u64, 1, 2, q / 2, q - 1] {
             assert_eq!(shoup.mul(a, q), mul_mod(a, w, q));
+        }
+    }
+
+    #[test]
+    fn shoup_lazy_congruent_and_bounded_for_unreduced_inputs() {
+        let q = 4_611_686_018_427_322_369u64; // < 2^62
+        for w in [0u64, 1, q / 3, q - 1] {
+            let shoup = ShoupMul::new(w, q);
+            // Inputs deliberately exceed q (up to just below 4q), as the
+            // lazy NTT butterflies produce.
+            for a in [0u64, 1, q - 1, q, 2 * q - 1, 2 * q, 4 * q - 1, u64::MAX] {
+                let r = shoup.mul_lazy(a, q);
+                assert!(r < 2 * q, "lazy result {r} out of [0, 2q)");
+                assert_eq!(r % q, mul_mod(a % q, w, q), "a={a} w={w}");
+            }
         }
     }
 }

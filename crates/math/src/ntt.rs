@@ -6,7 +6,12 @@
 //! exactly the polynomial product in the CKKS ciphertext ring.
 //!
 //! The butterflies use Shoup multiplication with precomputed twiddles in
-//! bit-reversed order (the layout popularized by Harvey and used by SEAL).
+//! bit-reversed order (the layout popularized by Harvey and used by SEAL),
+//! with Harvey's *lazy reduction* discipline: butterfly outputs are only
+//! kept below `4q` (forward) / `2q` (inverse) and a single conditional
+//! subtraction pass at the end of each transform restores canonical
+//! residues. This removes two compare-and-subtract reductions per
+//! butterfly and requires `q < 2^62` so `4q` fits in a `u64`.
 
 use crate::modint::{add_mod, inv_mod, sub_mod, ShoupMul};
 use crate::prime::primitive_root_2n;
@@ -56,6 +61,11 @@ impl NttTable {
         if (q - 1) % (2 * n as u64) != 0 {
             return Err(NttError(format!("modulus {q} is not 1 mod {}", 2 * n)));
         }
+        if q >= 1u64 << 62 {
+            return Err(NttError(format!(
+                "modulus {q} >= 2^62 leaves no lazy-reduction headroom"
+            )));
+        }
         let log_n = n.trailing_zeros();
         let psi = primitive_root_2n(q, n);
         let psi_inv = inv_mod(psi, q).expect("psi is invertible mod prime q");
@@ -91,12 +101,21 @@ impl NttTable {
 
     /// In-place forward negacyclic NTT (coefficient → evaluation domain).
     ///
+    /// Internally the Cooley–Tukey butterflies run lazily: values stay in
+    /// `[0, 4q)` across stages (inputs to each butterfly are brought below
+    /// `2q` with one conditional subtraction, the Shoup product of the
+    /// second operand lands in `[0, 2q)` without its final reduction, and
+    /// the sum/difference are formed as `u + v` / `u + 2q − v`). A single
+    /// two-step reduction pass at the end restores canonical `[0, q)`
+    /// residues, so callers observe the exact modular transform.
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.degree()`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal the ring degree");
         let q = self.q;
+        let two_q = 2 * q;
         let n = self.n;
         let mut t = n;
         let mut m = 1usize;
@@ -107,17 +126,37 @@ impl NttTable {
                 let j2 = j1 + t;
                 let s = self.psi_rev[m + i];
                 for j in j1..j2 {
-                    let u = a[j];
-                    let v = s.mul(a[j + t], q);
-                    a[j] = add_mod(u, v, q);
-                    a[j + t] = sub_mod(u, v, q);
+                    // Invariant: a[*] < 4q on entry to every stage.
+                    let mut u = a[j];
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let v = s.mul_lazy(a[j + t], q);
+                    a[j] = u + v; // < 2q + 2q = 4q
+                    a[j + t] = u + two_q - v; // < 4q, > 0
                 }
             }
             m <<= 1;
         }
+        for x in a.iter_mut() {
+            let mut v = *x;
+            if v >= two_q {
+                v -= two_q;
+            }
+            if v >= q {
+                v -= q;
+            }
+            *x = v;
+        }
     }
 
     /// In-place inverse negacyclic NTT (evaluation → coefficient domain).
+    ///
+    /// The Gentleman–Sande butterflies keep values in `[0, 2q)` (the sum
+    /// takes one conditional subtraction of `2q`, the difference is fed
+    /// through a lazy Shoup product), the final `n^{-1}` multiplication is
+    /// also lazy, and one conditional subtraction per coefficient restores
+    /// canonical residues.
     ///
     /// # Panics
     ///
@@ -125,6 +164,7 @@ impl NttTable {
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal the ring degree");
         let q = self.q;
+        let two_q = 2 * q;
         let n = self.n;
         let mut t = 1usize;
         let mut m = n;
@@ -135,10 +175,15 @@ impl NttTable {
                 let j2 = j1 + t;
                 let s = self.psi_inv_rev[h + i];
                 for j in j1..j2 {
+                    // Invariant: a[*] < 2q on entry to every stage.
                     let u = a[j];
                     let v = a[j + t];
-                    a[j] = add_mod(u, v, q);
-                    a[j + t] = s.mul(sub_mod(u, v, q), q);
+                    let mut sum = u + v; // < 4q
+                    if sum >= two_q {
+                        sum -= two_q;
+                    }
+                    a[j] = sum;
+                    a[j + t] = s.mul_lazy(u + two_q - v, q); // < 2q
                 }
                 j1 += 2 * t;
             }
@@ -146,7 +191,11 @@ impl NttTable {
             m = h;
         }
         for x in a.iter_mut() {
-            *x = self.n_inv.mul(*x, q);
+            let mut v = self.n_inv.mul_lazy(*x, q);
+            if v >= q {
+                v -= q;
+            }
+            *x = v;
         }
     }
 
@@ -253,6 +302,122 @@ mod tests {
             for x in 0..(1usize << bits) {
                 assert_eq!(bit_reverse(bit_reverse(x, bits), bits), x);
             }
+        }
+    }
+
+    /// Tiny deterministic generator for the property sweeps below.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+    }
+
+    #[test]
+    fn lazy_roundtrip_across_random_primes_and_degrees() {
+        // Forward/inverse round-trip over a spread of degrees and prime
+        // sizes, exercising the lazy-reduction invariants with random
+        // reduced inputs.
+        let mut rng = Lcg(0xDEC0DE);
+        for &n in &[4usize, 16, 64, 256, 1024] {
+            for &bits in &[20u32, 30, 40, 50, 59] {
+                let q = ntt_primes(bits, n, 1)[0];
+                let t = NttTable::new(q, n).unwrap();
+                let mut a: Vec<u64> = (0..n).map(|_| rng.next() % q).collect();
+                let orig = a.clone();
+                t.forward(&mut a);
+                assert!(a.iter().all(|&x| x < q), "forward output not canonical");
+                t.inverse(&mut a);
+                assert_eq!(a, orig, "roundtrip failed for n={n}, q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_pointwise_product_matches_naive_across_primes() {
+        let mut rng = Lcg(0xFACADE);
+        for &n in &[8usize, 32, 128] {
+            for &bits in &[24u32, 40, 59] {
+                let q = ntt_primes(bits, n, 1)[0];
+                let t = NttTable::new(q, n).unwrap();
+                let a: Vec<u64> = (0..n).map(|_| rng.next() % q).collect();
+                let b: Vec<u64> = (0..n).map(|_| rng.next() % q).collect();
+                let expect = negacyclic_convolution_naive(&a, &b, q);
+                let mut fa = a.clone();
+                let mut fb = b.clone();
+                t.forward(&mut fa);
+                t.forward(&mut fb);
+                let mut fc: Vec<u64> = fa
+                    .iter()
+                    .zip(&fb)
+                    .map(|(&x, &y)| crate::modint::mul_mod(x, y, q))
+                    .collect();
+                t.inverse(&mut fc);
+                assert_eq!(fc, expect, "n={n}, q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_handles_boundary_residues() {
+        // Adversarial inputs saturated at the residue boundaries: all
+        // zeros, all q−1, and alternating 0 / q−1 — the patterns that
+        // maximize the intermediate magnitudes in the lazy butterflies.
+        for &n in &[16usize, 256, 1024] {
+            for &bits in &[40u32, 59] {
+                let q = ntt_primes(bits, n, 1)[0];
+                let t = NttTable::new(q, n).unwrap();
+                let patterns: [Vec<u64>; 3] = [
+                    vec![0u64; n],
+                    vec![q - 1; n],
+                    (0..n).map(|i| if i % 2 == 0 { 0 } else { q - 1 }).collect(),
+                ];
+                for p in &patterns {
+                    let mut a = p.clone();
+                    t.forward(&mut a);
+                    assert!(a.iter().all(|&x| x < q), "non-canonical forward output");
+                    t.inverse(&mut a);
+                    assert_eq!(&a, p);
+                    // Squaring the saturated polynomial must agree with the
+                    // naive reference too (stresses the inverse transform
+                    // with non-trivial evaluation values).
+                    let expect = negacyclic_convolution_naive(p, p, q);
+                    let mut f = p.clone();
+                    t.forward(&mut f);
+                    let mut sq: Vec<u64> =
+                        f.iter().map(|&x| crate::modint::mul_mod(x, x, q)).collect();
+                    t.inverse(&mut sq);
+                    assert_eq!(sq, expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_output_order_is_bitrev_odd_powers() {
+        // Pins the evaluation layout the RNS evaluator's NTT-domain
+        // automorphism tables depend on: output slot `i` of the forward
+        // transform holds `a(ψ^{2·bitrev(i)+1})`.
+        let n = 32;
+        let t = table(n);
+        let q = t.modulus();
+        let psi = crate::prime::primitive_root_2n(q, n);
+        let a: Vec<u64> = (0..n).map(|i| (i as u64 * 131 + 7) % q).collect();
+        let mut f = a.clone();
+        t.forward(&mut f);
+        let log_n = t.log_degree();
+        for i in 0..n {
+            let e = (2 * bit_reverse(i, log_n) as u64 + 1) % (2 * n as u64);
+            let x = crate::modint::pow_mod(psi, e, q);
+            // Naive evaluation of a at ψ^e.
+            let mut acc = 0u64;
+            let mut xp = 1u64;
+            for &c in &a {
+                acc = add_mod(acc, crate::modint::mul_mod(c, xp, q), q);
+                xp = crate::modint::mul_mod(xp, x, q);
+            }
+            assert_eq!(f[i], acc, "slot {i}");
         }
     }
 }

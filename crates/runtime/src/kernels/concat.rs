@@ -177,10 +177,10 @@ pub fn try_hconcat<H: Hisa>(
             })?;
             let mut out: Vec<Option<H::Ct>> = vec![None; layout.num_cts()];
             for (piece, job) in pieces.into_iter().zip(&jobs) {
-                out[job.dest_ct] = Some(match out[job.dest_ct].take() {
-                    None => piece,
-                    Some(prev) => h.add(&prev, &piece),
-                });
+                match out[job.dest_ct].as_mut() {
+                    None => out[job.dest_ct] = Some(piece),
+                    Some(prev) => h.add_assign(prev, &piece),
+                }
             }
             Ok(CipherTensor {
                 layout,

@@ -15,7 +15,7 @@
 //! valid positions (the paper's `B = B' · Mask` step) and rotated into its
 //! destination block.
 
-use super::{apply_mask, rot_signed, KernelError, ScaleConfig};
+use super::{apply_mask, rot_signed_many, KernelError, ScaleConfig};
 use crate::ciphertensor::CipherTensor;
 use crate::layout::{Layout, LayoutKind};
 use crate::par;
@@ -240,6 +240,30 @@ pub fn try_hconv2d_with_mask<H: Hisa>(
     Ok(out)
 }
 
+/// Rotates every tap's source ciphertext by its offset. Taps arrive sorted
+/// by source, so consecutive runs sharing a source batch into one
+/// [`rot_signed_many`] call — backends with hoisted key switching compute a
+/// single gadget decomposition per source ciphertext for all of its taps.
+fn rotate_taps<H: Hisa>(
+    h: &mut H,
+    input: &CipherTensor<H::Ct>,
+    taps: &[(usize, usize, usize, isize)],
+) -> Vec<H::Ct> {
+    let mut rotated = Vec::with_capacity(taps.len());
+    let mut start = 0;
+    while start < taps.len() {
+        let src = taps[start].0;
+        let mut end = start;
+        while end < taps.len() && taps[end].0 == src {
+            end += 1;
+        }
+        let offs: Vec<isize> = taps[start..end].iter().map(|t| t.3).collect();
+        rotated.extend(rot_signed_many(h, &input.cts[src], &offs));
+        start = end;
+    }
+    rotated
+}
+
 /// HW-input accumulation: rotations shared across output channels, scalar
 /// weight multiplies.
 ///
@@ -270,10 +294,7 @@ fn conv_accumulate_hw<H: Hisa>(
             }
         }
     }
-    let rotated: Vec<H::Ct> = par::fan_out(h, taps.len(), |h, t| {
-        let (ci, _, _, off) = taps[t];
-        rot_signed(h, &input.cts[ci], off)
-    })?;
+    let rotated = rotate_taps(h, input, &taps);
     par::fan_out(h, k_out, |h, k| {
         let mut acc: Option<H::Ct> = None;
         for (t, &(ci, ry, rx, _)) in taps.iter().enumerate() {
@@ -282,10 +303,10 @@ fn conv_accumulate_hw<H: Hisa>(
                 continue;
             }
             let prod = h.mul_scalar(&rotated[t], w, scales.weight_scalar);
-            acc = Some(match acc.take() {
-                None => prod,
-                Some(prev) => h.add(&prev, &prod),
-            });
+            match acc.as_mut() {
+                None => acc = Some(prod),
+                Some(prev) => h.add_assign(prev, &prod),
+            }
         }
         // All-zero filters (possibly every filter) get an encrypt-free zero
         // via 0 × input, which lands at the same scale as any real
@@ -329,10 +350,7 @@ fn conv_accumulate_chw<H: Hisa>(
             }
         }
     }
-    let rotated: Vec<H::Ct> = par::fan_out(h, taps.len(), |h, t| {
-        let (ct_idx, _, _, off) = taps[t];
-        rot_signed(h, &input.cts[ct_idx], off)
-    })?;
+    let rotated = rotate_taps(h, input, &taps);
     par::fan_out(h, k_out, |h, k| {
         let mut acc: Option<H::Ct> = None;
         for (t, &(ct_idx, ry, rx, _)) in taps.iter().enumerate() {
@@ -358,10 +376,10 @@ fn conv_accumulate_chw<H: Hisa>(
             }
             let pt = h.encode(&vec, scales.weight_plain);
             let prod = h.mul_plain(&rotated[t], &pt);
-            acc = Some(match acc.take() {
-                None => prod,
-                Some(prev) => h.add(&prev, &prod),
-            });
+            match acc.as_mut() {
+                None => acc = Some(prod),
+                Some(prev) => h.add_assign(prev, &prod),
+            }
         }
         let acc = acc.unwrap_or_else(|| {
             let pt = h.encode(&vec![0.0; lin.slots], scales.weight_plain);

@@ -60,10 +60,10 @@ pub fn try_convert_layout<H: Hisa>(
             let mut cts: Vec<Option<H::Ct>> = vec![None; layout.num_cts()];
             for (c, piece) in pieces.into_iter().enumerate() {
                 let dest_ct = c / layout.channels_per_ct;
-                cts[dest_ct] = Some(match cts[dest_ct].take() {
-                    None => piece,
-                    Some(prev) => h.add(&prev, &piece),
-                });
+                match cts[dest_ct].as_mut() {
+                    None => cts[dest_ct] = Some(piece),
+                    Some(prev) => h.add_assign(prev, &piece),
+                }
             }
             Ok(CipherTensor {
                 layout,

@@ -131,10 +131,10 @@ pub fn try_hmatmul<H: Hisa>(
             }
             let pt = h.encode(&vec, scales.weight_plain);
             let prod = h.mul_plain(ct, &pt);
-            acc = Some(match acc.take() {
-                None => prod,
-                Some(prev) => h.add(&prev, &prod),
-            });
+            match acc.as_mut() {
+                None => acc = Some(prod),
+                Some(prev) => h.add_assign(prev, &prod),
+            }
         }
         let acc = match acc {
             Some(a) => a,
@@ -155,10 +155,10 @@ pub fn try_hmatmul<H: Hisa>(
     })?;
     let mut out_ct: Option<H::Ct> = None;
     for p in placed {
-        out_ct = Some(match out_ct.take() {
-            None => p,
-            Some(prev) => h.add(&prev, &p),
-        });
+        match out_ct.as_mut() {
+            None => out_ct = Some(p),
+            Some(prev) => h.add_assign(prev, &p),
+        }
     }
 
     let mut result = out_ct.expect("out_dim >= 1 was validated");
@@ -233,15 +233,13 @@ pub fn try_hmatmul_bsgs<H: Hisa>(
     let b_steps = (1usize << (n.ilog2().div_ceil(2))).min(n);
     let g_steps = n / b_steps;
 
-    // Baby rotations of x_ext (shared across giant steps), one fan-out job
-    // per baby step.
-    let baby: Vec<H::Ct> = par::fan_out(h, b_steps, |h, b| {
-        if b == 0 {
-            h.copy(&x_ext)
-        } else {
-            h.rot_left(&x_ext, b)
-        }
-    })?;
+    // Baby rotations of x_ext, shared across giant steps. One batched call
+    // lets hoisting backends reuse a single key-switch decomposition of
+    // x_ext across all b_steps − 1 rotations.
+    let steps: Vec<usize> = (1..b_steps).collect();
+    let mut baby = Vec::with_capacity(b_steps);
+    baby.push(h.copy(&x_ext));
+    baby.extend(h.rot_left_many(&x_ext, &steps));
 
     // One fan-out job per giant step; partials fold on the parent in giant
     // order.
@@ -271,20 +269,20 @@ pub fn try_hmatmul_bsgs<H: Hisa>(
             }
             let pt = h.encode(&vec, scales.weight_plain);
             let prod = h.mul_plain(xb, &pt);
-            acc = Some(match acc.take() {
-                None => prod,
-                Some(prev) => h.add(&prev, &prod),
-            });
+            match acc.as_mut() {
+                None => acc = Some(prod),
+                Some(prev) => h.add_assign(prev, &prod),
+            }
         }
         let partial = acc?;
         Some(if gb == 0 { partial } else { h.rot_left(&partial, gb) })
     })?;
     let mut acc_total: Option<H::Ct> = None;
     for shifted in partials.into_iter().flatten() {
-        acc_total = Some(match acc_total.take() {
-            None => shifted,
-            Some(prev) => h.add(&prev, &shifted),
-        });
+        match acc_total.as_mut() {
+            None => acc_total = Some(shifted),
+            Some(prev) => h.add_assign(prev, &shifted),
+        }
     }
     let acc = match acc_total {
         Some(a) => super::settle(h, a, scales.input),

@@ -125,6 +125,29 @@ pub fn rot_signed<H: Hisa>(h: &mut H, ct: &H::Ct, offset: isize) -> H::Ct {
     }
 }
 
+/// Rotates the same ciphertext by a batch of signed offsets (positive =
+/// left), returning outputs in input order.
+///
+/// Routes through [`Hisa::rot_left_many`]/[`Hisa::rot_right_many`] so
+/// backends with hoisted key switching (the RNS scheme) share one gadget
+/// decomposition across the whole batch; backends without an override
+/// decompose to the identical single-rotation calls.
+pub fn rot_signed_many<H: Hisa>(h: &mut H, ct: &H::Ct, offsets: &[isize]) -> Vec<H::Ct> {
+    let lefts: Vec<usize> = offsets.iter().filter(|&&o| o > 0).map(|&o| o as usize).collect();
+    let rights: Vec<usize> =
+        offsets.iter().filter(|&&o| o < 0).map(|&o| o.unsigned_abs()).collect();
+    let mut left_out = h.rot_left_many(ct, &lefts).into_iter();
+    let mut right_out = h.rot_right_many(ct, &rights).into_iter();
+    offsets
+        .iter()
+        .map(|&o| match o.cmp(&0) {
+            std::cmp::Ordering::Equal => h.copy(ct),
+            std::cmp::Ordering::Greater => left_out.next().expect("left rotation produced"),
+            std::cmp::Ordering::Less => right_out.next().expect("right rotation produced"),
+        })
+        .collect()
+}
+
 /// Rescales `ct` toward `target` scale using the largest divisor the scheme
 /// currently offers (a no-op when none fits).
 pub fn settle<H: Hisa>(h: &mut H, ct: H::Ct, target: f64) -> H::Ct {
@@ -152,7 +175,7 @@ pub fn reduce_groups<H: Hisa>(h: &mut H, ct: &H::Ct, stride: usize, count: usize
     let mut step = target / 2;
     while step >= 1 {
         let rotated = h.rot_left(&acc, step * stride);
-        acc = h.add(&acc, &rotated);
+        h.add_assign(&mut acc, &rotated);
         step /= 2;
     }
     acc

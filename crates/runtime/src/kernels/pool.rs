@@ -1,7 +1,7 @@
 //! Homomorphic average pooling (the paper's HE-compatible replacement for
 //! max pooling, §6).
 
-use super::{apply_mask, rot_signed, KernelError, ScaleConfig};
+use super::{apply_mask, rot_signed_many, KernelError, ScaleConfig};
 use crate::ciphertensor::CipherTensor;
 use crate::par;
 use chet_hisa::Hisa;
@@ -74,15 +74,19 @@ pub fn try_havg_pool2d_with_mask<H: Hisa>(
     let inv = 1.0 / (kernel * kernel) as f64;
     let cts = par::fan_out(h, input.cts.len(), |h, i| {
         let ct = &input.cts[i];
-        let mut acc: Option<H::Ct> = None;
+        // One batched rotation call per ciphertext: hoisting backends share
+        // a single key-switch decomposition across the whole window.
+        let mut offs = Vec::with_capacity(kernel * kernel);
         for ry in 0..kernel {
             for rx in 0..kernel {
-                let off = lin.offset(ry as isize, rx as isize);
-                let rotated = rot_signed(h, ct, off);
-                acc = Some(match acc.take() {
-                    None => rotated,
-                    Some(prev) => h.add(&prev, &rotated),
-                });
+                offs.push(lin.offset(ry as isize, rx as isize));
+            }
+        }
+        let mut acc: Option<H::Ct> = None;
+        for rotated in rot_signed_many(h, ct, &offs) {
+            match acc.as_mut() {
+                None => acc = Some(rotated),
+                Some(prev) => h.add_assign(prev, &rotated),
             }
         }
         let summed = acc.expect("kernel >= 1 was validated");
@@ -128,24 +132,25 @@ pub fn try_hglobal_avg_pool<H: Hisa>(
     let inv = 1.0 / (lin.height * lin.width) as f64;
     let cts = par::fan_out(h, input.cts.len(), |h, i| {
         let ct = &input.cts[i];
-        // Fold columns into column 0 (reads only valid columns).
+        // Fold columns into column 0 (reads only valid columns), batching
+        // the rotations so one key-switch decomposition covers the row.
+        let col_offs: Vec<isize> = (0..lin.width).map(|x| (x * lin.w_stride) as isize).collect();
         let mut cols: Option<H::Ct> = None;
-        for x in 0..lin.width {
-            let rotated = rot_signed(h, ct, (x * lin.w_stride) as isize);
-            cols = Some(match cols.take() {
-                None => rotated,
-                Some(prev) => h.add(&prev, &rotated),
-            });
+        for rotated in rot_signed_many(h, ct, &col_offs) {
+            match cols.as_mut() {
+                None => cols = Some(rotated),
+                Some(prev) => h.add_assign(prev, &rotated),
+            }
         }
         let cols = cols.expect("width >= 1 was validated");
         // Fold rows into row 0.
+        let row_offs: Vec<isize> = (0..lin.height).map(|y| (y * lin.h_stride) as isize).collect();
         let mut rows: Option<H::Ct> = None;
-        for y in 0..lin.height {
-            let rotated = rot_signed(h, &cols, (y * lin.h_stride) as isize);
-            rows = Some(match rows.take() {
-                None => rotated,
-                Some(prev) => h.add(&prev, &rotated),
-            });
+        for rotated in rot_signed_many(h, &cols, &row_offs) {
+            match rows.as_mut() {
+                None => rows = Some(rotated),
+                Some(prev) => h.add_assign(prev, &rotated),
+            }
         }
         let summed = rows.expect("height >= 1 was validated");
         let scaled = h.mul_scalar(&summed, inv, scales.weight_scalar);

@@ -191,6 +191,70 @@ impl<H: Hisa> Hisa for FalliblePipeline<'_, H> {
         }
     }
 
+    fn rot_left_many(&mut self, c: &H::Ct, steps: &[usize]) -> Vec<H::Ct> {
+        match self.try_rot_left_many(c, steps) {
+            Ok(v) => v,
+            Err(e) => {
+                self.latch(e);
+                steps.iter().map(|_| c.clone()).collect()
+            }
+        }
+    }
+
+    fn rot_right_many(&mut self, c: &H::Ct, steps: &[usize]) -> Vec<H::Ct> {
+        match self.try_rot_right_many(c, steps) {
+            Ok(v) => v,
+            Err(e) => {
+                self.latch(e);
+                steps.iter().map(|_| c.clone()).collect()
+            }
+        }
+    }
+
+    /// Forwards the whole batch to the backend so hoisted key switching
+    /// (one gadget decomposition shared across the batch) stays intact —
+    /// the trait default would decompose into single rotations and silently
+    /// lose the hoisting the kernels batched for.
+    fn try_rot_left_many(
+        &mut self,
+        c: &H::Ct,
+        steps: &[usize],
+    ) -> Result<Vec<H::Ct>, HisaError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        for &x in steps {
+            self.note_rotation(normalize_rotation(x as i64, self.slots));
+        }
+        match self.inner.get_mut().try_rot_left_many(c, steps) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.latch(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn try_rot_right_many(
+        &mut self,
+        c: &H::Ct,
+        steps: &[usize],
+    ) -> Result<Vec<H::Ct>, HisaError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        for &x in steps {
+            self.note_rotation(normalize_rotation(-(x as i64), self.slots));
+        }
+        match self.inner.get_mut().try_rot_right_many(c, steps) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.latch(e.clone());
+                Err(e)
+            }
+        }
+    }
+
     fn add(&mut self, a: &H::Ct, b: &H::Ct) -> H::Ct {
         if self.error.is_some() {
             return a.clone();

@@ -136,6 +136,14 @@ impl AsRef<[u8]> for Bytes {
     }
 }
 
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
         self.data.len() - self.pos
