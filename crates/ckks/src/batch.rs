@@ -1,0 +1,166 @@
+//! Batch-axis packing at the slot-vector level (nGraph-HE2 style).
+//!
+//! CKKS ciphertexts are SIMD vectors; a single inference typically uses a
+//! fraction of the slots. Batch packing places `batch` users' member
+//! vectors side by side at a fixed *member width*: member `b` occupies
+//! slots `[b * width, (b + 1) * width)`. Because the packing is periodic,
+//! any slot rotation by `r < width` acts identically on every member, so a
+//! circuit compiled for one member runs unchanged on the whole batch.
+//!
+//! These helpers are generic over [`Hisa`], so they serve every backend
+//! (RNS-CKKS, bigint CKKS, the simulator) and stay bit-compatible with the
+//! single-member encode path: an unused member is all-zero slots, exactly
+//! what [`Hisa::encode`]'s zero-padding produces.
+
+use chet_hisa::{Hisa, HisaError};
+
+/// Interleaves member vectors (each at most `width` long, zero-padded) into
+/// one physical slot vector of `batch * width` entries.
+///
+/// # Panics
+///
+/// Panics when a member vector exceeds `width`, or when more members than
+/// `batch` are supplied.
+pub fn pack_slots(members: &[Vec<f64>], width: usize, batch: usize) -> Vec<f64> {
+    assert!(
+        members.len() <= batch,
+        "{} members exceed batch capacity {batch}",
+        members.len()
+    );
+    let mut out = vec![0.0; width * batch];
+    for (b, m) in members.iter().enumerate() {
+        assert!(m.len() <= width, "member {b} ({} slots) exceeds member width {width}", m.len());
+        out[b * width..b * width + m.len()].copy_from_slice(m);
+    }
+    out
+}
+
+/// Splits a physical slot vector back into `batch` member vectors of
+/// `width` slots each.
+pub fn unpack_slots(physical: &[f64], width: usize, batch: usize) -> Vec<Vec<f64>> {
+    assert!(
+        physical.len() >= width * batch,
+        "physical vector ({} slots) shorter than {batch} members of {width}",
+        physical.len()
+    );
+    (0..batch).map(|b| physical[b * width..(b + 1) * width].to_vec()).collect()
+}
+
+/// Encodes a batch of member vectors into one plaintext at the given scale.
+///
+/// # Errors
+///
+/// Propagates the backend's encode failure (slot overflow) when
+/// `width * batch` exceeds the scheme's slot count.
+pub fn try_encode_batch<H: Hisa>(
+    h: &mut H,
+    members: &[Vec<f64>],
+    width: usize,
+    batch: usize,
+    scale: f64,
+) -> Result<H::Pt, HisaError> {
+    h.try_encode(&pack_slots(members, width, batch), scale)
+}
+
+/// Encodes and encrypts a batch of member vectors into one ciphertext.
+///
+/// # Errors
+///
+/// Propagates the backend's encode failure (slot overflow).
+pub fn try_encrypt_batch<H: Hisa>(
+    h: &mut H,
+    members: &[Vec<f64>],
+    width: usize,
+    batch: usize,
+    scale: f64,
+) -> Result<H::Ct, HisaError> {
+    let pt = try_encode_batch(h, members, width, batch, scale)?;
+    Ok(h.encrypt(&pt))
+}
+
+/// Decrypts a batch-packed ciphertext and splits it back into `batch`
+/// member vectors of `width` slots each.
+pub fn decrypt_batch<H: Hisa>(
+    h: &mut H,
+    ct: &H::Ct,
+    width: usize,
+    batch: usize,
+) -> Vec<Vec<f64>> {
+    let pt = h.decrypt(ct);
+    let physical = h.decode(&pt);
+    unpack_slots(&physical, width, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rns::RnsCkks;
+    use crate::sim::SimCkks;
+    use chet_hisa::{EncryptionParams, RotationKeyPolicy};
+
+    fn members(n: usize, width: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|b| (0..width).map(|i| (b * width + i) as f64 * 0.01 - 1.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let m = members(4, 8);
+        let phys = pack_slots(&m, 8, 4);
+        assert_eq!(phys.len(), 32);
+        assert_eq!(unpack_slots(&phys, 8, 4), m);
+        // Partial batch: trailing member zero.
+        let phys = pack_slots(&m[..2], 8, 4);
+        assert!(phys[16..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn sim_batch_members_match_solo_roundtrip_bitwise() {
+        // Each batched member must decrypt to *exactly* the slots a solo
+        // encode/encrypt/decrypt of that member produces (same encoder
+        // quantization, same zero padding).
+        let params = EncryptionParams::rns_ckks(8192, 40, 4);
+        let mut h = SimCkks::new(&params, &RotationKeyPolicy::PowersOfTwo, 3).without_noise();
+        let width = h.slots() / 8;
+        let m = members(8, 16);
+        let scale = 2f64.powi(30);
+        let ct = try_encrypt_batch(&mut h, &m, width, 8, scale).unwrap();
+        let got = decrypt_batch(&mut h, &ct, width, 8);
+        for (g, w) in got.iter().zip(&m) {
+            let solo_ct = {
+                let pt = h.encode(w, scale);
+                h.encrypt(&pt)
+            };
+            let solo = {
+                let pt = h.decrypt(&solo_ct);
+                h.decode(&pt)
+            };
+            assert_eq!(&g[..], &solo[..width]);
+        }
+    }
+
+    #[test]
+    fn rns_batch_members_rotate_uniformly() {
+        // A member-relative rotation on a packed ciphertext acts on every
+        // member at once — the property batch packing rests on.
+        let params = EncryptionParams::rns_ckks(8192, 40, 3);
+        let mut h = RnsCkks::new(&params, &RotationKeyPolicy::PowersOfTwo, 9);
+        let width = h.slots() / 2;
+        let m = members(2, 4);
+        let ct = try_encrypt_batch(&mut h, &m, width, 2, 2f64.powi(30)).unwrap();
+        let rot = h.rot_left(&ct, 1);
+        let got = decrypt_batch(&mut h, &rot, width, 2);
+        for (g, w) in got.iter().zip(&m) {
+            for i in 0..3 {
+                assert!((g[i] - w[i + 1]).abs() < 1e-3, "member slot {i}: {} vs {}", g[i], w[i + 1]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed batch capacity")]
+    fn overfull_batch_panics() {
+        pack_slots(&members(3, 4), 4, 2);
+    }
+}

@@ -34,6 +34,7 @@
 //! assert!((out[1] - 4.0).abs() < 1e-3);
 //! ```
 
+pub mod batch;
 pub mod big;
 pub mod encoding;
 pub mod rns;

@@ -59,6 +59,17 @@ pub struct CompiledCircuit {
     pub pruned_rotations: Vec<usize>,
 }
 
+impl CompiledCircuit {
+    /// How many inference requests batch-pack into one ciphertext set under
+    /// this artifact's plan and parameters (the paper's `slots /
+    /// ciphertext_size` throughput lever; surfaced as the `CHET-B001` note
+    /// and consumed by the serving layer's request coalescer). Always ≥ 1;
+    /// capacity 1 means batching cannot help this circuit.
+    pub fn batch_capacity(&self, circuit: &Circuit) -> usize {
+        chet_runtime::exec::batch_capacity(circuit, &self.plan, self.params.slots())
+    }
+}
+
 /// One adjustment made by [`Compiler::compile_checked`]'s repair loop.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RepairAction {
@@ -326,6 +337,19 @@ impl Compiler {
                     ) {
                         lints.diagnostics.extend(crate::ir::analyze::analyze(&ir));
                     }
+                    // The batch-capacity note (CHET-B001): how far the
+                    // serving layer can coalesce requests into one
+                    // ciphertext under this artifact.
+                    let capacity = compiled.batch_capacity(circuit);
+                    lints.diagnostics.push(crate::verify::Diagnostic {
+                        code: LintCode::BatchCapacity,
+                        span: None,
+                        message: format!(
+                            "slot-axis batch capacity: {capacity} request(s) per \
+                             ciphertext ({} slots)",
+                            compiled.params.slots()
+                        ),
+                    });
                     return Ok((
                         compiled,
                         RepairReport {

@@ -118,11 +118,16 @@ pub enum LintCode {
     /// CHET-P005: the artifact holds rotation keys for steps the traced
     /// instruction stream never requests.
     UnusedKeyedStep,
+    /// CHET-B001: the circuit's slot-axis batch capacity — how many
+    /// inference requests fit one ciphertext (`slots / ciphertext_size`,
+    /// paper §7's throughput lever). Capacity 1 means batching cannot help
+    /// this circuit at these parameters.
+    BatchCapacity,
 }
 
 impl LintCode {
     /// Every code, in catalog order.
-    pub const ALL: [LintCode; 17] = [
+    pub const ALL: [LintCode; 18] = [
         LintCode::ScaleMismatch,
         LintCode::LevelExhaustion,
         LintCode::MissingRotationKey,
@@ -140,6 +145,7 @@ impl LintCode {
         LintCode::CommonSubexpression,
         LintCode::DeadCiphertext,
         LintCode::UnusedKeyedStep,
+        LintCode::BatchCapacity,
     ];
 
     /// The stable code string, e.g. `"CHET-E001"`.
@@ -162,6 +168,7 @@ impl LintCode {
             LintCode::CommonSubexpression => "CHET-P003",
             LintCode::DeadCiphertext => "CHET-P004",
             LintCode::UnusedKeyedStep => "CHET-P005",
+            LintCode::BatchCapacity => "CHET-B001",
         }
     }
 
@@ -185,6 +192,7 @@ impl LintCode {
             LintCode::CommonSubexpression => "common-subexpression",
             LintCode::DeadCiphertext => "dead-ciphertext",
             LintCode::UnusedKeyedStep => "unused-keyed-step",
+            LintCode::BatchCapacity => "batch-capacity",
         }
     }
 
@@ -207,7 +215,8 @@ impl LintCode {
             LintCode::DegradedRotation
             | LintCode::PrunedRotationKey
             | LintCode::HoistableRotation
-            | LintCode::UnusedKeyedStep => Severity::Note,
+            | LintCode::UnusedKeyedStep
+            | LintCode::BatchCapacity => Severity::Note,
         }
     }
 
@@ -254,6 +263,9 @@ impl LintCode {
             LintCode::UnusedKeyedStep => {
                 "rotation keys exist for steps the instruction stream never uses"
             }
+            LintCode::BatchCapacity => {
+                "how many inference requests the slot axis can batch into one ciphertext"
+            }
         }
     }
 
@@ -277,6 +289,7 @@ impl LintCode {
             LintCode::CommonSubexpression => "§5.1",
             LintCode::DeadCiphertext => "§5.1",
             LintCode::UnusedKeyedStep => "§5.4",
+            LintCode::BatchCapacity => "§4.2/§7",
         }
     }
 

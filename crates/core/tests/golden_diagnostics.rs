@@ -327,14 +327,22 @@ fn machine_rendering_escapes_messages() {
 /// form, and the IR-analysis family (CHET-P) is present.
 #[test]
 fn lint_catalog_is_complete() {
-    assert_eq!(LintCode::ALL.len(), 17);
+    assert_eq!(LintCode::ALL.len(), 18);
     let codes: BTreeSet<&str> = LintCode::ALL.iter().map(|c| c.code()).collect();
     assert_eq!(codes.len(), LintCode::ALL.len(), "duplicate lint code strings");
     for c in LintCode::ALL {
         assert_eq!(LintCode::from_code(c.code()), Some(c), "{}", c.code());
         assert!(!c.name().is_empty() && !c.description().is_empty());
     }
-    for p in ["CHET-P001", "CHET-P002", "CHET-P003", "CHET-P004", "CHET-P005", "CHET-N002"] {
+    for p in [
+        "CHET-P001",
+        "CHET-P002",
+        "CHET-P003",
+        "CHET-P004",
+        "CHET-P005",
+        "CHET-N002",
+        "CHET-B001",
+    ] {
         assert!(codes.contains(p), "missing {p}");
     }
 }

@@ -7,9 +7,12 @@
 //! real encrypted inference *and* the compiler's data-flow analyses.
 
 use crate::cancel::{CancelReason, CancelToken};
-use crate::ciphertensor::{decrypt_tensor, encrypt_tensor, try_encrypt_tensor, CipherTensor};
+use crate::ciphertensor::{
+    decrypt_batch, decrypt_tensor, encrypt_tensor, try_encrypt_batch, try_encrypt_tensor,
+    CipherTensor,
+};
 use crate::kernels::concat::try_hconcat;
-use crate::kernels::conv::try_hconv2d_with_mask;
+use crate::kernels::conv::{conv_output_layout, try_hconv2d_with_mask};
 use crate::kernels::convert::try_convert_layout;
 use crate::kernels::elementwise::{try_hactivation, try_hbatch_norm};
 use crate::kernels::matmul::try_hmatmul;
@@ -318,10 +321,37 @@ pub fn clean_output_required(circuit: &Circuit, plan: &ExecPlan) -> Vec<bool> {
 /// # Panics
 ///
 /// Panics if the circuit has no input op.
+pub fn input_layout<H: Hisa>(h: &H, circuit: &Circuit, plan: &ExecPlan) -> Layout {
+    member_layout(circuit, plan, h.slots())
+}
+
+/// [`input_layout`] at a member width of `slots / batch`: the layout a
+/// batch of `batch` inputs packs into (see `crate::ciphertensor::pack_batch`).
+///
+/// # Panics
+///
+/// Panics unless `batch` is a power of two dividing the scheme's slot
+/// count, or if one member cannot hold the padded input.
+pub fn input_layout_batched<H: Hisa>(
+    h: &H,
+    circuit: &Circuit,
+    plan: &ExecPlan,
+    batch: usize,
+) -> Layout {
+    assert!(
+        batch.is_power_of_two() && batch <= h.slots(),
+        "batch ({batch}) must be a power of two dividing the slot count ({})",
+        h.slots()
+    );
+    let member = member_layout(circuit, plan, h.slots() / batch);
+    member.with_batch(batch)
+}
+
+/// The input layout at an explicit member width (no backend needed).
 // A circuit without an input op is unconstructible via CircuitBuilder, so
 // this is an internal invariant, not a recoverable failure.
 #[allow(clippy::expect_used)]
-pub fn input_layout<H: Hisa>(h: &H, circuit: &Circuit, plan: &ExecPlan) -> Layout {
+fn member_layout(circuit: &Circuit, plan: &ExecPlan, member_slots: usize) -> Layout {
     let (idx, shape) = circuit
         .ops()
         .iter()
@@ -333,9 +363,161 @@ pub fn input_layout<H: Hisa>(h: &H, circuit: &Circuit, plan: &ExecPlan) -> Layou
         .expect("circuit has an input");
     let [c, ih, iw] = shape[..] else { panic!("input must be CHW") };
     match plan.layouts[idx] {
-        LayoutKind::HW => Layout::hw(c, ih, iw, plan.margin, h.slots()),
-        LayoutKind::CHW => Layout::chw(c, ih, iw, plan.margin, h.slots()),
+        LayoutKind::HW => Layout::hw(c, ih, iw, plan.margin, member_slots),
+        LayoutKind::CHW => Layout::chw(c, ih, iw, plan.margin, member_slots),
     }
+}
+
+/// How many batch members fit one ciphertext for this circuit under this
+/// plan, given the scheme's slot count — the paper's `slots /
+/// ciphertext_size` capacity, made precise for this executor.
+///
+/// Batched execution is bit-identical to a solo run only when every
+/// packing decision the kernels make at the member width matches the one
+/// they make at the full solo width. The binding decision is each node's
+/// `channels_per_ct` (how many channel blocks share a ciphertext), because
+/// it fixes the grouping — and therefore the floating-point summation
+/// order — of every channel reduction; a member width that shrinks it
+/// produces numerically different (if equally accurate) outputs. So this
+/// walks the circuit's layout flow at the solo width, mirroring
+/// [`run_nodes`] exactly (raw producer layouts into conv/matmul,
+/// fetch-time repacks at the conversion-site ops), and requires the member
+/// to hold every node's used region `c_stride × next_pow2(channels_per_ct)`
+/// — which also covers `try_hmatmul`'s power-of-two reduction span and
+/// output vector. The result is the largest power of two `batch` with
+/// `slots / batch >= member_width`, at least 1 (capacity 1 when the
+/// circuit's layout flow cannot be traced or does not fit `slots`).
+pub fn batch_capacity(circuit: &Circuit, plan: &ExecPlan, slots: usize) -> usize {
+    match min_member_width(circuit, plan, slots) {
+        Some(member) if member <= slots => {
+            crate::layout::prev_power_of_two(slots / member).max(1)
+        }
+        _ => 1,
+    }
+}
+
+/// The slot region one batch member actually uses under `l`: all
+/// `channels_per_ct` blocks, pow2-rounded so rotation trees stay inside
+/// it. Every kernel rotation/reduction offset is bounded by this.
+fn member_requirement(l: &Layout) -> usize {
+    l.c_stride * l.channels_per_ct.next_power_of_two()
+}
+
+/// Layout after a fetch-time repack to `want` — the metadata mirror of
+/// `try_convert_layout` (same no-op condition as `run_nodes::fetch`).
+fn convert_for_fetch(l: &Layout, want: LayoutKind) -> Layout {
+    if l.kind == want || l.height * l.width <= 1 {
+        return l.clone();
+    }
+    let mut out = l.clone();
+    out.kind = want;
+    out.channels_per_ct = match want {
+        LayoutKind::CHW => {
+            crate::layout::prev_power_of_two(l.slots / l.c_stride).max(1).min(l.channels)
+        }
+        LayoutKind::HW => 1,
+    };
+    out
+}
+
+/// Applies `convert_for_fetch` in place (fetch replaces the stored value,
+/// so later consumers of `dep` see the converted layout), charging the
+/// converted layout's requirement.
+fn refetch(
+    layouts: &mut [Option<Layout>],
+    required: &mut usize,
+    dep: usize,
+    want: LayoutKind,
+) -> Option<Layout> {
+    let l = layouts.get(dep)?.clone()?;
+    let converted = convert_for_fetch(&l, want);
+    *required = (*required).max(member_requirement(&converted));
+    layouts[dep] = Some(converted.clone());
+    Some(converted)
+}
+
+/// The smallest power-of-two member width at which every node's packing
+/// matches the solo run at `slots` — `None` when the flow cannot be
+/// traced (malformed circuit/plan, or the solo layout itself overflows).
+fn min_member_width(circuit: &Circuit, plan: &ExecPlan, slots: usize) -> Option<usize> {
+    use chet_tensor::ops::{conv_output_dim, Padding};
+    let ops = circuit.ops();
+    if plan.layouts.len() != ops.len() {
+        return None;
+    }
+    let mut layouts: Vec<Option<Layout>> = vec![None; ops.len()];
+    let mut required = 1usize;
+    for (i, op) in ops.iter().enumerate() {
+        let produced = match op {
+            Op::Input { shape } => {
+                let [c, ih, iw] = shape[..] else { return None };
+                let span = (iw + plan.margin) * (ih + plan.margin);
+                if span.next_power_of_two() > slots {
+                    return None;
+                }
+                match plan.layouts[i] {
+                    LayoutKind::HW => Layout::hw(c, ih, iw, plan.margin, slots),
+                    LayoutKind::CHW => Layout::chw(c, ih, iw, plan.margin, slots),
+                }
+            }
+            Op::Conv2d { input, weights, stride, padding, .. } => {
+                let lin = layouts.get(*input)?.clone()?;
+                let [k_out, _, r, s] = weights.shape()[..] else { return None };
+                if *stride == 0
+                    || (*padding == Padding::Valid && (lin.height < r || lin.width < s))
+                {
+                    return None;
+                }
+                let (oh, _) = conv_output_dim(lin.height, r, *stride, *padding);
+                let (ow, _) = conv_output_dim(lin.width, s, *stride, *padding);
+                conv_output_layout(&lin, oh, ow, *stride, k_out, plan.layouts[i])
+            }
+            Op::MatMul { input, weights, .. } => {
+                let _lin = layouts.get(*input)?.clone()?;
+                let &out_dim = weights.shape().first()?;
+                if out_dim == 0 || out_dim > slots {
+                    return None;
+                }
+                Layout::dense_vector(out_dim, slots)
+            }
+            Op::AvgPool2d { input, kernel, stride } => {
+                let x = refetch(&mut layouts, &mut required, *input, plan.layouts[i])?;
+                if *kernel == 0 || *stride == 0 || *kernel > x.height || *kernel > x.width {
+                    return None;
+                }
+                let (oh, _) = conv_output_dim(x.height, *kernel, *stride, Padding::Valid);
+                let (ow, _) = conv_output_dim(x.width, *kernel, *stride, Padding::Valid);
+                x.strided_view(oh, ow, *stride, x.channels)
+            }
+            Op::GlobalAvgPool { input } => {
+                let mut out = refetch(&mut layouts, &mut required, *input, plan.layouts[i])?;
+                out.height = 1;
+                out.width = 1;
+                out
+            }
+            Op::Activation { input, .. } | Op::BatchNorm { input, .. } => {
+                refetch(&mut layouts, &mut required, *input, plan.layouts[i])?
+            }
+            Op::Concat { inputs } => {
+                let mut total_c = 0usize;
+                for &j in inputs {
+                    total_c += refetch(&mut layouts, &mut required, j, plan.layouts[i])?.channels;
+                }
+                let mut out = layouts.get(*inputs.first()?)?.clone()?;
+                out.channels = total_c;
+                if out.kind == LayoutKind::CHW {
+                    out.channels_per_ct = crate::layout::prev_power_of_two(slots / out.c_stride)
+                        .max(1)
+                        .min(total_c);
+                }
+                out
+            }
+            Op::Flatten { input } => layouts.get(*input)?.clone()?,
+        };
+        required = required.max(member_requirement(&produced));
+        layouts[i] = Some(produced);
+    }
+    Some(required.next_power_of_two())
 }
 
 /// Client-side step: encode + encrypt an image under the plan's layout.
@@ -665,6 +847,62 @@ pub fn try_infer_with_control<H: Hisa>(
     Ok((reshape_output(circuit, dec), report))
 }
 
+/// Batched [`try_infer_with_control`]: packs up to `batch` images along the
+/// slot axis of one ciphertext set (the paper's `slots / ciphertext_size`
+/// batch dimension), runs the circuit **once**, and returns one prediction
+/// per supplied image, in order.
+///
+/// `batch` must be a power of two within [`batch_capacity`]; a partial
+/// batch (`images.len() < batch`) leaves the trailing members zero. Because
+/// the packing is cyclic with the member width as period, every member sees
+/// exactly the slot arithmetic a solo run would, so batched outputs are
+/// bit-identical to unbatched ones under an exact backend.
+pub fn try_infer_batch_with_control<H: Hisa>(
+    h: &mut H,
+    circuit: &Circuit,
+    plan: &ExecPlan,
+    images: &[&Tensor],
+    batch: usize,
+    ctrl: &mut ExecControl<'_>,
+) -> Result<(Vec<Tensor>, ExecReport), ExecError> {
+    if images.is_empty() || images.len() > batch {
+        return Err(ExecError::UnsupportedCircuit {
+            reason: format!("batch of {} images must be 1..={batch}", images.len()),
+        });
+    }
+    let capacity = batch_capacity(circuit, plan, h.slots());
+    if !batch.is_power_of_two() || batch > capacity {
+        return Err(ExecError::UnsupportedCircuit {
+            reason: format!(
+                "batch {batch} exceeds this circuit's slot-axis capacity {capacity}"
+            ),
+        });
+    }
+    let layout = input_layout_batched(h, circuit, plan, batch);
+    let op_index = circuit
+        .ops()
+        .iter()
+        .position(|op| matches!(op, Op::Input { .. }))
+        .unwrap_or(0);
+    let enc = try_encrypt_batch(h, images, &layout, plan.scales.input)
+        .map_err(|source| ExecError::Hisa { op_index, op: "input".into(), source })?;
+    let (out, report) = try_run_encrypted_with(h, circuit, plan, enc, ctrl)?;
+    let members = decrypt_batch(h, &out);
+    let out_idx = circuit.output();
+    let mut results = Vec::with_capacity(images.len());
+    for dec in members.into_iter().take(images.len()) {
+        if dec.data().iter().any(|v| !v.is_finite()) {
+            return Err(ExecError::PrecisionLoss {
+                op_index: out_idx,
+                op: op_name(&circuit.ops()[out_idx]).into(),
+                detail: "decrypted batched output contains non-finite slots".into(),
+            });
+        }
+        results.push(reshape_output(circuit, dec));
+    }
+    Ok((results, report))
+}
+
 /// Dense outputs come back as `[len, 1, 1]`; flatten to `[len]` to match
 /// the reference evaluator.
 fn reshape_output(circuit: &Circuit, dec: Tensor) -> Tensor {
@@ -830,6 +1068,96 @@ mod tests {
         let circuit = b.build(c2);
         // Second conv runs at dilation 2: margin = (3-1)*2 = 4.
         assert_eq!(required_margin_for(&circuit), 4);
+    }
+
+    #[test]
+    fn batch_capacity_reflects_input_span_and_dense_width() {
+        let circuit = small_cnn();
+        let plan = ExecPlan::uniform(&circuit, LayoutKind::CHW, ScaleConfig::default());
+        // Input 8×8 margin 0 → block 64; the conv output packs its 2
+        // channel blocks into one ciphertext (solo does, and identity
+        // requires members to match), so the member is 64 × 2 = 128.
+        assert_eq!(batch_capacity(&circuit, &plan, 4096), 32);
+        assert_eq!(batch_capacity(&circuit, &plan, 128), 1);
+        // A narrower scheme than the member width still reports capacity 1.
+        assert_eq!(batch_capacity(&circuit, &plan, 16), 1);
+        // One ciphertext per channel: only the channel grid binds.
+        let hw = ExecPlan::uniform(&circuit, LayoutKind::HW, ScaleConfig::default());
+        assert_eq!(batch_capacity(&circuit, &hw, 4096), 64);
+    }
+
+    #[test]
+    fn batched_inference_is_bit_identical_to_unbatched() {
+        // The tentpole invariant: packing B images along the slot axis and
+        // running the circuit once must yield, for every member, *exactly*
+        // the slots a solo run produces (exact backend ⇒ bitwise equality).
+        let circuit = small_cnn();
+        let images: Vec<Tensor> = (0..4)
+            .map(|s| {
+                Tensor::from_fn(vec![1, 8, 8], |i| {
+                    ((s * 13 + i[1] * 8 + i[2]) % 17) as f64 * 0.07 - 0.5
+                })
+            })
+            .collect();
+        for kind in [LayoutKind::HW, LayoutKind::CHW] {
+            let plan = ExecPlan::uniform(&circuit, kind, ScaleConfig::default());
+            let solo: Vec<Tensor> = images
+                .iter()
+                .map(|img| {
+                    let mut h = sim(8);
+                    try_infer(&mut h, &circuit, &plan, img).expect("solo run")
+                })
+                .collect();
+            for batch in [1usize, 2, 4] {
+                for chunk in images.chunks(batch) {
+                    let refs: Vec<&Tensor> = chunk.iter().collect();
+                    let mut h = sim(8);
+                    let (got, _) = try_infer_batch_with_control(
+                        &mut h,
+                        &circuit,
+                        &plan,
+                        &refs,
+                        batch,
+                        &mut ExecControl::none(),
+                    )
+                    .expect("batched run");
+                    assert_eq!(got.len(), chunk.len());
+                    for (g, img) in got.iter().zip(chunk) {
+                        let want = &solo[images
+                            .iter()
+                            .position(|x| std::ptr::eq(x, img))
+                            .expect("member image")];
+                        assert_eq!(
+                            g.data(),
+                            want.data(),
+                            "{kind} batch={batch}: member diverged from solo run"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected_as_unsupported() {
+        let circuit = small_cnn();
+        let plan = ExecPlan::uniform(&circuit, LayoutKind::CHW, ScaleConfig::default());
+        let image = Tensor::zeros(vec![1, 8, 8]);
+        let mut h = sim(8);
+        let cap = batch_capacity(&circuit, &plan, h.slots());
+        let err = try_infer_batch_with_control(
+            &mut h,
+            &circuit,
+            &plan,
+            &[&image],
+            cap * 2,
+            &mut ExecControl::none(),
+        )
+        .expect_err("over-capacity batch must be rejected");
+        assert!(
+            matches!(err, ExecError::UnsupportedCircuit { ref reason } if reason.contains("capacity")),
+            "got {err:?}"
+        );
     }
 
     #[test]

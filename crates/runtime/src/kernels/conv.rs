@@ -233,7 +233,7 @@ pub fn try_hconv2d_with_mask<H: Hisa>(
                 }
             }
             let scale = h.scale_of(ct);
-            let pt = h.encode(&vec, scale);
+            let pt = super::encode_tiled(h, &vec, scale);
             *ct = h.add_plain(ct, &pt);
         }
     }
@@ -374,7 +374,7 @@ fn conv_accumulate_chw<H: Hisa>(
             if !any {
                 continue;
             }
-            let pt = h.encode(&vec, scales.weight_plain);
+            let pt = super::encode_tiled(h, &vec, scales.weight_plain);
             let prod = h.mul_plain(&rotated[t], &pt);
             match acc.as_mut() {
                 None => acc = Some(prod),
@@ -382,7 +382,7 @@ fn conv_accumulate_chw<H: Hisa>(
             }
         }
         let acc = acc.unwrap_or_else(|| {
-            let pt = h.encode(&vec![0.0; lin.slots], scales.weight_plain);
+            let pt = super::encode_tiled(h, &vec![0.0; lin.slots], scales.weight_plain);
             h.mul_plain(&input.cts[0], &pt)
         });
         super::reduce_groups(h, &acc, lin.c_stride, cpc)

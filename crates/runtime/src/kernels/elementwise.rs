@@ -103,11 +103,11 @@ pub fn try_hbatch_norm<H: Hisa>(
                 }
             }
         }
-        let gpt = h.encode(&gain, scales.weight_plain);
+        let gpt = super::encode_tiled(h, &gain, scales.weight_plain);
         let t = h.mul_plain(ct, &gpt);
         let t = settle(h, t, scales.input);
         let cur = h.scale_of(&t);
-        let spt = h.encode(&offset, cur);
+        let spt = super::encode_tiled(h, &offset, cur);
         h.add_plain(&t, &spt)
     })?;
     Ok(CipherTensor { layout: layout.clone(), cts })

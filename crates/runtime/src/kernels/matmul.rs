@@ -129,7 +129,7 @@ pub fn try_hmatmul<H: Hisa>(
             if !any {
                 continue;
             }
-            let pt = h.encode(&vec, scales.weight_plain);
+            let pt = super::encode_tiled(h, &vec, scales.weight_plain);
             let prod = h.mul_plain(ct, &pt);
             match acc.as_mut() {
                 None => acc = Some(prod),
@@ -140,7 +140,7 @@ pub fn try_hmatmul<H: Hisa>(
             Some(a) => a,
             None => {
                 // All-zero row: synthesize a zero at the right scale.
-                let pt = h.encode(&vec![0.0; lin.slots], scales.weight_plain);
+                let pt = super::encode_tiled(h, &vec![0.0; lin.slots], scales.weight_plain);
                 h.mul_plain(&input.cts[0], &pt)
             }
         };
@@ -166,10 +166,13 @@ pub fn try_hmatmul<H: Hisa>(
         let mut vec = vec![0.0; lin.slots];
         vec[..out_dim].copy_from_slice(b);
         let scale = h.scale_of(&result);
-        let pt = h.encode(&vec, scale);
+        let pt = super::encode_tiled(h, &vec, scale);
         result = h.add_plain(&result, &pt);
     }
-    Ok(CipherTensor { layout: Layout::dense_vector(out_dim, lin.slots), cts: vec![result] })
+    Ok(CipherTensor {
+        layout: Layout::dense_vector(out_dim, lin.slots).with_batch(lin.batch),
+        cts: vec![result],
+    })
 }
 
 
@@ -267,7 +270,7 @@ pub fn try_hmatmul_bsgs<H: Hisa>(
             if !any {
                 continue;
             }
-            let pt = h.encode(&vec, scales.weight_plain);
+            let pt = super::encode_tiled(h, &vec, scales.weight_plain);
             let prod = h.mul_plain(xb, &pt);
             match acc.as_mut() {
                 None => acc = Some(prod),
@@ -287,7 +290,7 @@ pub fn try_hmatmul_bsgs<H: Hisa>(
     let acc = match acc_total {
         Some(a) => super::settle(h, a, scales.input),
         None => {
-            let pt = h.encode(&vec![0.0; lin.slots], scales.weight_plain);
+            let pt = super::encode_tiled(h, &vec![0.0; lin.slots], scales.weight_plain);
             let z = h.mul_plain(x, &pt);
             super::settle(h, z, scales.input)
         }
@@ -297,10 +300,13 @@ pub fn try_hmatmul_bsgs<H: Hisa>(
         let mut vec = vec![0.0; lin.slots];
         vec[..out_dim].copy_from_slice(bv);
         let scale = h.scale_of(&result);
-        let pt = h.encode(&vec, scale);
+        let pt = super::encode_tiled(h, &vec, scale);
         result = h.add_plain(&result, &pt);
     }
-    Ok(CipherTensor { layout: Layout::dense_vector(out_dim, lin.slots), cts: vec![result] })
+    Ok(CipherTensor {
+        layout: Layout::dense_vector(out_dim, lin.slots).with_batch(lin.batch),
+        cts: vec![result],
+    })
 }
 
 #[cfg(test)]

@@ -181,14 +181,39 @@ pub fn reduce_groups<H: Hisa>(h: &mut H, ct: &H::Ct, stride: usize, count: usize
     acc
 }
 
-/// Multiplies by a 0/1 mask vector at the mask scale and settles.
+/// Encodes a kernel-built plaintext (mask, weight vector, bias), tiling it
+/// cyclically when the vector is shorter than the ciphertext and its length
+/// divides the slot count — the batch-packing contract: kernels build
+/// plaintexts at the layout's *member* width (`layout.slots`), and a
+/// batched ciphertext (`layout.batch > 1`) holds `batch` members at period
+/// `layout.slots`, so the same plaintext must act on every member.
+///
+/// With `batch == 1` the member width equals the physical width and this is
+/// a plain [`Hisa::encode`]. Vectors whose length does not divide the slot
+/// count (hand-written test data) zero-pad as `encode` always has.
+pub fn encode_tiled<H: Hisa>(h: &mut H, vec: &[f64], scale: f64) -> H::Pt {
+    let slots = h.slots();
+    if !vec.is_empty() && vec.len() < slots && slots % vec.len() == 0 {
+        let mut tiled = Vec::with_capacity(slots);
+        while tiled.len() < slots {
+            tiled.extend_from_slice(vec);
+        }
+        h.encode(&tiled, scale)
+    } else {
+        h.encode(vec, scale)
+    }
+}
+
+/// Multiplies by a 0/1 mask vector at the mask scale and settles. The mask
+/// is encoded via [`encode_tiled`], so member-width masks act uniformly on
+/// every batch member of a batched ciphertext.
 pub fn apply_mask<H: Hisa>(
     h: &mut H,
     ct: &H::Ct,
     mask: &[f64],
     scales: &ScaleConfig,
 ) -> H::Ct {
-    let pt = h.encode(mask, scales.mask);
+    let pt = encode_tiled(h, mask, scales.mask);
     let masked = h.mul_plain(ct, &pt);
     settle(h, masked, scales.input)
 }

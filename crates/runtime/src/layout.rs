@@ -55,8 +55,15 @@ pub struct Layout {
     pub c_stride: usize,
     /// Channels packed per ciphertext (1 for HW).
     pub channels_per_ct: usize,
-    /// Total SIMD slots per ciphertext.
+    /// SIMD slots per batch member. With batching this is the *member*
+    /// width — the physical ciphertext holds `slots * batch` slots, and
+    /// every capacity/span check in the kernels is member-relative.
     pub slots: usize,
+    /// Batch members packed along the slot axis (nGraph-HE2-style batch
+    /// packing). Member `b` occupies slots `[b * slots, (b + 1) * slots)`;
+    /// all kernel rotations are member-relative and act uniformly on every
+    /// member because the packing is cyclic with period `slots`.
+    pub batch: usize,
 }
 
 impl Layout {
@@ -81,6 +88,7 @@ impl Layout {
             c_stride: span.next_power_of_two(),
             channels_per_ct: 1,
             slots,
+            batch: 1,
         }
     }
 
@@ -110,6 +118,7 @@ impl Layout {
             c_stride: span,
             channels_per_ct,
             slots,
+            batch: 1,
         }
     }
 
@@ -127,7 +136,30 @@ impl Layout {
             c_stride: 1,
             channels_per_ct: len.max(1),
             slots,
+            batch: 1,
         }
+    }
+
+    /// The same layout with `batch` members packed along the slot axis.
+    /// `slots` stays the member width; the physical ciphertext must hold
+    /// [`Layout::physical_slots`] slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `batch` is a power of two (cyclic member packing
+    /// requires the member period to divide the ciphertext width).
+    pub fn with_batch(mut self, batch: usize) -> Layout {
+        assert!(
+            batch.is_power_of_two(),
+            "batch ({batch}) must be a power of two so members tile the vector cyclically"
+        );
+        self.batch = batch;
+        self
+    }
+
+    /// Physical SIMD slots per ciphertext: member width × batch members.
+    pub fn physical_slots(&self) -> usize {
+        self.slots * self.batch
     }
 
     /// Number of ciphertexts the tensor occupies.
@@ -172,6 +204,7 @@ impl Layout {
                 prev_power_of_two(self.slots / self.c_stride).max(1).min(out_c).max(1)
             },
             slots: self.slots,
+            batch: self.batch,
         }
     }
 
@@ -297,6 +330,25 @@ mod tests {
     #[should_panic(expected = "exceeds vector width")]
     fn oversized_grid_panics() {
         Layout::hw(1, 100, 100, 0, 512);
+    }
+
+    #[test]
+    fn batch_keeps_member_width() {
+        let l = Layout::chw(4, 3, 3, 0, 512).with_batch(8);
+        assert_eq!(l.slots, 512);
+        assert_eq!(l.physical_slots(), 4096);
+        // Member-relative placement is unchanged by batching.
+        assert_eq!(l.slot_of(3, 2, 1), Layout::chw(4, 3, 3, 0, 512).slot_of(3, 2, 1));
+        // Derived views carry the batch along.
+        let v = l.strided_view(1, 1, 2, 4);
+        assert_eq!(v.batch, 8);
+        assert_eq!(v.physical_slots(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_batch_panics() {
+        let _ = Layout::hw(1, 4, 4, 0, 64).with_batch(3);
     }
 
     #[test]

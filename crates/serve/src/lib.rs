@@ -37,6 +37,7 @@ pub mod breaker;
 pub mod chaos;
 pub mod health;
 pub mod journal;
+pub mod queue;
 pub mod retry;
 pub mod service;
 pub mod stats;
@@ -50,6 +51,7 @@ pub use journal::{
     response_digest, CompletedResponse, FailCode, Journal, JournalConfig, JournalError,
     JournalRecord, PendingRequest, ReplayReport, TornTail, JOURNAL_FILE, TORN_FILE,
 };
+pub use queue::{CoalescingQueue, PushError};
 pub use retry::RetryPolicy;
 pub use service::{
     vet_artifact, vet_artifact_with_budget, InferResponse, InferenceService, ServeConfig,

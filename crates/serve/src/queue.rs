@@ -1,0 +1,267 @@
+//! Bounded admission queue with coalescing dequeue.
+//!
+//! The service's original `mpsc::sync_channel` gave bounded admission and
+//! load shedding, but a channel can only hand a worker one job at a time —
+//! cross-request batch packing needs the dequeue side to *gather*: pop the
+//! head, then collect every queued job that can ride in the same ciphertext
+//! batch, optionally lingering a bounded window for stragglers.
+//!
+//! [`CoalescingQueue`] is that structure: a `Mutex<VecDeque>` + `Condvar`
+//! bounded queue whose [`CoalescingQueue::pop_batch`] implements the
+//! batching window. Head-of-line order is preserved — the oldest job
+//! anchors every batch, and jobs it cannot coalesce with stay queued in
+//! arrival order for the next dequeue.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item comes back to the caller.
+    Full(T),
+    /// The queue is closed (service draining); the item comes back.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded MPMC queue with batch-gathering dequeue. See the module docs.
+pub struct CoalescingQueue<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl<T> CoalescingQueue<T> {
+    /// An open queue admitting at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        CoalescingQueue {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Non-blocking push: refuses when full (load shedding) or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        g.items.push_back(item);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Blocking push: waits for space instead of shedding — the journal
+    /// replay path uses this, where an already-acknowledged admission must
+    /// not be dropped just because the backlog exceeds the queue depth.
+    /// Returns the item when the queue closes before space opens.
+    pub fn push_blocking(&self, item: T) -> Result<(), T> {
+        let mut g = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if g.closed {
+                return Err(item);
+            }
+            if g.items.len() < self.capacity {
+                g.items.push_back(item);
+                self.cv.notify_all();
+                return Ok(());
+            }
+            g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Closes the queue: pushes start refusing, and [`pop_batch`] returns
+    /// `None` once the remaining items drain. Idempotent.
+    ///
+    /// [`pop_batch`]: CoalescingQueue::pop_batch
+    pub fn close(&self) {
+        let mut g = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        g.closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks for the next batch: pops the head job, gathers up to
+    /// `target - 1` further queued jobs `compatible` with it, and — when
+    /// the batch is still short — lingers up to `linger` for more arrivals.
+    /// Incompatible jobs keep their queue position. Returns `None` when
+    /// the queue is closed and drained (worker shutdown).
+    pub fn pop_batch<F>(&self, target: usize, linger: Duration, compatible: F) -> Option<Vec<T>>
+    where
+        F: Fn(&T, &T) -> bool,
+    {
+        let target = target.max(1);
+        let mut g = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(head) = g.items.pop_front() {
+                let mut batch = vec![head];
+                let deadline = Instant::now() + linger;
+                loop {
+                    // Gather pass: pull every compatible job, preserving
+                    // the relative order of what stays behind.
+                    let mut i = 0;
+                    while batch.len() < target && i < g.items.len() {
+                        if compatible(&batch[0], &g.items[i]) {
+                            if let Some(job) = g.items.remove(i) {
+                                batch.push(job);
+                            }
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    if batch.len() >= target || g.closed {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (ng, _) = self
+                        .cv
+                        .wait_timeout(g, deadline - now)
+                        .unwrap_or_else(|p| p.into_inner());
+                    g = ng;
+                }
+                // Space freed: wake any blocked pushers (and other workers).
+                self.cv.notify_all();
+                return Some(batch);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_pop_preserves_fifo() {
+        let q = CoalescingQueue::new(8);
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+        }
+        let batch = q.pop_batch(1, Duration::ZERO, |_, _| true).unwrap();
+        assert_eq!(batch, vec![0]);
+        let batch = q.pop_batch(1, Duration::ZERO, |_, _| true).unwrap();
+        assert_eq!(batch, vec![1]);
+    }
+
+    #[test]
+    fn full_queue_sheds() {
+        let q = CoalescingQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+    }
+
+    #[test]
+    fn closed_queue_refuses_and_drains() {
+        let q = CoalescingQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(8), Err(PushError::Closed(8))));
+        assert_eq!(q.pop_batch(4, Duration::ZERO, |_, _| true), Some(vec![7]));
+        assert_eq!(q.pop_batch(4, Duration::ZERO, |_, _| true), None);
+    }
+
+    #[test]
+    fn gather_skips_incompatible_and_keeps_their_order() {
+        let q = CoalescingQueue::new(8);
+        for v in [10, 11, 20, 12, 21] {
+            q.try_push(v).unwrap();
+        }
+        // Same decade = compatible.
+        let batch = q.pop_batch(4, Duration::ZERO, |a, b| a / 10 == b / 10).unwrap();
+        assert_eq!(batch, vec![10, 11, 12]);
+        let batch = q.pop_batch(4, Duration::ZERO, |a, b| a / 10 == b / 10).unwrap();
+        assert_eq!(batch, vec![20, 21]);
+    }
+
+    #[test]
+    fn linger_window_admits_stragglers() {
+        let q = Arc::new(CoalescingQueue::new(8));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            q2.try_push(2).unwrap();
+        });
+        let batch = q.pop_batch(2, Duration::from_secs(5), |_, _| true).unwrap();
+        pusher.join().unwrap();
+        assert_eq!(batch, vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_linger_returns_immediately_with_partial_batch() {
+        let q = CoalescingQueue::new(8);
+        q.try_push(1).unwrap();
+        let t0 = Instant::now();
+        let batch = q.pop_batch(8, Duration::ZERO, |_, _| true).unwrap();
+        assert_eq!(batch, vec![1]);
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn close_releases_lingering_worker() {
+        let q = Arc::new(CoalescingQueue::new(8));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let closer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            q2.close();
+        });
+        // Would linger 30 s without the close-triggered early return.
+        let batch = q.pop_batch(4, Duration::from_secs(30), |_, _| true).unwrap();
+        closer.join().unwrap();
+        assert_eq!(batch, vec![1]);
+        assert_eq!(q.pop_batch(4, Duration::from_secs(30), |_, _| true), None);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(CoalescingQueue::new(1));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = thread::spawn(move || q2.push_blocking(2));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop_batch(1, Duration::ZERO, |_, _| true), Some(vec![1]));
+        assert!(pusher.join().unwrap().is_ok());
+        assert_eq!(q.pop_batch(1, Duration::ZERO, |_, _| true), Some(vec![2]));
+    }
+
+    #[test]
+    fn blocking_push_returns_item_on_close() {
+        let q = Arc::new(CoalescingQueue::new(1));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = thread::spawn(move || q2.push_blocking(2));
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(pusher.join().unwrap(), Err(2));
+    }
+}

@@ -33,6 +33,7 @@ use crate::health::{HealthReport, JournalHealth, WorkerHealth, WorkerState};
 use crate::journal::{
     response_digest, CompletedResponse, FailCode, Journal, JournalConfig, JournalRecord,
 };
+use crate::queue::{CoalescingQueue, PushError};
 use crate::retry::RetryPolicy;
 use crate::stats::{Counters, LatencyHistogram, ServiceStats};
 use crate::store::{ArtifactStore, LockError, StoreIntegrity, StoreLock, StoredArtifact};
@@ -45,16 +46,20 @@ use chet_hisa::params::SchemeKind;
 use chet_hisa::serial::params_fingerprint;
 use chet_hisa::{Hisa, HisaError};
 use chet_runtime::cancel::{CancelReason, CancelToken};
-use chet_runtime::exec::{try_infer_with_control, ExecControl, ExecError, ExecObserver, ExecReport};
+use chet_runtime::exec::{
+    batch_capacity, try_infer_batch_with_control, try_infer_with_control, ExecControl, ExecError,
+    ExecObserver, ExecReport,
+};
 use chet_runtime::kernels::ScaleConfig;
-use chet_tensor::circuit::Circuit;
+use chet_tensor::circuit::{Circuit, Op};
+use chet_tensor::ops::ShapeError;
 use chet_tensor::Tensor;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -122,6 +127,24 @@ pub struct ServeConfig {
     /// default constants). Deployments load calibrated constants from
     /// `BENCH_rns_ops.json` fits here.
     pub cost_model: Option<CostModel>,
+    /// Maximum requests coalesced into one encrypted batch (slot-axis
+    /// packing). `1` (the default) disables coalescing entirely — every
+    /// request executes exactly as it did before batching existed. Values
+    /// above the circuit's slot-axis capacity are clamped to it.
+    pub max_batch: usize,
+    /// How long a dequeuing worker lingers for stragglers when its batch
+    /// is still short of `max_batch`. `ZERO` (the default) batches only
+    /// what is already queued — latency is never traded away silently;
+    /// deployments chasing throughput set tens of milliseconds here.
+    pub max_linger: Duration,
+    /// Decrypted outputs are snapped to multiples of this quantum before
+    /// they are journaled, digested or returned (`None` = raw outputs).
+    /// Approximate-arithmetic backends (real RNS-CKKS) produce outputs
+    /// that differ in the noise bits between a solo and a batched run of
+    /// the same request; a quantum a few bits above the noise floor makes
+    /// the response — and therefore the idempotency digest — byte-stable
+    /// across both paths.
+    pub output_quantum: Option<f64>,
 }
 
 impl Default for ServeConfig {
@@ -142,6 +165,9 @@ impl Default for ServeConfig {
             journal: JournalConfig::default(),
             cost_budget_us: None,
             cost_model: None,
+            max_batch: 1,
+            max_linger: Duration::ZERO,
+            output_quantum: None,
         }
     }
 }
@@ -232,6 +258,14 @@ pub enum ServeError {
         /// The configured budget, microseconds.
         budget_us: f64,
     },
+    /// The request is malformed (e.g. its input shape does not match the
+    /// served circuit) and was refused at admission. Non-retryable: the
+    /// same request will fail the same way every time, so it never reaches
+    /// a worker, the retry loop or the circuit breaker.
+    InvalidRequest {
+        /// The structured shape/validation failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -265,6 +299,9 @@ impl fmt::Display for ServeError {
                     "artifact rejected by cost budget: predicted {predicted_us:.0} us \
                      per inference exceeds the {budget_us:.0} us budget"
                 )
+            }
+            ServeError::InvalidRequest { detail } => {
+                write!(f, "invalid request (non-retryable): {detail}")
             }
         }
     }
@@ -505,6 +542,8 @@ impl ServiceCore {
             journal_torn_records: self.journal.as_ref().map_or(0, |j| j.torn_records()),
             queue_depth: c.queue_depth.load(Ordering::Relaxed),
             in_flight: c.in_flight.load(Ordering::Relaxed),
+            batches_formed: c.batches_formed.load(Ordering::Relaxed),
+            batched_requests: c.batched_requests.load(Ordering::Relaxed),
             artifact_version: self.artifact_snapshot().0,
             breaker: self.breaker.snapshot(),
             latency: self.latency.snapshot(),
@@ -519,6 +558,54 @@ impl ServiceCore {
         if let Some(j) = &self.journal {
             let _ = j.append_durable(rec);
         }
+    }
+
+    /// The effective coalescing target right now: the configured
+    /// `max_batch` clamped to the *current* artifact's slot-axis batch
+    /// capacity (a repair can grow the plan's margins, and with them the
+    /// member width the circuit needs per request).
+    fn batch_target(&self) -> usize {
+        if self.config.max_batch <= 1 {
+            return 1;
+        }
+        let (_, compiled) = self.artifact_snapshot();
+        let cap = batch_capacity(&self.circuit, &compiled.plan, compiled.params.slots());
+        self.config.max_batch.min(cap).max(1)
+    }
+
+    /// Snaps every element of a decrypted output to the configured
+    /// quantum (no-op when `output_quantum` is unset). Runs before the
+    /// response is journaled, digested or replied, so solo and batched
+    /// runs of the same request produce byte-identical responses even on
+    /// approximate backends.
+    fn quantize_output(&self, output: &mut Tensor) {
+        let Some(q) = self.config.output_quantum else { return };
+        if !q.is_finite() || q <= 0.0 {
+            return;
+        }
+        for v in output.data_mut() {
+            *v = (*v / q).round() * q;
+        }
+    }
+}
+
+/// Admission-time shape validation: the served circuit's `Input` op fixes
+/// the only acceptable request shape, and a mismatch is the client's fault
+/// — a structured, non-retryable refusal, not a worker panic.
+fn validate_input_shape(circuit: &Circuit, image: &Tensor) -> Result<(), ShapeError> {
+    let expected = circuit.ops().iter().find_map(|op| match op {
+        Op::Input { shape } => Some(shape.as_slice()),
+        _ => None,
+    });
+    match expected {
+        Some(shape) if image.shape() != shape => Err(ShapeError {
+            op: "submit",
+            reason: format!(
+                "input shape {:?} does not match the served circuit's input {shape:?}",
+                image.shape()
+            ),
+        }),
+        _ => Ok(()),
     }
 }
 
@@ -547,7 +634,8 @@ fn fail_code(e: &ServeError) -> FailCode {
         | ServeError::StoreLocked { .. }
         | ServeError::DuplicatePending { .. }
         | ServeError::JournalUnavailable { .. }
-        | ServeError::CostBudget { .. } => FailCode::Exec,
+        | ServeError::CostBudget { .. }
+        | ServeError::InvalidRequest { .. } => FailCode::Exec,
     }
 }
 
@@ -580,7 +668,7 @@ impl ExecObserver for WorkerObserver<'_> {
 /// artifact. See the module docs for the request lifecycle.
 pub struct InferenceService {
     core: Arc<ServiceCore>,
-    sender: Option<SyncSender<Job>>,
+    queue: Arc<CoalescingQueue<Job>>,
     /// Shared with the watchdog, which pushes respawned workers' handles.
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     watchdog: Option<Watchdog>,
@@ -590,7 +678,7 @@ pub struct InferenceService {
 fn spawn_worker<H, F>(
     worker_id: usize,
     core: &Arc<ServiceCore>,
-    rx: &Arc<Mutex<Receiver<Job>>>,
+    queue: &Arc<CoalescingQueue<Job>>,
     factory: &Arc<F>,
 ) -> (JoinHandle<()>, Arc<WorkerSlot>)
 where
@@ -599,10 +687,10 @@ where
 {
     let slot = WorkerSlot::new(worker_id);
     let core = Arc::clone(core);
-    let rx = Arc::clone(rx);
+    let queue = Arc::clone(queue);
     let factory = Arc::clone(factory);
     let slot2 = Arc::clone(&slot);
-    let handle = thread::spawn(move || worker_loop(worker_id, &core, &*factory, &rx, &slot2));
+    let handle = thread::spawn(move || worker_loop(worker_id, &core, &*factory, &queue, &slot2));
     (handle, slot)
 }
 
@@ -805,14 +893,13 @@ impl InferenceService {
             let g = core.artifact.read().unwrap_or_else(|p| p.into_inner());
             core.persist_artifact(&g);
         }
-        let (tx, rx) = mpsc::sync_channel::<Job>(core.config.queue_capacity.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let queue = Arc::new(CoalescingQueue::<Job>::new(core.config.queue_capacity.max(1)));
         let factory = Arc::new(factory);
         let mut handles = Vec::new();
         let mut slots = Vec::new();
         let worker_count = core.config.workers.max(1);
         for worker_id in 0..worker_count {
-            let (handle, slot) = spawn_worker(worker_id, &core, &rx, &factory);
+            let (handle, slot) = spawn_worker(worker_id, &core, &queue, &factory);
             handles.push(handle);
             slots.push(slot);
         }
@@ -822,7 +909,7 @@ impl InferenceService {
         let hooks = {
             let esc_core = Arc::clone(&core);
             let spawn_core = Arc::clone(&core);
-            let spawn_rx = Arc::clone(&rx);
+            let spawn_queue = Arc::clone(&queue);
             let spawn_factory = Arc::clone(&factory);
             WatchdogHooks {
                 on_escalate: Box::new(move |ev| {
@@ -845,7 +932,7 @@ impl InferenceService {
                     }
                 }),
                 respawn: Box::new(move |worker_id| {
-                    spawn_worker(worker_id, &spawn_core, &spawn_rx, &spawn_factory)
+                    spawn_worker(worker_id, &spawn_core, &spawn_queue, &spawn_factory)
                 }),
             }
         };
@@ -895,8 +982,8 @@ impl InferenceService {
                     key: pending.idempotency_key,
                     replayed: true,
                 };
-                if tx.send(job).is_err() {
-                    break; // workers gone (shutdown raced startup)
+                if queue.push_blocking(job).is_err() {
+                    break; // queue closed (shutdown raced startup)
                 }
                 if let Some(crash) = &core.config.journal.crash {
                     // Crash-harness kill site: die with part of the
@@ -908,7 +995,7 @@ impl InferenceService {
                 }
             }
         }
-        Ok(InferenceService { core, sender: Some(tx), workers, watchdog: Some(watchdog) })
+        Ok(InferenceService { core, queue, workers, watchdog: Some(watchdog) })
     }
 
     /// Supervised-restart entry point: identical to
@@ -997,9 +1084,13 @@ impl InferenceService {
         if !self.core.accepting.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
-        let Some(sender) = self.sender.as_ref() else {
-            return Err(ServeError::ShuttingDown);
-        };
+        // Structured shape validation *before* admission: a request that
+        // can only ever fail is refused here as the client's error — it
+        // never occupies queue depth, never charges the breaker, and never
+        // panics a worker.
+        if let Err(e) = validate_input_shape(&self.core.circuit, &image) {
+            return Err(ServeError::InvalidRequest { detail: e.to_string() });
+        }
         // Claim the idempotency key before journaling: two concurrent
         // submissions of the same key race here, and exactly one wins.
         if !key.is_empty() {
@@ -1052,7 +1143,7 @@ impl InferenceService {
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .insert(id, token.clone());
-        match sender.try_send(job) {
+        match self.queue.try_push(job) {
             Ok(()) => {
                 Counters::bump(&self.core.counters.submitted);
                 Counters::bump(&self.core.counters.queue_depth);
@@ -1064,7 +1155,7 @@ impl InferenceService {
                     self.core.pending_keys.lock().unwrap_or_else(|p| p.into_inner()).remove(&key);
                 }
                 match e {
-                    TrySendError::Full(_) => {
+                    PushError::Full(_) => {
                         // The admission is already durable; close it out
                         // durably too, or replay would resurrect a request
                         // the client saw shed.
@@ -1075,7 +1166,7 @@ impl InferenceService {
                         Counters::bump(&self.core.counters.shed);
                         Err(ServeError::Overloaded { capacity: self.core.config.queue_capacity })
                     }
-                    TrySendError::Disconnected(_) => {
+                    PushError::Closed(_) => {
                         self.core.journal_durable(&JournalRecord::Failed {
                             request_id: id,
                             code: FailCode::Shutdown,
@@ -1158,7 +1249,7 @@ impl InferenceService {
     /// or deadline-shed, never silently dropped.
     pub fn shutdown_with_deadline(mut self, deadline: Duration) -> ServiceStats {
         self.core.accepting.store(false, Ordering::Release);
-        self.sender.take();
+        self.queue.close();
         // Deadline sweeper: cancels every still-pending token once the
         // deadline passes. The condvar lets a fast drain release it early.
         let core = Arc::clone(&self.core);
@@ -1244,8 +1335,8 @@ impl InferenceService {
 
     fn drain(&mut self) {
         self.core.accepting.store(false, Ordering::Release);
-        // Dropping the sender lets workers finish the queue, then exit.
-        self.sender.take();
+        // Closing the queue lets workers finish the backlog, then exit.
+        self.queue.close();
         self.join_workers();
         if let Some(mut wd) = self.watchdog.take() {
             wd.stop();
@@ -1264,7 +1355,7 @@ fn worker_loop<H, F>(
     worker_id: usize,
     core: &ServiceCore,
     factory: &F,
-    rx: &Mutex<Receiver<Job>>,
+    queue: &CoalescingQueue<Job>,
     slot: &WorkerSlot,
 ) where
     H: Hisa,
@@ -1281,90 +1372,116 @@ fn worker_loop<H, F>(
         if slot.is_quarantined() {
             return;
         }
-        let job = {
-            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
-            guard.recv()
+        let target = core.batch_target();
+        let linger = if target > 1 { core.config.max_linger } else { Duration::ZERO };
+        let Some(mut jobs) =
+            queue.pop_batch(target, linger, |a, b| a.image.shape() == b.image.shape())
+        else {
+            return; // queue closed and drained: shutdown
         };
-        let Ok(job) = job else {
-            return; // sender dropped and queue drained: shutdown
-        };
-        Counters::drop_one(&core.counters.queue_depth);
-        Counters::bump(&core.counters.in_flight);
-        slot.begin(job.id, &job.token);
+        for _ in &jobs {
+            Counters::drop_one(&core.counters.queue_depth);
+        }
+        Counters::add(&core.counters.in_flight, jobs.len() as u64);
         // `Started` is diagnostic (replay keys off Admitted/Completed), so
         // it rides the next group commit instead of forcing its own fsync.
         if let Some(j) = &core.journal {
-            let _ = j.append(&JournalRecord::Started { request_id: job.id });
+            for job in &jobs {
+                let _ = j.append(&JournalRecord::Started { request_id: job.id });
+            }
         }
-        let result = handle_job(core, factory, worker_id, &mut cached, &job, slot);
-        core.latency.record(job.submitted.elapsed());
-        match &result {
-            Ok(resp) if resp.degraded => Counters::bump(&core.counters.degraded),
-            Ok(_) => Counters::bump(&core.counters.completed_ok),
-            Err(ServeError::Cancelled(_)) => Counters::bump(&core.counters.cancelled),
-            Err(_) => Counters::bump(&core.counters.failed),
+        if jobs.len() == 1 {
+            if let Some(job) = jobs.pop() {
+                slot.begin(job.id, &job.token);
+                let result = handle_job(core, factory, worker_id, &mut cached, &job, slot);
+                finish_job(core, &job, result);
+                slot.finish();
+                Counters::drop_one(&core.counters.in_flight);
+            }
+        } else {
+            Counters::bump(&core.counters.batches_formed);
+            Counters::add(&core.counters.batched_requests, jobs.len() as u64);
+            let results = handle_batch(core, factory, worker_id, &mut cached, &jobs, slot);
+            for (job, result) in jobs.iter().zip(results) {
+                finish_job(core, job, result);
+                Counters::drop_one(&core.counters.in_flight);
+            }
+            slot.finish();
         }
-        let result = result.map(|mut resp| {
-            resp.latency = job.submitted.elapsed();
-            resp
-        });
-        // Durable resolution BEFORE the reply: a response the client saw
-        // is always recoverable from the journal, so replay never
-        // re-executes an acknowledged request (and a duplicate key gets
-        // the digest-identical answer).
-        match &result {
-            Ok(resp) => {
-                let digest = response_digest(&resp.output, resp.degraded);
-                core.journal_durable(&JournalRecord::Completed {
+    }
+}
+
+/// Everything that happens to one request after its result is decided:
+/// output quantization, latency/outcome accounting, durable journal
+/// close-out, the (chaos-droppable) reply, and pending-state cleanup.
+/// Shared verbatim between the solo path and each coalesced-batch member,
+/// so batching cannot drift from the solo path's semantics.
+fn finish_job(core: &ServiceCore, job: &Job, result: Result<InferResponse, ServeError>) {
+    core.latency.record(job.submitted.elapsed());
+    match &result {
+        Ok(resp) if resp.degraded => Counters::bump(&core.counters.degraded),
+        Ok(_) => Counters::bump(&core.counters.completed_ok),
+        Err(ServeError::Cancelled(_)) => Counters::bump(&core.counters.cancelled),
+        Err(_) => Counters::bump(&core.counters.failed),
+    }
+    let result = result.map(|mut resp| {
+        core.quantize_output(&mut resp.output);
+        resp.latency = job.submitted.elapsed();
+        resp
+    });
+    // Durable resolution BEFORE the reply: a response the client saw
+    // is always recoverable from the journal, so replay never
+    // re-executes an acknowledged request (and a duplicate key gets
+    // the digest-identical answer).
+    match &result {
+        Ok(resp) => {
+            let digest = response_digest(&resp.output, resp.degraded);
+            core.journal_durable(&JournalRecord::Completed {
+                request_id: job.id,
+                degraded: resp.degraded,
+                digest,
+                output: resp.output.clone(),
+            });
+            if let Some(j) = &core.journal {
+                j.note_completed(CompletedResponse {
                     request_id: job.id,
+                    idempotency_key: job.key.clone(),
+                    output: resp.output.clone(),
                     degraded: resp.degraded,
                     digest,
-                    output: resp.output.clone(),
-                });
-                if let Some(j) = &core.journal {
-                    j.note_completed(CompletedResponse {
-                        request_id: job.id,
-                        idempotency_key: job.key.clone(),
-                        output: resp.output.clone(),
-                        degraded: resp.degraded,
-                        digest,
-                    });
-                }
-            }
-            Err(e) => {
-                core.journal_durable(&JournalRecord::Failed {
-                    request_id: job.id,
-                    code: fail_code(e),
                 });
             }
         }
-        let dropped = core
-            .config
-            .chaos
-            .as_ref()
-            .is_some_and(|plan| plan.drops_response(job.id));
-        if dropped {
-            // Chaos: the computed response never reaches the caller. The
-            // reply sender is dropped, so the ticket resolves as
-            // `WorkerLost` — a typed error, not a hang. (The journal keeps
-            // the truth: the request *did* execute, so a keyed retry is
-            // served the computed response instead of re-executing.)
-            Counters::bump(&core.counters.dropped_responses);
-            drop(job.reply);
-        } else {
-            let _ = job.reply.send(result); // caller may have dropped the ticket
+        Err(e) => {
+            core.journal_durable(&JournalRecord::Failed {
+                request_id: job.id,
+                code: fail_code(e),
+            });
         }
-        core.pending.lock().unwrap_or_else(|p| p.into_inner()).remove(&job.id);
-        if !job.key.is_empty() {
-            // Completed keys moved to the journal's completed cache above;
-            // failed keys become submittable again.
-            core.pending_keys.lock().unwrap_or_else(|p| p.into_inner()).remove(&job.key);
-        }
-        if job.replayed {
-            Counters::drop_one(&core.counters.replay_backlog);
-        }
-        slot.finish();
-        Counters::drop_one(&core.counters.in_flight);
+    }
+    let dropped = core
+        .config
+        .chaos
+        .as_ref()
+        .is_some_and(|plan| plan.drops_response(job.id));
+    if dropped {
+        // Chaos: the computed response never reaches the caller. The
+        // reply sender is dropped, so the ticket resolves as
+        // `WorkerLost` — a typed error, not a hang. (The journal keeps
+        // the truth: the request *did* execute, so a keyed retry is
+        // served the computed response instead of re-executing.)
+        Counters::bump(&core.counters.dropped_responses);
+    } else {
+        let _ = job.reply.send(result); // caller may have dropped the ticket
+    }
+    core.pending.lock().unwrap_or_else(|p| p.into_inner()).remove(&job.id);
+    if !job.key.is_empty() {
+        // Completed keys moved to the journal's completed cache above;
+        // failed keys become submittable again.
+        core.pending_keys.lock().unwrap_or_else(|p| p.into_inner()).remove(&job.key);
+    }
+    if job.replayed {
+        Counters::drop_one(&core.counters.replay_backlog);
     }
 }
 
@@ -1562,4 +1679,264 @@ fn run_degraded(
         Err(ExecError::Cancelled { reason, .. }) => Err(ServeError::Cancelled(reason)),
         Err(e) => Err(ServeError::Failed { attempts, error: e }),
     }
+}
+
+/// The batched analogue of [`WorkerObserver`]: counts ops, beats the
+/// watchdog — and enforces the cohort rule. The executor watches the
+/// *batch* token, which this observer trips only once **every** member
+/// has cancelled: one member's deadline or explicit cancel never aborts
+/// the ciphertext work its cohort is still waiting on.
+struct BatchObserver<'a> {
+    ops: usize,
+    slot: &'a WorkerSlot,
+    members: Vec<CancelToken>,
+    batch: CancelToken,
+}
+
+impl ExecObserver for BatchObserver<'_> {
+    fn on_op(&mut self, _op_index: usize, _op: &str) {
+        self.ops += 1;
+        self.slot.beat();
+        if !self.members.is_empty() && self.members.iter().all(CancelToken::is_cancelled) {
+            self.batch.cancel();
+        }
+    }
+}
+
+/// Resolves a coalesced batch. Members run together through the batched
+/// primary path; anything that path cannot resolve (breaker open,
+/// permanent error, capacity shrunk by a repair, retries exhausted, a
+/// watchdog-cancelled batch) falls back to the solo path one member at a
+/// time — which re-applies breaker routing, retries and the degraded
+/// route exactly as an unbatched request would see them.
+fn handle_batch<H, F>(
+    core: &ServiceCore,
+    factory: &F,
+    worker_id: usize,
+    cached: &mut Option<(u64, ChaosInjector<H>)>,
+    jobs: &[Job],
+    slot: &WorkerSlot,
+) -> Vec<Result<InferResponse, ServeError>>
+where
+    H: Hisa,
+    F: Fn(usize, &CompiledCircuit) -> H,
+{
+    let mut results: Vec<Option<Result<InferResponse, ServeError>>> =
+        (0..jobs.len()).map(|_| None).collect();
+    // Members already cancelled (deadline expired while queued or during
+    // the linger window) resolve immediately; the cohort is unaffected.
+    let mut live: Vec<usize> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        match job.token.check() {
+            Err(reason) => {
+                if let Some(r) = results.get_mut(i) {
+                    *r = Some(Err(ServeError::Cancelled(reason)));
+                }
+            }
+            Ok(()) => live.push(i),
+        }
+    }
+    // The executor watches the batch token, not any single member's (see
+    // [`BatchObserver`]); the watchdog cancels it too if the batch wedges.
+    let batch_token = CancelToken::new();
+    if let Some(&head) = live.first() {
+        slot.begin(jobs[head].id, &batch_token);
+    }
+    if live.len() >= 2 {
+        let route = core.breaker.route();
+        if route != Route::Degraded {
+            let (resolved, fallback) = run_primary_batch(
+                core,
+                factory,
+                worker_id,
+                cached,
+                jobs,
+                &live,
+                &batch_token,
+                route == Route::Probe,
+                slot,
+            );
+            for (i, r) in resolved {
+                if let Some(slot_r) = results.get_mut(i) {
+                    *slot_r = Some(r);
+                }
+            }
+            live = fallback;
+        }
+        // Breaker open: every member takes the solo path below, which
+        // routes each to the degraded simulator individually.
+    }
+    for &i in &live {
+        if let Some(job) = jobs.get(i) {
+            slot.begin(job.id, &job.token);
+            if let Some(r) = results.get_mut(i) {
+                *r = Some(handle_job(core, factory, worker_id, cached, job, slot));
+            }
+        }
+    }
+    results.into_iter().map(|r| r.unwrap_or(Err(ServeError::WorkerLost))).collect()
+}
+
+/// Per-member resolutions by batch index, plus the members the solo path
+/// must finish.
+type BatchResolution = (Vec<(usize, Result<InferResponse, ServeError>)>, Vec<usize>);
+
+/// The batched analogue of [`run_primary`]: retries/repairs the whole
+/// cohort as a unit. Returns `(resolved, fallback)` — per-member
+/// resolutions, plus the members the solo path must finish.
+#[allow(clippy::too_many_arguments)] // internal control loop, one caller
+fn run_primary_batch<H, F>(
+    core: &ServiceCore,
+    factory: &F,
+    worker_id: usize,
+    cached: &mut Option<(u64, ChaosInjector<H>)>,
+    jobs: &[Job],
+    live: &[usize],
+    batch_token: &CancelToken,
+    probe: bool,
+    slot: &WorkerSlot,
+) -> BatchResolution
+where
+    H: Hisa,
+    F: Fn(usize, &CompiledCircuit) -> H,
+{
+    let Some(&head_idx) = live.first() else {
+        return (Vec::new(), Vec::new());
+    };
+    let head_id = jobs[head_idx].id;
+    let mut attempt = 1usize;
+    while core.config.retry.allows(attempt) {
+        let (version, compiled) = core.artifact_snapshot();
+        if !matches!(cached, Some((v, _)) if *v == version) {
+            *cached = Some((
+                version,
+                ChaosInjector::new(factory(worker_id, &compiled), core.config.chaos.clone()),
+            ));
+        }
+        let Some((_, backend)) = cached.as_mut() else {
+            let resolved = live.iter().map(|&i| (i, Err(ServeError::WorkerLost))).collect();
+            return (resolved, Vec::new());
+        };
+        // A repair may have grown the member width past what this batch
+        // fits into; re-run the members solo rather than fail them.
+        let batch_n = live.len().next_power_of_two();
+        let cap = batch_capacity(&core.circuit, &compiled.plan, compiled.params.slots());
+        if batch_n > cap {
+            return (Vec::new(), live.to_vec());
+        }
+        backend.begin_request(head_id);
+        let images: Vec<&Tensor> = live.iter().map(|&i| &jobs[i].image).collect();
+        let mut observer = BatchObserver {
+            ops: 0,
+            slot,
+            members: live.iter().map(|&i| jobs[i].token.clone()).collect(),
+            batch: batch_token.clone(),
+        };
+        let mut ctrl = ExecControl { cancel: Some(batch_token), observer: Some(&mut observer) };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            try_infer_batch_with_control(
+                backend,
+                &core.circuit,
+                &compiled.plan,
+                &images,
+                batch_n,
+                &mut ctrl,
+            )
+        }));
+        let ops_executed = observer.ops;
+        match outcome {
+            Ok(Ok((outputs, report))) => {
+                core.breaker.record_success(probe);
+                let mut resolved = Vec::with_capacity(live.len());
+                for (k, &i) in live.iter().enumerate() {
+                    // A member whose own token tripped mid-batch resolves
+                    // `Cancelled` even though the cohort's result exists:
+                    // the caller gave up, and must see the same outcome it
+                    // would have seen unbatched.
+                    let r = match jobs[i].token.check() {
+                        Err(reason) => Err(ServeError::Cancelled(reason)),
+                        Ok(()) => Ok(InferResponse {
+                            id: jobs[i].id,
+                            output: outputs[k].clone(),
+                            degraded: false,
+                            attempts: attempt,
+                            artifact_version: version,
+                            ops_executed,
+                            report,
+                            latency: Duration::ZERO, // finish_job fills this in
+                        }),
+                    };
+                    resolved.push((i, r));
+                }
+                return (resolved, Vec::new());
+            }
+            Ok(Err(e)) => match classify(&e) {
+                Disposition::Cancelled(_) => {
+                    // The batch token tripped: every member cancelled, or
+                    // the watchdog cancelled a wedged batch. Members whose
+                    // own tokens tripped are cancelled; survivors (if any)
+                    // re-run solo.
+                    let mut resolved = Vec::new();
+                    let mut fallback = Vec::new();
+                    for &i in live {
+                        match jobs[i].token.check() {
+                            Err(reason) => resolved.push((i, Err(ServeError::Cancelled(reason)))),
+                            Ok(()) => fallback.push(i),
+                        }
+                    }
+                    return (resolved, fallback);
+                }
+                Disposition::Permanent => {
+                    // Let each member resolve on its own terms: the solo
+                    // path reports the precise per-request error.
+                    return (Vec::new(), live.to_vec());
+                }
+                Disposition::Repair => {
+                    core.breaker.record_failure(probe);
+                    core.repair(version);
+                }
+                Disposition::Retry => {
+                    core.breaker.record_failure(probe);
+                }
+            },
+            Err(_panic) => {
+                // The backend is in an unknown state: drop it; the next
+                // attempt (on any request) rebuilds from the factory.
+                *cached = None;
+                Counters::bump(&core.counters.panics_caught);
+                core.breaker.record_failure(probe);
+            }
+        }
+        // A failed probe never gets a second chance: the breaker reopened.
+        if probe {
+            return (Vec::new(), live.to_vec());
+        }
+        attempt += 1;
+        if !core.config.retry.allows(attempt) {
+            break;
+        }
+        Counters::bump(&core.counters.retries);
+        let mut pause = core.config.retry.backoff(head_id, attempt.saturating_sub(1) as u32);
+        if let Some(soonest) = live.iter().filter_map(|&i| jobs[i].token.remaining()).min() {
+            pause = pause.min(soonest);
+        }
+        if !pause.is_zero() {
+            thread::sleep(pause);
+        }
+        if live.iter().all(|&i| jobs[i].token.check().is_err()) {
+            let resolved = live
+                .iter()
+                .map(|&i| {
+                    let reason =
+                        jobs[i].token.check().err().unwrap_or(CancelReason::Cancelled);
+                    (i, Err(ServeError::Cancelled(reason)))
+                })
+                .collect();
+            return (resolved, Vec::new());
+        }
+    }
+    // Retries exhausted: the solo path decides each member's fate (strict
+    // mode failure or the degraded route).
+    Counters::bump(&core.counters.retries_exhausted);
+    (Vec::new(), live.to_vec())
 }

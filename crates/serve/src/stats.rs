@@ -147,11 +147,21 @@ pub struct Counters {
     pub queue_depth: AtomicU64,
     /// Requests currently executing on a worker.
     pub in_flight: AtomicU64,
+    /// Coalesced batches executed (dequeues that packed ≥ 2 requests
+    /// into one ciphertext batch).
+    pub batches_formed: AtomicU64,
+    /// Requests that rode in a coalesced batch (members of the batches
+    /// counted by `batches_formed`).
+    pub batched_requests: AtomicU64,
 }
 
 impl Counters {
     pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn drop_one(counter: &AtomicU64) {
@@ -217,6 +227,10 @@ pub struct ServiceStats {
     pub queue_depth: u64,
     /// Requests executing right now.
     pub in_flight: u64,
+    /// Coalesced batches executed (≥ 2 requests packed together).
+    pub batches_formed: u64,
+    /// Requests that rode in a coalesced batch.
+    pub batched_requests: u64,
     /// Current compiled-artifact version (bumped by each repair).
     pub artifact_version: u64,
     /// Primary-backend circuit breaker state and history.

@@ -152,6 +152,7 @@ fn error_label(e: &ServeError) -> String {
         ServeError::DuplicatePending { .. } => "duplicate-pending".into(),
         ServeError::JournalUnavailable { .. } => "journal-unavailable".into(),
         ServeError::CostBudget { .. } => "cost-budget".into(),
+        ServeError::InvalidRequest { .. } => "invalid-request".into(),
     }
 }
 

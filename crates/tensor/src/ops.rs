@@ -6,6 +6,40 @@
 
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A structured shape-contract violation from a reference tensor op: which
+/// operation rejected its inputs and why. The `try_*` entry points return
+/// these as values (mirroring the runtime kernels' `KernelError` pattern);
+/// the panicking shims preserve the historical `panic!` behaviour for
+/// callers that treat malformed shapes as programming errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// The operation that rejected its inputs ("conv2d", "matmul", ...).
+    pub op: &'static str,
+    /// What disagreed, in human-readable form.
+    pub reason: String,
+}
+
+impl ShapeError {
+    fn new(op: &'static str, reason: impl Into<String>) -> Self {
+        ShapeError { op, reason: reason.into() }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.op, self.reason)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Unwraps a `try_*` result, panicking with the error text (so existing
+/// `should_panic` expectations keep matching the reason substrings).
+fn expect_shape<T>(r: Result<T, ShapeError>) -> T {
+    r.unwrap_or_else(|e| std::panic::panic_any(e.to_string()))
+}
 
 /// Spatial padding mode for convolutions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -35,7 +69,8 @@ pub fn conv_output_dim(input: usize, kernel: usize, stride: usize, padding: Padd
 ///
 /// # Panics
 ///
-/// Panics on rank or channel mismatches.
+/// Panics on rank or channel mismatches; [`try_conv2d`] reports the same
+/// conditions as a [`ShapeError`] value.
 pub fn conv2d(
     input: &Tensor,
     weights: &Tensor,
@@ -43,11 +78,53 @@ pub fn conv2d(
     stride: usize,
     padding: Padding,
 ) -> Tensor {
-    let [c, h, w] = *input.shape() else { panic!("conv2d input must be CHW") };
-    let [k, wc, r, s] = *weights.shape() else { panic!("conv2d weights must be KCRS") };
-    assert_eq!(c, wc, "input channels must match weight channels");
+    expect_shape(try_conv2d(input, weights, bias, stride, padding))
+}
+
+/// Fallible [`conv2d`].
+///
+/// # Errors
+///
+/// Rejects non-CHW inputs, non-KCRS weights, channel or bias-length
+/// mismatches, and kernels larger than the input under valid padding.
+pub fn try_conv2d(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f64]>,
+    stride: usize,
+    padding: Padding,
+) -> Result<Tensor, ShapeError> {
+    let [c, h, w] = *input.shape() else {
+        return Err(ShapeError::new(
+            "conv2d",
+            format!("input must be CHW (got a {}-D tensor)", input.shape().len()),
+        ));
+    };
+    let [k, wc, r, s] = *weights.shape() else {
+        return Err(ShapeError::new(
+            "conv2d",
+            format!("weights must be KCRS (got a {}-D tensor)", weights.shape().len()),
+        ));
+    };
+    if c != wc {
+        return Err(ShapeError::new(
+            "conv2d",
+            format!("input channels ({c}) must match weight channels ({wc})"),
+        ));
+    }
     if let Some(b) = bias {
-        assert_eq!(b.len(), k, "bias length must equal output channels");
+        if b.len() != k {
+            return Err(ShapeError::new(
+                "conv2d",
+                format!("bias length ({}) must equal output channels ({k})", b.len()),
+            ));
+        }
+    }
+    if padding == Padding::Valid && (h < r || w < s) {
+        return Err(ShapeError::new(
+            "conv2d",
+            format!("kernel larger than input under valid padding ({r}×{s} on {h}×{w})"),
+        ));
     }
     let (oh, pad_h) = conv_output_dim(h, r, stride, padding);
     let (ow, pad_w) = conv_output_dim(w, s, stride, padding);
@@ -73,32 +150,92 @@ pub fn conv2d(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Dense layer: `y = W·x + b` for a flattened input vector.
 ///
 /// # Panics
 ///
-/// Panics if `weights` is not 2-D or the inner dimension mismatches.
+/// Panics if `weights` is not 2-D or the inner dimension mismatches;
+/// [`try_matmul_vec`] reports the same conditions as a [`ShapeError`].
 pub fn matmul_vec(weights: &Tensor, x: &[f64], bias: Option<&[f64]>) -> Vec<f64> {
-    let [out_dim, in_dim] = *weights.shape() else { panic!("matmul weights must be 2-D") };
-    assert_eq!(x.len(), in_dim, "input length must match weight columns");
-    if let Some(b) = bias {
-        assert_eq!(b.len(), out_dim, "bias length must equal rows");
+    expect_shape(try_matmul_vec(weights, x, bias))
+}
+
+/// Fallible [`matmul_vec`].
+///
+/// # Errors
+///
+/// Rejects non-2-D weights and input/bias length mismatches.
+pub fn try_matmul_vec(
+    weights: &Tensor,
+    x: &[f64],
+    bias: Option<&[f64]>,
+) -> Result<Vec<f64>, ShapeError> {
+    let [out_dim, in_dim] = *weights.shape() else {
+        return Err(ShapeError::new(
+            "matmul",
+            format!("weights must be 2-D (got a {}-D tensor)", weights.shape().len()),
+        ));
+    };
+    if x.len() != in_dim {
+        return Err(ShapeError::new(
+            "matmul",
+            format!("input length ({}) must match weight columns ({in_dim})", x.len()),
+        ));
     }
-    (0..out_dim)
+    if let Some(b) = bias {
+        if b.len() != out_dim {
+            return Err(ShapeError::new(
+                "matmul",
+                format!("bias length ({}) must equal rows ({out_dim})", b.len()),
+            ));
+        }
+    }
+    Ok((0..out_dim)
         .map(|o| {
             let row = &weights.data()[o * in_dim..(o + 1) * in_dim];
             let dot: f64 = row.iter().zip(x).map(|(w, v)| w * v).sum();
             dot + bias.map_or(0.0, |b| b[o])
         })
-        .collect()
+        .collect())
 }
 
 /// Average pooling with a square window.
+///
+/// # Panics
+///
+/// Panics on non-CHW inputs or windows larger than the input;
+/// [`try_avg_pool2d`] reports the same conditions as a [`ShapeError`].
 pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Tensor {
-    let [c, h, w] = *input.shape() else { panic!("avg_pool2d input must be CHW") };
+    expect_shape(try_avg_pool2d(input, kernel, stride))
+}
+
+/// Fallible [`avg_pool2d`].
+///
+/// # Errors
+///
+/// Rejects non-CHW inputs and windows larger than the input.
+pub fn try_avg_pool2d(
+    input: &Tensor,
+    kernel: usize,
+    stride: usize,
+) -> Result<Tensor, ShapeError> {
+    let [c, h, w] = *input.shape() else {
+        return Err(ShapeError::new(
+            "avg_pool2d",
+            format!("input must be CHW (got a {}-D tensor)", input.shape().len()),
+        ));
+    };
+    if h < kernel || w < kernel {
+        return Err(ShapeError::new(
+            "avg_pool2d",
+            format!(
+                "kernel larger than input under valid padding ({kernel}×{kernel} on {h}×{w})"
+            ),
+        ));
+    }
     let (oh, _) = conv_output_dim(h, kernel, stride, Padding::Valid);
     let (ow, _) = conv_output_dim(w, kernel, stride, Padding::Valid);
     let inv = 1.0 / (kernel * kernel) as f64;
@@ -116,12 +253,31 @@ pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Tensor {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Global average pooling: one value per channel.
+///
+/// # Panics
+///
+/// Panics on non-CHW inputs; [`try_global_avg_pool`] reports the same
+/// condition as a [`ShapeError`].
 pub fn global_avg_pool(input: &Tensor) -> Tensor {
-    let [c, h, w] = *input.shape() else { panic!("global_avg_pool input must be CHW") };
+    expect_shape(try_global_avg_pool(input))
+}
+
+/// Fallible [`global_avg_pool`].
+///
+/// # Errors
+///
+/// Rejects non-CHW inputs.
+pub fn try_global_avg_pool(input: &Tensor) -> Result<Tensor, ShapeError> {
+    let [c, h, w] = *input.shape() else {
+        return Err(ShapeError::new(
+            "global_avg_pool",
+            format!("input must be CHW (got a {}-D tensor)", input.shape().len()),
+        ));
+    };
     let inv = 1.0 / (h * w) as f64;
     let mut out = Tensor::zeros(vec![c, 1, 1]);
     for ci in 0..c {
@@ -133,7 +289,7 @@ pub fn global_avg_pool(input: &Tensor) -> Tensor {
         }
         *out.at_mut(&[ci, 0, 0]) = acc * inv;
     }
-    out
+    Ok(out)
 }
 
 /// HE-compatible activation `f(x) = a·x² + b·x` applied element-wise
@@ -148,10 +304,44 @@ pub fn activation(input: &Tensor, a: f64, b: f64) -> Tensor {
 
 /// Per-channel affine transform (`y_c = scale_c · x_c + shift_c`), the
 /// inference-time form of batch normalization.
+///
+/// # Panics
+///
+/// Panics on non-CHW inputs or scale/shift length mismatches;
+/// [`try_batch_norm`] reports the same conditions as a [`ShapeError`].
 pub fn batch_norm(input: &Tensor, scale: &[f64], shift: &[f64]) -> Tensor {
-    let [c, h, w] = *input.shape() else { panic!("batch_norm input must be CHW") };
-    assert_eq!(scale.len(), c, "scale length must equal channels");
-    assert_eq!(shift.len(), c, "shift length must equal channels");
+    expect_shape(try_batch_norm(input, scale, shift))
+}
+
+/// Fallible [`batch_norm`].
+///
+/// # Errors
+///
+/// Rejects non-CHW inputs and scale/shift vectors that disagree with the
+/// channel count.
+pub fn try_batch_norm(
+    input: &Tensor,
+    scale: &[f64],
+    shift: &[f64],
+) -> Result<Tensor, ShapeError> {
+    let [c, h, w] = *input.shape() else {
+        return Err(ShapeError::new(
+            "batch_norm",
+            format!("input must be CHW (got a {}-D tensor)", input.shape().len()),
+        ));
+    };
+    if scale.len() != c {
+        return Err(ShapeError::new(
+            "batch_norm",
+            format!("scale length ({}) must equal channels ({c})", scale.len()),
+        ));
+    }
+    if shift.len() != c {
+        return Err(ShapeError::new(
+            "batch_norm",
+            format!("shift length ({}) must equal channels ({c})", shift.len()),
+        ));
+    }
     let mut out = input.clone();
     for ci in 0..c {
         for y in 0..h {
@@ -161,21 +351,51 @@ pub fn batch_norm(input: &Tensor, scale: &[f64], shift: &[f64]) -> Tensor {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Concatenates CHW tensors along the channel dimension.
 ///
 /// # Panics
 ///
-/// Panics if spatial dimensions disagree.
+/// Panics if spatial dimensions disagree; [`try_concat_channels`] reports
+/// the same conditions as a [`ShapeError`].
 pub fn concat_channels(inputs: &[&Tensor]) -> Tensor {
-    assert!(!inputs.is_empty(), "concat needs at least one input");
-    let [_, h, w] = *inputs[0].shape() else { panic!("concat inputs must be CHW") };
+    expect_shape(try_concat_channels(inputs))
+}
+
+/// Fallible [`concat_channels`].
+///
+/// # Errors
+///
+/// Rejects empty input lists, non-CHW inputs, and disagreeing spatial
+/// dimensions.
+pub fn try_concat_channels(inputs: &[&Tensor]) -> Result<Tensor, ShapeError> {
+    if inputs.is_empty() {
+        return Err(ShapeError::new("concat", "concat needs at least one input"));
+    }
+    let [_, h, w] = *inputs[0].shape() else {
+        return Err(ShapeError::new(
+            "concat",
+            format!("inputs must be CHW (got a {}-D tensor)", inputs[0].shape().len()),
+        ));
+    };
     let mut total_c = 0usize;
-    for t in inputs {
-        let [c, th, tw] = *t.shape() else { panic!("concat inputs must be CHW") };
-        assert_eq!((th, tw), (h, w), "spatial dimensions must match");
+    for (i, t) in inputs.iter().enumerate() {
+        let [c, th, tw] = *t.shape() else {
+            return Err(ShapeError::new(
+                "concat",
+                format!("inputs must be CHW (input {i} is a {}-D tensor)", t.shape().len()),
+            ));
+        };
+        if (th, tw) != (h, w) {
+            return Err(ShapeError::new(
+                "concat",
+                format!(
+                    "spatial dimensions must match (input {i} is {th}×{tw}, expected {h}×{w})"
+                ),
+            ));
+        }
         total_c += c;
     }
     let mut out = Tensor::zeros(vec![total_c, h, w]);
@@ -191,7 +411,7 @@ pub fn concat_channels(inputs: &[&Tensor]) -> Tensor {
         }
         c_off += c;
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -308,5 +528,74 @@ mod tests {
         let a = Tensor::zeros(vec![1, 2, 2]);
         let b = Tensor::zeros(vec![1, 3, 3]);
         concat_channels(&[&a, &b]);
+    }
+
+    #[test]
+    fn try_ops_reject_bad_shapes_as_values() {
+        // Every try_* op reports its contract violation as a ShapeError
+        // naming the op, instead of panicking.
+        let flat = Tensor::zeros(vec![4]);
+        let chw = Tensor::zeros(vec![2, 3, 3]);
+        let w_kcrs = Tensor::zeros(vec![1, 1, 2, 2]);
+
+        let e = try_conv2d(&flat, &w_kcrs, None, 1, Padding::Valid).unwrap_err();
+        assert_eq!(e.op, "conv2d");
+        assert!(e.to_string().contains("must be CHW"), "{e}");
+
+        let e = try_conv2d(&chw, &w_kcrs, None, 1, Padding::Valid).unwrap_err();
+        assert!(e.reason.contains("channels"), "{e}");
+
+        let e = try_conv2d(&chw, &Tensor::zeros(vec![1, 2, 5, 5]), None, 1, Padding::Valid)
+            .unwrap_err();
+        assert!(e.reason.contains("kernel larger"), "{e}");
+
+        let e = try_matmul_vec(&chw, &[0.0; 4], None).unwrap_err();
+        assert_eq!(e.op, "matmul");
+
+        let w2 = Tensor::zeros(vec![2, 4]);
+        let e = try_matmul_vec(&w2, &[0.0; 3], None).unwrap_err();
+        assert!(e.reason.contains("input length"), "{e}");
+        let e = try_matmul_vec(&w2, &[0.0; 4], Some(&[0.0; 3])).unwrap_err();
+        assert!(e.reason.contains("bias length"), "{e}");
+
+        let e = try_avg_pool2d(&chw, 5, 1).unwrap_err();
+        assert_eq!(e.op, "avg_pool2d");
+
+        let e = try_global_avg_pool(&flat).unwrap_err();
+        assert_eq!(e.op, "global_avg_pool");
+
+        let e = try_batch_norm(&chw, &[1.0], &[0.0, 0.0]).unwrap_err();
+        assert!(e.reason.contains("scale length"), "{e}");
+
+        let e = try_concat_channels(&[]).unwrap_err();
+        assert!(e.reason.contains("at least one"), "{e}");
+        let e = try_concat_channels(&[&chw, &Tensor::zeros(vec![1, 4, 4])]).unwrap_err();
+        assert!(e.reason.contains("spatial dimensions"), "{e}");
+    }
+
+    #[test]
+    fn try_ops_match_panicking_ops_on_good_shapes() {
+        let input = ramp(vec![2, 4, 4]);
+        let w = Tensor::random(vec![3, 2, 3, 3], 1.0, 7);
+        assert_eq!(
+            try_conv2d(&input, &w, Some(&[0.1, 0.2, 0.3]), 1, Padding::Same).unwrap(),
+            conv2d(&input, &w, Some(&[0.1, 0.2, 0.3]), 1, Padding::Same)
+        );
+        assert_eq!(try_avg_pool2d(&input, 2, 2).unwrap(), avg_pool2d(&input, 2, 2));
+        assert_eq!(try_global_avg_pool(&input).unwrap(), global_avg_pool(&input));
+        let w2 = Tensor::new(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(
+            try_matmul_vec(&w2, &[1.0, 0.0, -1.0], None).unwrap(),
+            matmul_vec(&w2, &[1.0, 0.0, -1.0], None)
+        );
+        assert_eq!(
+            try_batch_norm(&input, &[2.0, 0.5], &[1.0, -1.0]).unwrap(),
+            batch_norm(&input, &[2.0, 0.5], &[1.0, -1.0])
+        );
+        let b = ramp(vec![1, 4, 4]);
+        assert_eq!(
+            try_concat_channels(&[&input, &b]).unwrap(),
+            concat_channels(&[&input, &b])
+        );
     }
 }
